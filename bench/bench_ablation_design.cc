@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Ablation studies of the design choices the paper discusses in
+ * prose (Sections 2.1, 2.2, 3.2, 4.4):
+ *  - bounce-back cache size ("small bounce-back caches perform
+ *    nearly as well as large ones");
+ *  - bounce-back associativity ("a 4-way bounce-back cache would
+ *    perform reasonably well");
+ *  - aux access time (the conservative 3-cycle choice);
+ *  - the dynamic temporal-bit reset (pollution by dead data);
+ *  - the virtual-line coherence check (traffic saved);
+ *  - variable-length virtual lines (Section 3.2 extension);
+ *  - prefetch degree across memory latencies (Section 4.4).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "src/util/distribution.hh"
+#include "src/util/stats.hh"
+#include "src/trace/timing_model.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    bench::printBanner("Design ablations",
+                       "Tradeoffs discussed in the paper's prose");
+
+    std::cout << "\nBounce-back cache size (AMAT, Soft.)\n\n";
+    {
+        const std::uint32_t sizes[] = {2, 4, 8, 16, 32, 64};
+        std::vector<core::Config> configs;
+        for (const auto n : sizes) {
+            auto c = core::softConfig();
+            c.auxLines = n;
+            c.name = "BB=" + std::to_string(n * 32) + "B";
+            configs.push_back(c);
+        }
+        bench::suiteTable(configs, bench::amatOf).print(std::cout);
+    }
+
+    std::cout << "\nBounce-back associativity (AMAT, Soft., 8 lines)\n\n";
+    {
+        std::vector<core::Config> configs;
+        for (const std::uint32_t assoc : {1u, 2u, 4u, 0u}) {
+            auto c = core::softConfig();
+            c.auxAssoc = assoc;
+            c.name = assoc == 0 ? "BB full-assoc"
+                                : "BB " + std::to_string(assoc) +
+                                      "-way";
+            configs.push_back(c);
+        }
+        bench::suiteTable(configs, bench::amatOf).print(std::cout);
+    }
+
+    std::cout << "\nAux access time (AMAT, Soft.)\n\n";
+    {
+        std::vector<core::Config> configs;
+        for (const Cycle t : {2u, 3u, 5u}) {
+            auto c = core::softConfig();
+            c.timing.auxHitTime = t;
+            c.name = "BB access " + std::to_string(t) + "cy";
+            configs.push_back(c);
+        }
+        bench::suiteTable(configs, bench::amatOf).print(std::cout);
+    }
+
+    std::cout << "\nDynamic temporal-bit reset (AMAT, Soft.)\n\n";
+    {
+        auto on = core::softConfig();
+        on.name = "reset on (paper)";
+        auto off = core::softConfig();
+        off.resetTemporalBitOnBounce = false;
+        off.name = "reset off";
+        bench::suiteTable({on, off}, bench::amatOf).print(std::cout);
+    }
+
+    std::cout << "\nVirtual-line coherence check (words/ref, Soft.)\n\n";
+    {
+        auto on = core::softConfig();
+        on.name = "check on (paper)";
+        auto off = core::softConfig();
+        off.virtualLineCoherenceCheck = false;
+        off.name = "check off";
+        bench::suiteTable({on, off}, bench::wordsOf).print(std::cout);
+    }
+
+    std::cout << "\nVariable-length virtual lines (AMAT; Section 3.2 "
+                 "extension)\n\n";
+    bench::suiteTable({core::softConfig(), core::variableSoftConfig()},
+                      bench::amatOf)
+        .print(std::cout);
+
+    std::cout << "\nPrefetch degree x memory latency (AMAT on MV, "
+                 "Soft.+Prefetching)\n\n";
+    {
+        util::Table table({"Latency", "degree 1", "degree 2",
+                           "degree 4"});
+        for (const Cycle lat : {15u, 20u, 25u, 30u, 40u}) {
+            const auto row = table.addRow();
+            table.set(row, 0, std::to_string(lat));
+            std::size_t col = 1;
+            for (const std::uint32_t degree : {1u, 2u, 4u}) {
+                auto c = core::softPrefetchConfig();
+                c.timing.memoryLatency = lat;
+                c.prefetchDegree = degree;
+                c.name = "pf d" + std::to_string(degree) + " l" +
+                         std::to_string(lat);
+                table.setNumber(row, col++,
+                                bench::cachedRun("MV", c).amat());
+            }
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPhysical line size under software assistance "
+                 "(AMAT; paper Section 3.2:\n16-byte and 32-byte "
+                 "physical lines proved similar)\n\n";
+    {
+        auto half = core::softConfig();
+        half.lineBytes = 16;
+        half.name = "Soft. Ls=16";
+        auto full = core::softConfig();
+        full.name = "Soft. Ls=32";
+        bench::suiteTable({half, full}, bench::amatOf)
+            .print(std::cout);
+    }
+
+    std::cout << "\nWrite buffer depth (AMAT, Soft.)\n\n";
+    {
+        std::vector<core::Config> configs;
+        for (const std::uint32_t n : {1u, 2u, 8u, 32u}) {
+            auto c = core::softConfig();
+            c.writeBufferEntries = n;
+            c.name = "WB " + std::to_string(n);
+            configs.push_back(c);
+        }
+        bench::suiteTable(configs, bench::amatOf).print(std::cout);
+    }
+
+    std::cout << "\nIssue-rate sensitivity (AMAT on MV; the paper notes cache designs are\n"
+                 "sensitive to the processor request issue rate)\n\n";
+    {
+        struct Rate
+        {
+            const char *label;
+            util::DiscreteDistribution dist;
+        };
+        const Rate rates[] = {
+            {"1 ref/cycle (superscalar)",
+             util::DiscreteDistribution({{1, 1.0}})},
+            {"Figure 4b (paper)",
+             trace::TimingModel::figure4bDistribution()},
+            {"1 ref / 8 cycles (slow)",
+             util::DiscreteDistribution({{8, 1.0}})},
+        };
+        util::Table table({"Issue rate", "Stand.", "Soft.",
+                           "Soft.+Prefetching"});
+        for (const auto &rate : rates) {
+            const auto t = workloads::makeTaggedTraceWithTiming(
+                workloads::buildMv(), rate.dist);
+            const auto row = table.addRow();
+            table.set(row, 0, rate.label);
+            table.setNumber(
+                row, 1,
+                core::simulateTrace(t, core::standardConfig()).amat());
+            table.setNumber(
+                row, 2,
+                core::simulateTrace(t, core::softConfig()).amat());
+            table.setNumber(
+                row, 3,
+                core::simulateTrace(t, core::softPrefetchConfig())
+                    .amat());
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nExpected: small bounce-back caches rival large "
+                 "ones; 4-way rivals fully\nassociative; deeper "
+                 "prefetching only pays at long latencies. In the\n"
+                 "blocking model the plain mechanisms are issue-rate "
+                 "insensitive (no overlap\nto exploit), while "
+                 "prefetching needs issue slack to land its lines.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+#include "bench_common.hh"
+
+#include <iostream>
+
+#include "src/harness/experiment.hh"
+
+namespace sac {
+namespace bench {
+
+namespace {
+
+harness::Runner &
+runner()
+{
+    static harness::Runner instance;
+    return instance;
+}
+
+harness::Workload
+workloadOf(const std::string &name)
+{
+    return {name,
+            [name] { return workloads::makeBenchmarkTrace(name); }};
+}
+
+} // namespace
+
+double
+amatOf(const sim::RunStats &s)
+{
+    return s.amat();
+}
+
+double
+missRatioOf(const sim::RunStats &s)
+{
+    return s.missRatio();
+}
+
+double
+wordsOf(const sim::RunStats &s)
+{
+    return s.wordsFetchedPerAccess();
+}
+
+const trace::Trace &
+benchmarkTrace(const std::string &name)
+{
+    return runner().traceOf(workloadOf(name));
+}
+
+const sim::RunStats &
+cachedRun(const std::string &bench_name, const core::Config &cfg)
+{
+    return runner().run(workloadOf(bench_name), cfg);
+}
+
+util::Table
+suiteTable(const std::vector<core::Config> &configs,
+           const Metric &metric, int decimals)
+{
+    harness::Metric m{"metric", metric, decimals};
+    return runner().matrix(harness::paperWorkloads(), configs, m);
+}
+
+void
+printBanner(const std::string &figure, const std::string &what)
+{
+    std::cout << "==========================================================\n"
+              << "Reproduction of " << figure
+              << " — Software Assistance for Data Caches (HPCA 1995)\n"
+              << what << "\n"
+              << "==========================================================\n";
+}
+
+} // namespace bench
+} // namespace sac

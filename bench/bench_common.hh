@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction binaries: trace
+ * caching (each benchmark is generated once per process), config x
+ * benchmark result matrices, and uniform headers so EXPERIMENTS.md
+ * can quote the output verbatim.
+ */
+
+#ifndef SAC_BENCH_BENCH_COMMON_HH
+#define SAC_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+namespace sac {
+namespace bench {
+
+/** A metric extracted from a simulation run. */
+using Metric = std::function<double(const sim::RunStats &)>;
+
+/** The AMAT metric (the paper's main y-axis). */
+double amatOf(const sim::RunStats &s);
+
+/** The miss-ratio metric (Figure 7b). */
+double missRatioOf(const sim::RunStats &s);
+
+/** The memory-traffic metric in words per reference (Figure 7a). */
+double wordsOf(const sim::RunStats &s);
+
+/**
+ * The trace of a registered paper benchmark, generated once per
+ * process and cached.
+ */
+const trace::Trace &benchmarkTrace(const std::string &name);
+
+/** Cached simulation: one run per (benchmark, config-name) pair. */
+const sim::RunStats &cachedRun(const std::string &bench_name,
+                               const core::Config &cfg);
+
+/**
+ * Build the classic paper table: one row per benchmark of the main
+ * suite, one column per configuration, cells = metric(config run).
+ */
+util::Table suiteTable(const std::vector<core::Config> &configs,
+                       const Metric &metric, int decimals = 3);
+
+/** Print a figure banner with the paper reference. */
+void printBanner(const std::string &figure, const std::string &what);
+
+} // namespace bench
+} // namespace sac
+
+#endif // SAC_BENCH_BENCH_COMMON_HH

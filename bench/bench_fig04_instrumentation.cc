@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 4 reproduction: software instrumentation. 4a — fraction of
+ * trace entries per temporal/spatial tag category; 4b — the
+ * issue-time distribution used when generating traces.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "src/analysis/tag_stats.hh"
+#include "src/trace/timing_model.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    bench::printBanner("Figure 4",
+                       "Tag fractions (4a) and issue-time model (4b)");
+
+    std::cout << "\nFigure 4a: fraction of trace entries per tag "
+                 "category\n\n";
+    util::Table table({"Benchmark", "NoTemp,NoSpat", "NoTemp,Spat",
+                       "Temp,NoSpat", "Temp,Spat"});
+    for (const auto &b : workloads::paperBenchmarks()) {
+        const auto s =
+            analysis::computeTagStats(bench::benchmarkTrace(b.name));
+        const auto row = table.addRow();
+        table.set(row, 0, b.name);
+        table.setNumber(row, 1, s.fractionNoTemporalNoSpatial(), 3);
+        table.setNumber(row, 2, s.fractionNoTemporalSpatial(), 3);
+        table.setNumber(row, 3, s.fractionTemporalNoSpatial(), 3);
+        table.setNumber(row, 4, s.fractionTemporalSpatial(), 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFigure 4b: time distribution of load/store "
+                 "instructions (model input)\n\n";
+    const auto dist = trace::TimingModel::figure4bDistribution();
+    util::Table dt({"Interval (cycles)", "Fraction"});
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        const auto row = dt.addRow();
+        dt.set(row, 0, std::to_string(dist.value(i)));
+        dt.setNumber(row, 1, dist.probability(i), 3);
+    }
+    dt.print(std::cout);
+    std::cout << "\nMean issue interval: " << dist.mean()
+              << " cycles\n";
+
+    std::cout << "\nPaper shape check: dusty-deck Perfect codes keep a "
+                 "large untagged share\n(CALL-poisoned loops); DYF has "
+                 "the highest temporal fraction; spatial tags\ndominate "
+                 "in the streaming codes.\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 7 reproduction: performance of software-assisted caches
+ * (II). 7a — memory traffic in (4-byte) words fetched per reference;
+ * 7b — miss ratio. Both for the Standard, temporal-only,
+ * spatial-only and full configurations.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    bench::printBanner("Figure 7", "Memory traffic (7a) and miss "
+                                   "ratio (7b)");
+
+    const std::vector<core::Config> configs{
+        core::standardConfig(), core::softTemporalOnlyConfig(),
+        core::softSpatialOnlyConfig(), core::softConfig()};
+
+    std::cout << "\nFigure 7a: words fetched / number of references\n\n";
+    bench::suiteTable(configs, bench::wordsOf).print(std::cout);
+
+    std::cout << "\nFigure 7b: miss ratio\n\n";
+    bench::suiteTable(configs, bench::missRatioOf, 4).print(std::cout);
+
+    std::cout << "\nPaper shape check: spatial-only control raises "
+                 "traffic (virtual lines);\nthe combined mechanism "
+                 "barely does, while cutting the miss ratio (up to\n"
+                 "~62% on MV in the paper).\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10 reproduction. 10a — AMAT of the most time-consuming
+ * (kernel-only, fully instrumentable) Perfect Club subroutines under
+ * Standard vs Soft; 10b — the AMAT gain (Standard minus Soft) as the
+ * memory latency sweeps from 5 to 30 cycles.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "src/util/stats.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    bench::printBanner("Figure 10",
+                       "Kernel-only subroutines (10a) and memory "
+                       "latency (10b)");
+
+    std::cout << "\nFigure 10a: most time-consuming Perfect Club "
+                 "subroutines (AMAT)\n\n";
+    util::Table ta({"Subroutine", "Stand.", "Soft.", "Improvement"});
+    for (const auto &b : workloads::kernelOnlyBenchmarks()) {
+        const auto t = workloads::makeTaggedTrace(b.build());
+        const auto stand =
+            core::simulateTrace(t, core::standardConfig());
+        const auto soft = core::simulateTrace(t, core::softConfig());
+        const auto row = ta.addRow();
+        ta.set(row, 0, b.name);
+        ta.setNumber(row, 1, stand.amat());
+        ta.setNumber(row, 2, soft.amat());
+        ta.set(row, 3,
+               util::formatPercent(1.0 - soft.amat() / stand.amat()));
+    }
+    ta.print(std::cout);
+
+    std::cout << "\nFigure 10b: influence of memory latency "
+                 "(AMAT Stand. - AMAT Soft.)\n\n";
+    const Cycle latencies[] = {5, 10, 15, 20, 25, 30};
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto lat : latencies)
+        headers.push_back("lat=" + std::to_string(lat));
+    util::Table tb(std::move(headers));
+    for (const auto &b : workloads::paperBenchmarks()) {
+        const auto row = tb.addRow();
+        tb.set(row, 0, b.name);
+        for (std::size_t c = 0; c < std::size(latencies); ++c) {
+            auto stand = core::standardConfig();
+            auto soft = core::softConfig();
+            stand.timing.memoryLatency = latencies[c];
+            soft.timing.memoryLatency = latencies[c];
+            stand.name += " lat" + std::to_string(latencies[c]);
+            soft.name += " lat" + std::to_string(latencies[c]);
+            const double gap =
+                bench::cachedRun(b.name, stand).amat() -
+                bench::cachedRun(b.name, soft).amat();
+            tb.setNumber(row, c + 1, gap, 3);
+        }
+    }
+    tb.print(std::cout);
+
+    std::cout << "\nPaper shape check: fully instrumented kernels gain "
+                 "clearly more than the\nCALL-poisoned full codes; the "
+                 "gain grows very regularly with memory latency\nand is "
+                 "small below ~10 cycles.\n";
+    return 0;
+}

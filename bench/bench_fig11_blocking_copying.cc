@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 11 reproduction: software-assisted caches as support for
+ * software optimizations. 11a — AMAT of blocked matrix-vector
+ * multiply across block sizes, Standard vs Soft; 11b — AMAT of
+ * blocked matrix-matrix multiply with and without data copying as
+ * the array leading dimension sweeps 116..126.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    bench::printBanner("Figure 11",
+                       "Blocking (11a) and data copying (11b)");
+
+    std::cout << "\nFigure 11a: optimal block size for blocked "
+                 "matrix-vector multiply (AMAT)\n\n";
+    const std::int64_t n = 1200;
+    const std::int64_t blocks[] = {10,  20,  30,  40,  50,
+                                   100, 400, 600, 1200};
+    util::Table ta({"Block size", "Stand.", "Soft."});
+    for (const auto b : blocks) {
+        const auto t = workloads::makeTaggedTrace(
+            workloads::buildBlockedMv(n, b));
+        const auto row = ta.addRow();
+        ta.set(row, 0, std::to_string(b));
+        ta.setNumber(row, 1,
+                     core::simulateTrace(t, core::standardConfig())
+                         .amat());
+        ta.setNumber(row, 2,
+                     core::simulateTrace(t, core::softConfig()).amat());
+    }
+    ta.print(std::cout);
+
+    std::cout << "\nFigure 11b: data copying for blocked matrix "
+                 "multiply (AMAT), leading dimension sweep\n\n";
+    util::Table tb({"Leading dim", "NoCopy (stand.)", "Copy (stand.)",
+                    "NoCopy (soft.)", "Copy (soft.)"});
+    const std::int64_t mm_n = 80;
+    const std::int64_t mm_block = 16;
+    for (std::int64_t ld = 116; ld <= 126; ++ld) {
+        const auto plain = workloads::makeTaggedTrace(
+            workloads::buildCopiedMm(mm_n, ld, mm_block, false));
+        const auto copied = workloads::makeTaggedTrace(
+            workloads::buildCopiedMm(mm_n, ld, mm_block, true));
+        const auto row = tb.addRow();
+        tb.set(row, 0, std::to_string(ld));
+        tb.setNumber(
+            row, 1,
+            core::simulateTrace(plain, core::standardConfig()).amat());
+        tb.setNumber(
+            row, 2,
+            core::simulateTrace(copied, core::standardConfig()).amat());
+        tb.setNumber(row, 3,
+                     core::simulateTrace(plain, core::softConfig())
+                         .amat());
+        tb.setNumber(row, 4,
+                     core::simulateTrace(copied, core::softConfig())
+                         .amat());
+    }
+    tb.print(std::cout);
+
+    std::cout << "\nPaper shape check: software control tolerates "
+                 "larger block sizes before\npollution hurts; copying "
+                 "flattens the leading-dimension sensitivity, and\n"
+                 "software assistance lowers the copying cost.\n";
+    return 0;
+}

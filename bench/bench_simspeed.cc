@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulator throughput benchmarks (google-benchmark): trace
+ * generation speed and simulation speed per configuration. These are
+ * engineering benchmarks of the reproduction itself, not paper
+ * figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+
+const trace::Trace &
+mvTrace()
+{
+    static const trace::Trace t =
+        workloads::makeTaggedTrace(workloads::buildMv(200));
+    return t;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const auto t = workloads::makeTaggedTrace(
+            workloads::buildMv(100), seed++);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * (100 * 100 * 2 + 100 * 2)));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_LocalityAnalysis(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto p = workloads::buildLiv(workloads::Scale{0.1});
+        p.finalize();
+        const auto r = locality::analyze(p);
+        benchmark::DoNotOptimize(r.tags.size());
+    }
+}
+BENCHMARK(BM_LocalityAnalysis);
+
+void
+simulateConfig(benchmark::State &state, const core::Config &cfg)
+{
+    const auto &t = mvTrace();
+    for (auto _ : state) {
+        const auto s = core::simulateTrace(t, cfg);
+        benchmark::DoNotOptimize(s.totalAccessCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * t.size()));
+}
+
+void
+BM_SimulateStandard(benchmark::State &state)
+{
+    simulateConfig(state, core::standardConfig());
+}
+BENCHMARK(BM_SimulateStandard);
+
+void
+BM_SimulateSoft(benchmark::State &state)
+{
+    simulateConfig(state, core::softConfig());
+}
+BENCHMARK(BM_SimulateSoft);
+
+void
+BM_SimulateSoftPrefetch(benchmark::State &state)
+{
+    simulateConfig(state, core::softPrefetchConfig());
+}
+BENCHMARK(BM_SimulateSoftPrefetch);
+
+void
+BM_SimulateNoClassifier(benchmark::State &state)
+{
+    auto cfg = core::softConfig();
+    cfg.classifyMisses = false;
+    simulateConfig(state, cfg);
+}
+BENCHMARK(BM_SimulateNoClassifier);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Blocking and data copying under software-assisted caches (paper
+ * Sections 4.2-4.3): a compact exploration of block-size choice for
+ * blocked matrix-vector multiply and of copying's leading-dimension
+ * robustness for blocked matrix multiply.
+ */
+
+#include <iostream>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    std::cout << "Blocking and copying study (paper Sections "
+                 "4.2-4.3)\n\n";
+
+    std::cout << "Blocked MV (n = 600): best block per "
+                 "configuration\n\n";
+    util::Table ta({"Block", "Stand.", "Soft."});
+    double best_stand = 1e9, best_soft = 1e9;
+    std::int64_t best_stand_b = 0, best_soft_b = 0;
+    for (const std::int64_t b : {25, 50, 100, 200, 300, 600}) {
+        const auto t = workloads::makeTaggedTrace(
+            workloads::buildBlockedMv(600, b));
+        const double stand =
+            core::simulateTrace(t, core::standardConfig()).amat();
+        const double soft =
+            core::simulateTrace(t, core::softConfig()).amat();
+        const auto row = ta.addRow();
+        ta.set(row, 0, std::to_string(b));
+        ta.setNumber(row, 1, stand);
+        ta.setNumber(row, 2, soft);
+        if (stand < best_stand) {
+            best_stand = stand;
+            best_stand_b = b;
+        }
+        if (soft < best_soft) {
+            best_soft = soft;
+            best_soft_b = b;
+        }
+    }
+    ta.print(std::cout);
+    std::cout << "\nBest block: Stand. " << best_stand_b << ", Soft. "
+              << best_soft_b
+              << " — software control tolerates larger blocks "
+                 "(Section 4.2).\n";
+
+    std::cout << "\nBlocked MM (n = 64, block = 16): copying versus "
+                 "leading dimension\n\n";
+    util::Table tb({"Leading dim", "NoCopy stand.", "Copy stand.",
+                    "NoCopy soft.", "Copy soft."});
+    for (const std::int64_t ld : {64, 96, 120, 128}) {
+        const auto plain = workloads::makeTaggedTrace(
+            workloads::buildCopiedMm(64, ld, 16, false));
+        const auto copied = workloads::makeTaggedTrace(
+            workloads::buildCopiedMm(64, ld, 16, true));
+        const auto row = tb.addRow();
+        tb.set(row, 0, std::to_string(ld));
+        tb.setNumber(
+            row, 1,
+            core::simulateTrace(plain, core::standardConfig()).amat());
+        tb.setNumber(
+            row, 2,
+            core::simulateTrace(copied, core::standardConfig()).amat());
+        tb.setNumber(
+            row, 3,
+            core::simulateTrace(plain, core::softConfig()).amat());
+        tb.setNumber(
+            row, 4,
+            core::simulateTrace(copied, core::softConfig()).amat());
+    }
+    tb.print(std::cout);
+    std::cout << "\nCopying trades fixed overhead for robustness "
+                 "against pathological leading\ndimensions (ld = 128 "
+                 "aligns columns to the same sets); software "
+                 "assistance\ncuts the copy-loop cost via virtual "
+                 "lines and protects the local array.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Loop order and software assistance (paper Section 3.2): "many
+ * loops were also badly ordered, inducing non stride-one references,
+ * and preventing the use of virtual lines." This example builds the
+ * same 2-D update in both loop orders and shows that software
+ * assistance amplifies — but cannot replace — a good loop order,
+ * while the temporal mechanism still salvages part of a bad one.
+ */
+
+#include <iostream>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/loopnest/builder.hh"
+#include "src/util/stats.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+using namespace sac::loopnest::builder;
+
+/**
+ * B(i,j) = A(i,j) * s over an m x m matrix, column-major.
+ * good_order: i innermost (stride one); bad order: j innermost
+ * (stride m elements — a parametric stride, never tagged spatial).
+ */
+loopnest::Program
+sweep(std::int64_t m, bool good_order, std::int64_t reps)
+{
+    loopnest::Program p(good_order ? "sweep-ji" : "sweep-ij");
+    const auto A = p.addArray("A", {m, m});
+    const auto B = p.addArray("B", {m, m});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    for (std::int64_t r = 0; r < reps; ++r) {
+        if (good_order) {
+            p.addStmt(loop(j, 0, m - 1,
+                           {loop(i, 0, m - 1,
+                                 {read(A, {v(i), v(j)}),
+                                  write(B, {v(i), v(j)})})}));
+        } else {
+            p.addStmt(loop(i, 0, m - 1,
+                           {loop(j, 0, m - 1,
+                                 {read(A, {v(i), v(j)}),
+                                  write(B, {v(i), v(j)})})}));
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sac;
+
+    std::cout << "Loop order study (paper Section 3.2: badly ordered "
+                 "loops prevent virtual lines)\n\n";
+
+    const std::int64_t m = 120; // 113 KB per matrix
+    util::Table table({"Loop order", "tags (T/S %)", "Stand.",
+                       "Soft.", "Soft. gain"});
+    for (const bool good : {false, true}) {
+        locality::AnalysisResult analysis;
+        auto program = sweep(m, good, 4);
+        const auto t = workloads::makeTaggedTrace(std::move(program),
+                                                  0x10, &analysis);
+        const double stand =
+            core::simulateTrace(t, core::standardConfig()).amat();
+        const double soft =
+            core::simulateTrace(t, core::softConfig()).amat();
+        const auto row = table.addRow();
+        table.set(row, 0, good ? "ji (stride-1)" : "ij (stride-m)");
+        table.set(row, 1,
+                  std::to_string(100 * analysis.stats.temporalRefs /
+                                 analysis.stats.totalRefs) +
+                      "/" +
+                      std::to_string(100 * analysis.stats.spatialRefs /
+                                     analysis.stats.totalRefs));
+        table.setNumber(row, 2, stand);
+        table.setNumber(row, 3, soft);
+        table.set(row, 4,
+                  util::formatPercent(1.0 - soft / stand));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe badly ordered sweep carries no spatial tags "
+                 "(parametric stride), so the\nvirtual-line mechanism "
+                 "is inert; interchange restores stride-one access "
+                 "and\nlets software assistance halve the remaining "
+                 "miss cost — the compiler\ntransformation and the "
+                 "hardware assist are complements, not substitutes.\n";
+    return 0;
+}

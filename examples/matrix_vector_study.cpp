@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deep-dive on the paper's motivating example (Section 2.2): the
+ * matrix-vector multiply. Shows how the streaming matrix A flushes
+ * the reused vector X from a standard cache, and how each mechanism
+ * (victim cache, bounce-back, virtual lines) changes the picture as
+ * the problem size sweeps from cache-resident to far beyond.
+ */
+
+#include <iostream>
+
+#include "src/analysis/array_breakdown.hh"
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    std::cout << "Matrix-vector multiply study (paper Section 2.2)\n"
+              << "Cache: 8 KB direct-mapped, 32-byte lines; X is "
+              << "reused every row.\n\n";
+
+    // 1. Size sweep: when X (N doubles) no longer fits next to a
+    //    streaming column of A, pollution breaks its reuse.
+    std::cout << "AMAT versus problem size N:\n\n";
+    util::Table sweep({"N", "X bytes", "Stand.", "Stand.+Victim",
+                       "Soft. Temp. only", "Soft."});
+    for (const std::int64_t n : {64, 128, 256, 500, 750, 1000}) {
+        const auto t =
+            workloads::makeTaggedTrace(workloads::buildMv(n));
+        const auto row = sweep.addRow();
+        sweep.set(row, 0, std::to_string(n));
+        sweep.set(row, 1, std::to_string(n * 8));
+        sweep.setNumber(
+            row, 2,
+            core::simulateTrace(t, core::standardConfig()).amat());
+        sweep.setNumber(
+            row, 3,
+            core::simulateTrace(t, core::victimConfig()).amat());
+        sweep.setNumber(
+            row, 4,
+            core::simulateTrace(t, core::softTemporalOnlyConfig())
+                .amat());
+        sweep.setNumber(
+            row, 5, core::simulateTrace(t, core::softConfig()).amat());
+    }
+    sweep.print(std::cout);
+
+    // 2. Per-array anatomy at N = 500: the paper's X-vs-A story.
+    auto program = workloads::buildMv(500);
+    const auto t = workloads::makeTaggedTrace(std::move(program), 1);
+    auto ranged = workloads::buildMv(500);
+    ranged.finalize();
+    std::cout << "\nPer-array breakdown (reuse window 2500 refs):\n\n";
+    const auto breakdown = analysis::breakdownByArray(
+        t, analysis::arrayRanges(ranged));
+    analysis::breakdownTable(breakdown, t.size()).print(std::cout);
+
+    // 3. Mechanism anatomy at N = 500: what each event counter says.
+    std::cout << "\nMechanism anatomy at N = 500 (Soft.):\n\n";
+    core::SoftwareAssistedCache sim(core::softConfig());
+    sim.run(t);
+    sim.stats().print(std::cout);
+
+    std::cout << "\nReading guide: the bounce-back count is X "
+                 "returning to the main cache\nafter pollution by A; "
+                 "extra lines fetched are the second halves of "
+                 "64-byte\nvirtual lines serving A's stream.\n";
+    return 0;
+}

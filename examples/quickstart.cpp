@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: build the paper's matrix-vector multiply loop nest, let
+ * the locality analyzer tag its references, generate a trace, and
+ * compare a standard 8-KB cache against the software-assisted design
+ * (virtual lines + bounce-back cache).
+ *
+ * Expected outcome (paper Figure 6a): the software-assisted cache has
+ * a markedly lower AMAT and miss ratio on MV.
+ */
+
+#include <iostream>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/loopnest/builder.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace sac;
+
+    // 1. Build the loop nest (or use workloads::buildMv()):
+    //      DO j1: reg = Y(j1)
+    //        DO j2: reg += A(j2,j1) * X(j2)
+    //      Y(j1) = reg
+    using namespace loopnest::builder;
+    loopnest::Program program("MV");
+    const std::int64_t n = 500;
+    const auto A = program.addArray("A", {n, n});
+    const auto X = program.addArray("X", {n});
+    const auto Y = program.addArray("Y", {n});
+    const auto j1 = program.addVar("j1");
+    const auto j2 = program.addVar("j2");
+    program.addStmt(loop(j1, 0, n - 1,
+                         {read(Y, {v(j1)}),
+                          loop(j2, 0, n - 1,
+                               {read(A, {v(j2), v(j1)}),
+                                read(X, {v(j2)})}),
+                          write(Y, {v(j1)})}));
+
+    // 2. Analyze + trace: the compiler pass tags X temporal+spatial,
+    //    A spatial only, Y temporal+spatial (Figure 5 rules).
+    locality::AnalysisResult analysis;
+    const trace::Trace trace =
+        workloads::makeTaggedTrace(std::move(program), /*seed=*/1,
+                                   &analysis);
+    std::cout << "trace: " << trace.size() << " references, "
+              << trace.temporalCount() << " temporal-tagged, "
+              << trace.spatialCount() << " spatial-tagged\n\n";
+
+    // 3. Simulate both cache organizations on the same trace.
+    util::Table table({"config", "AMAT", "miss ratio", "words/ref"});
+    for (const auto &cfg :
+         {core::standardConfig(), core::softConfig()}) {
+        const sim::RunStats stats = core::simulateTrace(trace, cfg);
+        const auto row = table.addRow();
+        table.set(row, 0, cfg.name);
+        table.setNumber(row, 1, stats.amat());
+        table.setNumber(row, 2, stats.missRatio(), 4);
+        table.setNumber(row, 3, stats.wordsFetchedPerAccess());
+    }
+    table.print(std::cout);
+    return 0;
+}

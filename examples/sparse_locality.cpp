@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scarce locality in sparse codes (paper Section 4.1): the sparse
+ * matrix-vector product reuses each X element only as often as its
+ * column has non-zeros (10-80 in 3-D problems), through randomizing
+ * indirection. No compiler can tag X — the paper proposes user
+ * directives. This example sweeps the density and toggles the
+ * directive to show when protecting X pays.
+ */
+
+#include <iostream>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/loopnest/builder.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+
+/** SpMV with or without the user directive on X. */
+loopnest::Program
+spmv(std::int64_t n, std::int64_t nnz, bool directive)
+{
+    using namespace loopnest::builder;
+    auto p = workloads::buildSpMv(n, nnz);
+    if (!directive) {
+        // Strip the directive: X stays untagged, as a compiler
+        // without sparse support would leave it.
+        auto &outer = p.statements()[0].loop();
+        auto &inner = outer.body[1].loop();
+        inner.body[1].ref().userTemporal.reset();
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sac;
+
+    std::cout << "Sparse matrix-vector multiply: scarce locality "
+                 "(paper Section 4.1)\n\n";
+
+    std::cout << "AMAT versus average non-zeros per column "
+                 "(n = 1200 columns):\n\n";
+    util::Table table({"avg nnz/col", "Stand.", "Soft. (no directive)",
+                       "Soft. (X tagged temporal)"});
+    for (const std::int64_t nnz : {5, 10, 20, 40, 80}) {
+        const auto plain = workloads::makeTaggedTrace(
+            spmv(1200, nnz, false));
+        const auto tagged = workloads::makeTaggedTrace(
+            spmv(1200, nnz, true));
+        const auto row = table.addRow();
+        table.set(row, 0, std::to_string(nnz));
+        table.setNumber(
+            row, 1,
+            core::simulateTrace(plain, core::standardConfig()).amat());
+        table.setNumber(
+            row, 2,
+            core::simulateTrace(plain, core::softConfig()).amat());
+        table.setNumber(
+            row, 3,
+            core::simulateTrace(tagged, core::softConfig()).amat());
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe directive matters most at moderate densities: "
+                 "with more reuses per\nelement, protecting X from "
+                 "pollution by the A and Index streams converts\n"
+                 "indirect gathers into cache hits; virtual lines "
+                 "serve the streams either way.\n";
+    return 0;
+}

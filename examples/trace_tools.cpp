@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Command-line trace workbench: generate benchmark traces to disk,
+ * inspect them (tag fractions, reuse distances, stream lengths), and
+ * simulate a trace file under any named configuration — the workflow
+ * the paper's authors ran by hand with Spa and their simulator.
+ *
+ * Usage:
+ *   trace_tools gen <benchmark> <file>     generate + save a trace
+ *   trace_tools info <file>                profile a trace file
+ *   trace_tools sim <file> <config>        simulate a trace file
+ *   trace_tools list                       list benchmarks + configs
+ *
+ * Configs: standard, victim, soft, soft-temporal, soft-spatial,
+ *          soft-variable, bypass, bypass-buffer, 2way, soft-2way,
+ *          simplified-2way, prefetch, soft-prefetch.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "src/analysis/reuse_profiler.hh"
+#include "src/analysis/stream_profiler.hh"
+#include "src/analysis/tag_stats.hh"
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/trace/trace_io.hh"
+#include "src/util/logging.hh"
+#include "src/util/stats.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+
+core::Config
+configByName(const std::string &name)
+{
+    if (name == "standard")
+        return core::standardConfig();
+    if (name == "victim")
+        return core::victimConfig();
+    if (name == "soft")
+        return core::softConfig();
+    if (name == "soft-temporal")
+        return core::softTemporalOnlyConfig();
+    if (name == "soft-spatial")
+        return core::softSpatialOnlyConfig();
+    if (name == "soft-variable")
+        return core::variableSoftConfig();
+    if (name == "bypass")
+        return core::bypassConfig(false);
+    if (name == "bypass-buffer")
+        return core::bypassConfig(true);
+    if (name == "2way")
+        return core::twoWayConfig();
+    if (name == "soft-2way")
+        return core::softTwoWayConfig();
+    if (name == "simplified-2way")
+        return core::simplifiedSoftTwoWayConfig();
+    if (name == "prefetch")
+        return core::standardPrefetchConfig();
+    if (name == "soft-prefetch")
+        return core::softPrefetchConfig();
+    util::fatal("unknown configuration: ", name);
+}
+
+int
+cmdGen(const std::string &bench, const std::string &path)
+{
+    const auto t = workloads::makeBenchmarkTrace(bench);
+    if (!trace::writeTraceFile(t, path)) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << t.size() << " references of " << bench
+              << " to " << path << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    trace::Trace t;
+    if (!trace::readTraceFile(path, t)) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 1;
+    }
+    std::cout << "trace " << t.name() << ": " << t.size()
+              << " references, " << t.writeCount() << " writes, "
+              << t.totalIssueCycles() << " issue cycles\n\n";
+
+    const auto tags = analysis::computeTagStats(t);
+    std::cout << "tags: temporal "
+              << util::formatPercent(tags.fractionTemporal())
+              << ", spatial "
+              << util::formatPercent(tags.fractionSpatial())
+              << ", untagged "
+              << util::formatPercent(
+                     tags.fractionNoTemporalNoSpatial())
+              << "\n";
+
+    const auto reuse = analysis::profileReuse(t);
+    std::cout << "reuse: no-reuse "
+              << util::formatPercent(
+                     reuse.fraction(analysis::ReuseBucket::NoReuse))
+              << ", >10^3 refs "
+              << util::formatPercent(
+                     reuse.fraction(analysis::ReuseBucket::UpTo10k) +
+                     reuse.fraction(
+                         analysis::ReuseBucket::Beyond10k))
+              << ", mean distance "
+              << util::formatFixed(reuse.meanReuseDistance, 1) << "\n";
+
+    const auto streams = analysis::profileStreams(t);
+    std::cout << "streams: " << streams.streams
+              << " detected, mean span "
+              << util::formatFixed(streams.meanStreamBytes, 1)
+              << " bytes, >64B refs "
+              << util::formatPercent(
+                     streams.fraction(
+                         analysis::VectorBucket::UpTo128) +
+                     streams.fraction(
+                         analysis::VectorBucket::UpTo256) +
+                     streams.fraction(
+                         analysis::VectorBucket::UpTo512) +
+                     streams.fraction(
+                         analysis::VectorBucket::Beyond512))
+              << "\n";
+    return 0;
+}
+
+int
+cmdSim(const std::string &path, const std::string &config)
+{
+    trace::Trace t;
+    if (!trace::readTraceFile(path, t)) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 1;
+    }
+    const auto cfg = configByName(config);
+    std::cout << "simulating " << t.size() << " references under "
+              << cfg.name << "\n\n";
+    core::SoftwareAssistedCache sim(cfg);
+    sim.run(t);
+    sim.stats().print(std::cout);
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks:";
+    for (const auto &b : workloads::paperBenchmarks())
+        std::cout << ' ' << b.name;
+    std::cout << "\nconfigs: standard victim soft soft-temporal "
+                 "soft-spatial soft-variable bypass bypass-buffer "
+                 "2way soft-2way simplified-2way prefetch "
+                 "soft-prefetch\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "gen" && argc == 4)
+        return cmdGen(argv[2], argv[3]);
+    if (cmd == "info" && argc == 3)
+        return cmdInfo(argv[2]);
+    if (cmd == "sim" && argc == 4)
+        return cmdSim(argv[2], argv[3]);
+    if (cmd == "list")
+        return cmdList();
+
+    std::cout << "usage:\n"
+              << "  trace_tools gen <benchmark> <file>\n"
+              << "  trace_tools info <file>\n"
+              << "  trace_tools sim <file> <config>\n"
+              << "  trace_tools list\n";
+    // Demo mode when invoked without arguments: round-trip MV.
+    if (cmd.empty()) {
+        std::cout << "\nrunning demo: gen MV -> info -> sim soft\n\n";
+        const std::string path = "/tmp/sac_demo_trace.bin";
+        if (cmdGen("MV", path) != 0)
+            return 1;
+        std::cout << '\n';
+        if (cmdInfo(path) != 0)
+            return 1;
+        std::cout << '\n';
+        return cmdSim(path, "soft");
+    }
+    return 2;
+}

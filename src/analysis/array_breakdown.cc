@@ -1,0 +1,117 @@
+#include "src/analysis/array_breakdown.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace analysis {
+
+std::vector<ArrayRange>
+arrayRanges(const loopnest::Program &program)
+{
+    SAC_ASSERT(program.finalized(),
+               "array ranges need a finalized program");
+    std::vector<ArrayRange> out;
+    out.reserve(program.arrayCount());
+    for (std::size_t a = 0; a < program.arrayCount(); ++a) {
+        const auto &decl =
+            program.array(static_cast<loopnest::ArrayId>(a));
+        ArrayRange r;
+        r.name = decl.name;
+        r.begin = *decl.base;
+        r.end = *decl.base + static_cast<Addr>(decl.sizeBytes());
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<ArrayStats>
+breakdownByArray(const trace::Trace &t,
+                 const std::vector<ArrayRange> &ranges,
+                 std::uint64_t reuse_window)
+{
+    // Sort ranges by base for binary search; keep original order for
+    // the report.
+    std::vector<std::size_t> order(ranges.size());
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return ranges[a].begin < ranges[b].begin;
+              });
+
+    std::vector<ArrayStats> stats(ranges.size() + 1);
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        stats[i].name = ranges[i].name;
+    stats.back().name = "(other)";
+
+    auto index_of = [&](Addr addr) -> std::size_t {
+        // Last range whose begin <= addr.
+        auto it = std::upper_bound(
+            order.begin(), order.end(), addr,
+            [&](Addr a, std::size_t idx) {
+                return a < ranges[idx].begin;
+            });
+        if (it == order.begin())
+            return ranges.size();
+        const std::size_t idx = *(it - 1);
+        return addr < ranges[idx].end ? idx : ranges.size();
+    };
+
+    // Per-datum last touch for the reuse window, attributed to the
+    // owning array of the earlier touch.
+    struct LastTouch
+    {
+        std::uint64_t index;
+        std::size_t array;
+    };
+    std::unordered_map<Addr, LastTouch> last;
+    last.reserve(1 << 16);
+
+    for (std::uint64_t i = 0; i < t.size(); ++i) {
+        const auto &r = t[i];
+        const std::size_t idx = index_of(r.addr);
+        ArrayStats &s = stats[idx];
+        ++s.refs;
+        s.writes += r.isWrite() ? 1 : 0;
+        s.temporalTagged += r.temporal ? 1 : 0;
+        s.spatialTagged += r.spatial ? 1 : 0;
+
+        const Addr datum = r.addr / elementBytes;
+        const auto it = last.find(datum);
+        if (it != last.end()) {
+            if (i - it->second.index <= reuse_window)
+                ++stats[it->second.array].reusedSoon;
+            it->second = {i, idx};
+        } else {
+            last.emplace(datum, LastTouch{i, idx});
+        }
+    }
+    return stats;
+}
+
+util::Table
+breakdownTable(const std::vector<ArrayStats> &stats,
+               std::uint64_t total_refs)
+{
+    util::Table table({"Array", "refs", "share", "writes",
+                       "temporal", "spatial", "reused<=win"});
+    for (const auto &s : stats) {
+        if (s.refs == 0)
+            continue;
+        const auto row = table.addRow();
+        table.set(row, 0, s.name);
+        table.set(row, 1, std::to_string(s.refs));
+        table.setNumber(row, 2, s.shareOf(total_refs), 3);
+        table.set(row, 3, std::to_string(s.writes));
+        table.setNumber(row, 4, s.temporalFraction(), 3);
+        table.setNumber(row, 5, s.spatialFraction(), 3);
+        table.setNumber(row, 6, s.reuseFraction(), 3);
+    }
+    return table;
+}
+
+} // namespace analysis
+} // namespace sac

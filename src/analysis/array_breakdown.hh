@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-array trace attribution: the paper's reasoning is per-array
+ * ("elements of X bounce back ... mostly flushing elements of A"),
+ * so this tool splits a trace's references, tags and reuse behavior
+ * by the program array each address belongs to.
+ */
+
+#ifndef SAC_ANALYSIS_ARRAY_BREAKDOWN_HH
+#define SAC_ANALYSIS_ARRAY_BREAKDOWN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/loopnest/program.hh"
+#include "src/trace/trace.hh"
+#include "src/util/table.hh"
+
+namespace sac {
+namespace analysis {
+
+/** Byte range [begin, end) of one named array. */
+struct ArrayRange
+{
+    std::string name;
+    Addr begin = 0;
+    Addr end = 0;
+};
+
+/** Ranges of every array of a finalized program. */
+std::vector<ArrayRange> arrayRanges(const loopnest::Program &program);
+
+/** Aggregated per-array trace statistics. */
+struct ArrayStats
+{
+    std::string name;
+    std::uint64_t refs = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t temporalTagged = 0;
+    std::uint64_t spatialTagged = 0;
+    /** Touches re-touched within the reuse window. */
+    std::uint64_t reusedSoon = 0;
+
+    double
+    shareOf(std::uint64_t total) const
+    {
+        return total ? static_cast<double>(refs) / total : 0.0;
+    }
+
+    double
+    temporalFraction() const
+    {
+        return refs ? static_cast<double>(temporalTagged) / refs : 0.0;
+    }
+
+    double
+    spatialFraction() const
+    {
+        return refs ? static_cast<double>(spatialTagged) / refs : 0.0;
+    }
+
+    double
+    reuseFraction() const
+    {
+        return refs ? static_cast<double>(reusedSoon) / refs : 0.0;
+    }
+};
+
+/**
+ * Attribute @p t's references to @p ranges. Addresses outside every
+ * range are collected under the name "(other)". Reuse is measured at
+ * element granularity with a forward window of @p reuse_window
+ * references.
+ *
+ * @pre ranges must be non-overlapping
+ */
+std::vector<ArrayStats>
+breakdownByArray(const trace::Trace &t,
+                 const std::vector<ArrayRange> &ranges,
+                 std::uint64_t reuse_window = 2500);
+
+/** Render a breakdown as a table (share/tag/reuse fractions). */
+util::Table breakdownTable(const std::vector<ArrayStats> &stats,
+                           std::uint64_t total_refs);
+
+} // namespace analysis
+} // namespace sac
+
+#endif // SAC_ANALYSIS_ARRAY_BREAKDOWN_HH

@@ -1,0 +1,90 @@
+#include "src/analysis/reuse_profiler.hh"
+
+#include <unordered_map>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace analysis {
+
+const char *
+reuseBucketLabel(ReuseBucket b)
+{
+    switch (b) {
+      case ReuseBucket::NoReuse:
+        return "No reuse";
+      case ReuseBucket::UpTo100:
+        return "1 - 10^2";
+      case ReuseBucket::UpTo1k:
+        return "10^2 - 10^3";
+      case ReuseBucket::UpTo10k:
+        return "10^3 - 10^4";
+      case ReuseBucket::Beyond10k:
+        return "> 10^4";
+      case ReuseBucket::Count:
+        break;
+    }
+    util::panic("invalid reuse bucket");
+}
+
+double
+ReuseProfile::fraction(ReuseBucket b) const
+{
+    const auto i = static_cast<std::size_t>(b);
+    return total == 0
+               ? 0.0
+               : static_cast<double>(counts[i]) /
+                     static_cast<double>(total);
+}
+
+ReuseProfile
+profileReuse(const trace::Trace &t, std::uint32_t granularity_bytes)
+{
+    SAC_ASSERT(granularity_bytes > 0, "granularity must be positive");
+
+    // lastUse[datum] = index of the most recent reference to it.
+    std::unordered_map<Addr, std::uint64_t> last_use;
+    last_use.reserve(1 << 16);
+
+    ReuseProfile profile;
+    profile.total = t.size();
+
+    auto bucket_of = [](std::uint64_t d) {
+        if (d <= 100)
+            return ReuseBucket::UpTo100;
+        if (d <= 1000)
+            return ReuseBucket::UpTo1k;
+        if (d <= 10000)
+            return ReuseBucket::UpTo10k;
+        return ReuseBucket::Beyond10k;
+    };
+
+    double reuse_sum = 0.0;
+    std::uint64_t reuse_count = 0;
+
+    for (std::uint64_t i = 0; i < t.size(); ++i) {
+        const Addr datum = t[i].addr / granularity_bytes;
+        const auto it = last_use.find(datum);
+        if (it != last_use.end()) {
+            // Attribute the (forward) distance to the previous touch.
+            const std::uint64_t d = i - it->second;
+            ++profile.counts[static_cast<std::size_t>(bucket_of(d))];
+            reuse_sum += static_cast<double>(d);
+            ++reuse_count;
+            it->second = i;
+        } else {
+            last_use.emplace(datum, i);
+        }
+    }
+
+    // Every datum's final touch is never reused.
+    profile.counts[static_cast<std::size_t>(ReuseBucket::NoReuse)] +=
+        last_use.size();
+    profile.meanReuseDistance =
+        reuse_count == 0 ? 0.0
+                         : reuse_sum / static_cast<double>(reuse_count);
+    return profile;
+}
+
+} // namespace analysis
+} // namespace sac

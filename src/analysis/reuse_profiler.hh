@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reuse-distance profiling (paper Figure 1a): for every reference,
+ * the number of references since the same datum was last touched.
+ * References to data never touched again fall in the "no reuse"
+ * bucket; the paper buckets the rest as 1-10^2, 10^2-10^3, 10^3-10^4
+ * and > 10^4 references.
+ */
+
+#ifndef SAC_ANALYSIS_REUSE_PROFILER_HH
+#define SAC_ANALYSIS_REUSE_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace analysis {
+
+/** The paper's five reuse-distance buckets. */
+enum class ReuseBucket : std::size_t
+{
+    NoReuse = 0,   //!< data referenced only once (never reused after)
+    UpTo100,       //!< 1 .. 10^2 references
+    UpTo1k,        //!< 10^2 .. 10^3
+    UpTo10k,       //!< 10^3 .. 10^4
+    Beyond10k,     //!< > 10^4
+    Count
+};
+
+/** Label of a reuse bucket, as in Figure 1a's legend. */
+const char *reuseBucketLabel(ReuseBucket b);
+
+/** Distribution of references among reuse-distance buckets. */
+struct ReuseProfile
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(
+                                  ReuseBucket::Count)>
+        counts{};
+    std::uint64_t total = 0;
+
+    /** Fraction of references in bucket @p b. */
+    double fraction(ReuseBucket b) const;
+
+    /** Mean reuse distance over references that are reused. */
+    double meanReuseDistance = 0.0;
+};
+
+/**
+ * Profile the reuse distances of @p t at @p granularity_bytes
+ * (default: one double-precision element, the paper's unit).
+ *
+ * A reference's distance is measured *forward*: the count of
+ * references until the same datum is touched again; the final touch
+ * of each datum counts as "no reuse", matching the figure where "0
+ * corresponds to data referenced only once".
+ */
+ReuseProfile profileReuse(const trace::Trace &t,
+                          std::uint32_t granularity_bytes = 8);
+
+} // namespace analysis
+} // namespace sac
+
+#endif // SAC_ANALYSIS_REUSE_PROFILER_HH

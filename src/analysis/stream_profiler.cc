@@ -1,0 +1,131 @@
+#include "src/analysis/stream_profiler.hh"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace analysis {
+
+const char *
+vectorBucketLabel(VectorBucket b)
+{
+    switch (b) {
+      case VectorBucket::UpTo32:
+        return "<= 32 bytes";
+      case VectorBucket::UpTo64:
+        return "32 - 64 bytes";
+      case VectorBucket::UpTo128:
+        return "64 - 128 bytes";
+      case VectorBucket::UpTo256:
+        return "128 - 256 bytes";
+      case VectorBucket::UpTo512:
+        return "256 - 512 bytes";
+      case VectorBucket::Beyond512:
+        return "> 512 bytes";
+      case VectorBucket::Count:
+        break;
+    }
+    util::panic("invalid vector bucket");
+}
+
+double
+StreamProfile::fraction(VectorBucket b) const
+{
+    const auto i = static_cast<std::size_t>(b);
+    return total == 0
+               ? 0.0
+               : static_cast<double>(counts[i]) /
+                     static_cast<double>(total);
+}
+
+namespace {
+
+VectorBucket
+bucketOf(std::uint64_t bytes)
+{
+    if (bytes <= 32)
+        return VectorBucket::UpTo32;
+    if (bytes <= 64)
+        return VectorBucket::UpTo64;
+    if (bytes <= 128)
+        return VectorBucket::UpTo128;
+    if (bytes <= 256)
+        return VectorBucket::UpTo256;
+    if (bytes <= 512)
+        return VectorBucket::UpTo512;
+    return VectorBucket::Beyond512;
+}
+
+/** Live state of one instruction's current stream. */
+struct Stream
+{
+    Addr minAddr = 0;
+    Addr maxAddr = 0;
+    Addr lastAddr = 0;
+    std::uint64_t lastIndex = 0;
+    std::uint64_t refs = 0;
+    std::uint32_t lastSize = 8;
+};
+
+} // namespace
+
+StreamProfile
+profileStreams(const trace::Trace &t, const StreamParams &params)
+{
+    std::unordered_map<RefId, Stream> live;
+    StreamProfile profile;
+    profile.total = t.size();
+
+    double span_sum = 0.0;
+
+    auto close = [&](const Stream &s) {
+        const std::uint64_t span = s.maxAddr - s.minAddr + s.lastSize;
+        profile.counts[static_cast<std::size_t>(bucketOf(span))] +=
+            s.refs;
+        span_sum += static_cast<double>(span);
+        ++profile.streams;
+    };
+
+    for (std::uint64_t i = 0; i < t.size(); ++i) {
+        const auto &r = t[i];
+        auto [it, fresh] = live.try_emplace(r.ref);
+        Stream &s = it->second;
+        if (!fresh) {
+            const std::uint64_t gap = i - s.lastIndex;
+            const std::uint64_t stride = static_cast<std::uint64_t>(
+                std::llabs(static_cast<std::int64_t>(r.addr) -
+                           static_cast<std::int64_t>(s.lastAddr)));
+            if (gap > params.maxGapRefs ||
+                stride > params.maxStrideBytes) {
+                close(s);
+                s = Stream{};
+                fresh = true;
+            }
+        }
+        if (fresh) {
+            s.minAddr = s.maxAddr = r.addr;
+        } else {
+            s.minAddr = std::min(s.minAddr, r.addr);
+            s.maxAddr = std::max(s.maxAddr, r.addr);
+        }
+        s.lastAddr = r.addr;
+        s.lastIndex = i;
+        s.lastSize = r.size;
+        ++s.refs;
+    }
+
+    for (const auto &[ref, s] : live) {
+        (void)ref;
+        close(s);
+    }
+    profile.meanStreamBytes =
+        profile.streams == 0
+            ? 0.0
+            : span_sum / static_cast<double>(profile.streams);
+    return profile;
+}
+
+} // namespace analysis
+} // namespace sac

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Vector-length profiling (paper Figure 1b): the length, in bytes, of
+ * the address streams issued by each static load/store instruction.
+ *
+ * Following the paper's footnote, a vector sequence terminates when
+ * the instruction has not been used for more than 500 references, or
+ * when the stride exceeds 32 bytes (the spatial locality would not be
+ * exploitable with a 32-byte line). Each reference contributes to the
+ * bucket of the stream it belongs to, giving the "distribution of
+ * references among these vector lengths".
+ */
+
+#ifndef SAC_ANALYSIS_STREAM_PROFILER_HH
+#define SAC_ANALYSIS_STREAM_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace analysis {
+
+/** The paper's six vector-length buckets (bytes). */
+enum class VectorBucket : std::size_t
+{
+    UpTo32 = 0, //!< <= 32 bytes
+    UpTo64,     //!< 32 < len <= 64
+    UpTo128,
+    UpTo256,
+    UpTo512,
+    Beyond512,  //!< > 512 bytes
+    Count
+};
+
+/** Label of a vector-length bucket, as in Figure 1b's legend. */
+const char *vectorBucketLabel(VectorBucket b);
+
+/** Distribution of references among vector-length buckets. */
+struct StreamProfile
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(
+                                  VectorBucket::Count)>
+        counts{};
+    std::uint64_t total = 0;
+    std::uint64_t streams = 0;       //!< number of streams observed
+    double meanStreamBytes = 0.0;    //!< mean stream span in bytes
+
+    /** Fraction of references in bucket @p b. */
+    double fraction(VectorBucket b) const;
+};
+
+/** Parameters of stream detection (paper footnote 1 defaults). */
+struct StreamParams
+{
+    /** A stream ends after this many references of instruction silence. */
+    std::uint64_t maxGapRefs = 500;
+    /** A stream ends when the stride exceeds this many bytes. */
+    std::uint64_t maxStrideBytes = 32;
+};
+
+/** Profile the per-instruction reference streams of @p t. */
+StreamProfile profileStreams(const trace::Trace &t,
+                             const StreamParams &params = {});
+
+} // namespace analysis
+} // namespace sac
+
+#endif // SAC_ANALYSIS_STREAM_PROFILER_HH

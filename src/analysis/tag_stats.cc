@@ -1,0 +1,25 @@
+#include "src/analysis/tag_stats.hh"
+
+namespace sac {
+namespace analysis {
+
+TagStats
+computeTagStats(const trace::Trace &t)
+{
+    TagStats s;
+    s.total = t.size();
+    for (const auto &r : t) {
+        if (r.temporal && r.spatial)
+            ++s.temporalSpatial;
+        else if (r.temporal)
+            ++s.temporalNoSpatial;
+        else if (r.spatial)
+            ++s.noTemporalSpatial;
+        else
+            ++s.noTemporalNoSpatial;
+    }
+    return s;
+}
+
+} // namespace analysis
+} // namespace sac

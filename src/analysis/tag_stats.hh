@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tag statistics over a trace (paper Figure 4a): the fraction of
+ * trace entries in each of the four temporal x spatial categories.
+ */
+
+#ifndef SAC_ANALYSIS_TAG_STATS_HH
+#define SAC_ANALYSIS_TAG_STATS_HH
+
+#include <cstdint>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace analysis {
+
+/** Counts of trace entries per software-tag category. */
+struct TagStats
+{
+    std::uint64_t noTemporalNoSpatial = 0;
+    std::uint64_t noTemporalSpatial = 0;
+    std::uint64_t temporalNoSpatial = 0;
+    std::uint64_t temporalSpatial = 0;
+    std::uint64_t total = 0;
+
+    double
+    fractionNoTemporalNoSpatial() const
+    {
+        return total ? static_cast<double>(noTemporalNoSpatial) / total
+                     : 0.0;
+    }
+
+    double
+    fractionNoTemporalSpatial() const
+    {
+        return total ? static_cast<double>(noTemporalSpatial) / total
+                     : 0.0;
+    }
+
+    double
+    fractionTemporalNoSpatial() const
+    {
+        return total ? static_cast<double>(temporalNoSpatial) / total
+                     : 0.0;
+    }
+
+    double
+    fractionTemporalSpatial() const
+    {
+        return total ? static_cast<double>(temporalSpatial) / total
+                     : 0.0;
+    }
+
+    /** Fraction with the temporal tag set (either spatial state). */
+    double
+    fractionTemporal() const
+    {
+        return total ? static_cast<double>(temporalNoSpatial +
+                                           temporalSpatial) /
+                           total
+                     : 0.0;
+    }
+
+    /** Fraction with the spatial tag set (either temporal state). */
+    double
+    fractionSpatial() const
+    {
+        return total ? static_cast<double>(noTemporalSpatial +
+                                           temporalSpatial) /
+                           total
+                     : 0.0;
+    }
+};
+
+/** Compute the tag distribution of @p t. */
+TagStats computeTagStats(const trace::Trace &t);
+
+} // namespace analysis
+} // namespace sac
+
+#endif // SAC_ANALYSIS_TAG_STATS_HH

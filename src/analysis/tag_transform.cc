@@ -1,0 +1,77 @@
+#include "src/analysis/tag_transform.hh"
+
+#include <unordered_map>
+
+#include "src/util/logging.hh"
+#include "src/util/rng.hh"
+
+namespace sac {
+namespace analysis {
+
+namespace {
+
+template <typename Mutator>
+trace::Trace
+mapRecords(const trace::Trace &t, Mutator mutate)
+{
+    trace::Trace out(t.name());
+    out.reserve(t.size());
+    for (const auto &r : t) {
+        trace::Record copy = r;
+        mutate(copy);
+        out.push(copy);
+    }
+    return out;
+}
+
+} // namespace
+
+trace::Trace
+stripAllTags(const trace::Trace &t)
+{
+    return mapRecords(t, [](trace::Record &r) {
+        r.temporal = false;
+        r.spatial = false;
+        r.spatialLevel = 0;
+    });
+}
+
+trace::Trace
+stripTemporalTags(const trace::Trace &t)
+{
+    return mapRecords(t,
+                      [](trace::Record &r) { r.temporal = false; });
+}
+
+trace::Trace
+stripSpatialTags(const trace::Trace &t)
+{
+    return mapRecords(t, [](trace::Record &r) {
+        r.spatial = false;
+        r.spatialLevel = 0;
+    });
+}
+
+trace::Trace
+corruptTags(const trace::Trace &t, double flip_fraction,
+            std::uint64_t seed)
+{
+    SAC_ASSERT(flip_fraction >= 0.0 && flip_fraction <= 1.0,
+               "flip fraction must be in [0, 1]");
+    util::Rng rng(seed);
+    std::unordered_map<RefId, bool> flip;
+    return mapRecords(t, [&](trace::Record &r) {
+        auto it = flip.find(r.ref);
+        if (it == flip.end())
+            it = flip.emplace(r.ref, rng.nextBool(flip_fraction))
+                     .first;
+        if (!it->second)
+            return;
+        r.temporal = !r.temporal;
+        r.spatial = !r.spatial;
+        r.spatialLevel = r.spatial ? 1 : 0;
+    });
+}
+
+} // namespace analysis
+} // namespace sac

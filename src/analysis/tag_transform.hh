@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace tag transformations: strip or corrupt the software tags of a
+ * trace without touching addresses or timing. Used to study the
+ * paper's safety claim ("software-assisted caches perform better
+ * than standard caches in any case") when the compiler information
+ * is absent or wrong.
+ *
+ * Corruption operates per *static* reference (RefId): a mis-analyzed
+ * instruction is wrong on every dynamic instance, which is how real
+ * compiler errors behave.
+ */
+
+#ifndef SAC_ANALYSIS_TAG_TRANSFORM_HH
+#define SAC_ANALYSIS_TAG_TRANSFORM_HH
+
+#include <cstdint>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace analysis {
+
+/** Copy of @p t with every tag cleared (no software assistance). */
+trace::Trace stripAllTags(const trace::Trace &t);
+
+/** Copy of @p t with temporal tags cleared, spatial kept. */
+trace::Trace stripTemporalTags(const trace::Trace &t);
+
+/** Copy of @p t with spatial tags cleared, temporal kept. */
+trace::Trace stripSpatialTags(const trace::Trace &t);
+
+/**
+ * Copy of @p t where a random fraction of static references has both
+ * tags inverted (temporal toggled; spatial toggled with level 1 when
+ * turned on).
+ *
+ * @param t source trace
+ * @param flip_fraction probability that a static reference's tags
+ *        are inverted (0 = identical copy, 1 = all inverted)
+ * @param seed RNG seed; the same seed flips the same references
+ */
+trace::Trace corruptTags(const trace::Trace &t, double flip_fraction,
+                         std::uint64_t seed = 0xbadull);
+
+} // namespace analysis
+} // namespace sac
+
+#endif // SAC_ANALYSIS_TAG_TRANSFORM_HH

@@ -1,0 +1,171 @@
+#include "src/cache/cache_array.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace cache {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t x)
+{
+    std::uint32_t n = 0;
+    while ((1ull << n) < x)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t assoc)
+    : lineBytes_(line_bytes), assoc_(assoc)
+{
+    SAC_ASSERT(isPowerOfTwo(line_bytes), "line size must be a power of 2");
+    SAC_ASSERT(assoc >= 1, "associativity must be at least 1");
+    SAC_ASSERT(size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                             assoc) == 0,
+               "capacity must be a multiple of line size * assoc");
+    lineShift_ = log2u(line_bytes);
+    const std::uint64_t sets =
+        size_bytes / (static_cast<std::uint64_t>(line_bytes) * assoc);
+    SAC_ASSERT(isPowerOfTwo(sets), "set count must be a power of 2");
+    sets_ = static_cast<std::uint32_t>(sets);
+    lines_.assign(static_cast<std::size_t>(sets_) * assoc_, LineState{});
+}
+
+std::uint64_t
+CacheArray::sizeBytes() const
+{
+    return static_cast<std::uint64_t>(sets_) * assoc_ * lineBytes_;
+}
+
+std::optional<std::uint32_t>
+CacheArray::findWay(Addr line_addr) const
+{
+    const std::uint32_t set = setIndexOf(line_addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        const LineState &l = line(set, w);
+        if (l.valid && l.lineAddr == line_addr)
+            return w;
+    }
+    return std::nullopt;
+}
+
+LineState &
+CacheArray::line(std::uint32_t set, std::uint32_t way)
+{
+    SAC_ASSERT(set < sets_ && way < assoc_, "set/way out of range");
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+const LineState &
+CacheArray::line(std::uint32_t set, std::uint32_t way) const
+{
+    SAC_ASSERT(set < sets_ && way < assoc_, "set/way out of range");
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+LineState *
+CacheArray::find(Addr line_addr)
+{
+    const auto way = findWay(line_addr);
+    if (!way)
+        return nullptr;
+    return &line(setIndexOf(line_addr), *way);
+}
+
+void
+CacheArray::touch(std::uint32_t set, std::uint32_t way)
+{
+    line(set, way).lruStamp = ++stampCounter_;
+}
+
+std::uint32_t
+CacheArray::victimWay(std::uint32_t set, ReplacementPolicy policy) const
+{
+    // Invalid ways are free slots: always use them first.
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (!line(set, w).valid)
+            return w;
+
+    auto lru_among = [&](auto predicate) -> std::optional<std::uint32_t> {
+        std::optional<std::uint32_t> best;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const LineState &l = line(set, w);
+            if (!predicate(l))
+                continue;
+            if (!best || l.lruStamp < line(set, *best).lruStamp)
+                best = w;
+        }
+        return best;
+    };
+
+    switch (policy) {
+      case ReplacementPolicy::LruPreferNonTemporal:
+        if (const auto w =
+                lru_among([](const LineState &l) { return !l.temporal; }))
+            return *w;
+        break;
+      case ReplacementPolicy::LruPreferPrefetched:
+        if (const auto w = lru_among(
+                [](const LineState &l) { return l.prefetched; }))
+            return *w;
+        break;
+      case ReplacementPolicy::Lru:
+        break;
+    }
+    return *lru_among([](const LineState &) { return true; });
+}
+
+LineState
+CacheArray::insert(Addr line_addr, ReplacementPolicy policy)
+{
+    const std::uint32_t set = setIndexOf(line_addr);
+    const std::uint32_t way = victimWay(set, policy);
+    LineState &slot = line(set, way);
+    const LineState evicted = slot;
+    slot = LineState{};
+    slot.lineAddr = line_addr;
+    slot.valid = true;
+    slot.lruStamp = ++stampCounter_;
+    return evicted;
+}
+
+std::optional<LineState>
+CacheArray::invalidate(Addr line_addr)
+{
+    LineState *l = find(line_addr);
+    if (!l)
+        return std::nullopt;
+    const LineState old = *l;
+    *l = LineState{};
+    return old;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &l : lines_)
+        l = LineState{};
+    stampCounter_ = 0;
+}
+
+std::uint32_t
+CacheArray::validCount() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace cache
+} // namespace sac

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Generic set-associative cache storage with the per-line state the
+ * software-assisted design needs: valid, dirty, the temporal bit
+ * (Section 2.2) and the prefetched bit (Section 4.4). The array holds
+ * state only — all timing, bounce-back and virtual-line policy lives
+ * in the simulators built on top (src/core).
+ */
+
+#ifndef SAC_CACHE_CACHE_ARRAY_HH
+#define SAC_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/types.hh"
+
+namespace sac {
+namespace cache {
+
+/** State of one physical cache line. */
+struct LineState
+{
+    /** Line address (byte address >> log2(lineBytes)); meaningful only
+     *  when valid. */
+    Addr lineAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Temporal bit, set by accesses whose instruction is tagged. */
+    bool temporal = false;
+    /** Line was brought in by the prefetcher and not yet demanded. */
+    bool prefetched = false;
+    /** LRU stamp: larger is more recently used. */
+    std::uint64_t lruStamp = 0;
+};
+
+/** Victim-selection policy within a set. */
+enum class ReplacementPolicy
+{
+    /** Plain least-recently-used. */
+    Lru,
+    /**
+     * Prefer evicting lines without the temporal bit (the paper's
+     * cheaper software control for set-associative caches, Fig 9b):
+     * LRU among non-temporal lines; fall back to LRU over all lines.
+     */
+    LruPreferNonTemporal,
+    /**
+     * Prefer evicting prefetched lines (used by the bounce-back cache
+     * when it doubles as a prefetch buffer, Section 4.4): LRU among
+     * prefetched lines first, then plain LRU.
+     */
+    LruPreferPrefetched,
+};
+
+/**
+ * A set-associative array of physical lines. A direct-mapped cache is
+ * assoc == 1; a fully-associative buffer is sets == 1.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity; must be sets * assoc * line
+     * @param line_bytes physical line size (power of two)
+     * @param assoc associativity (>= 1)
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
+               std::uint32_t assoc);
+
+    /** Line size in bytes. */
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return sets_; }
+
+    /** Associativity. */
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes() const;
+
+    /** Line address of a byte address. */
+    Addr lineAddrOf(Addr byte_addr) const
+    {
+        return byte_addr >> lineShift_;
+    }
+
+    /** First byte address of a line address. */
+    Addr byteAddrOf(Addr line_addr) const
+    {
+        return line_addr << lineShift_;
+    }
+
+    /** Set index of a line address. */
+    std::uint32_t setIndexOf(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>(line_addr & (sets_ - 1));
+    }
+
+    /**
+     * Find the way holding @p line_addr.
+     * @retval way index when present, std::nullopt on miss
+     */
+    std::optional<std::uint32_t> findWay(Addr line_addr) const;
+
+    /** True when @p line_addr is resident. */
+    bool contains(Addr line_addr) const
+    {
+        return findWay(line_addr).has_value();
+    }
+
+    /** Access a line's state by (set, way). */
+    LineState &line(std::uint32_t set, std::uint32_t way);
+
+    /** Access a line's state by (set, way), read-only. */
+    const LineState &line(std::uint32_t set, std::uint32_t way) const;
+
+    /** State of the resident line for @p line_addr, if any. */
+    LineState *find(Addr line_addr);
+
+    /** Mark (set, way) most recently used. */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    /**
+     * Choose a victim way in @p set under @p policy. Invalid ways are
+     * always preferred.
+     */
+    std::uint32_t victimWay(std::uint32_t set,
+                            ReplacementPolicy policy) const;
+
+    /**
+     * Install @p line_addr into (set computed from the address, way
+     * from @p policy), returning the previous contents of the slot.
+     * The installed line is valid, clean, non-temporal,
+     * non-prefetched and most recently used.
+     *
+     * @return the evicted line state (valid == false if none)
+     */
+    LineState insert(Addr line_addr, ReplacementPolicy policy);
+
+    /** Invalidate @p line_addr if present; returns the old state. */
+    std::optional<LineState> invalidate(Addr line_addr);
+
+    /** Invalidate every line. */
+    void reset();
+
+    /** Count of currently valid lines. */
+    std::uint32_t validCount() const;
+
+  private:
+    std::uint32_t lineBytes_;
+    std::uint32_t lineShift_;
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::vector<LineState> lines_; // sets_ * assoc_, set-major
+    std::uint64_t stampCounter_ = 0;
+};
+
+} // namespace cache
+} // namespace sac
+
+#endif // SAC_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,216 @@
+#include "src/core/config.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace core {
+
+void
+Config::validate() const
+{
+    using util::fatal;
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+        fatal("physical line size must be a power of two");
+    if (cacheSizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc))
+        fatal("cache size must be a multiple of line size * assoc");
+    if (virtualLines) {
+        if (virtualLineBytes < lineBytes ||
+            virtualLineBytes % lineBytes != 0) {
+            fatal("virtual line size must be a multiple of the "
+                  "physical line size");
+        }
+    }
+    if (auxLines > 0 && auxAssoc > 0) {
+        if (auxLines % auxAssoc != 0)
+            fatal("aux associativity must divide the aux line count");
+        const std::uint32_t sets = auxLines / auxAssoc;
+        if ((sets & (sets - 1)) != 0)
+            fatal("aux set count must be a power of two");
+    }
+    if (variableVirtualLines && !virtualLines)
+        fatal("variable virtual lines require virtual lines");
+    if (prefetch && prefetchDegree == 0)
+        fatal("prefetch degree must be at least 1");
+    if (bounceBack && auxLines == 0)
+        fatal("bounce-back requires an aux cache");
+    if (bounceBack && !auxReceivesVictims)
+        fatal("the bounce-back cache also acts as a victim cache");
+    if (prefetch && auxLines == 0)
+        fatal("prefetching uses the aux cache as a prefetch buffer");
+    if (bypass != BypassMode::None && !temporalBits)
+        fatal("bypassing is steered by the temporal tags");
+    if (writeBufferEntries == 0)
+        fatal("a write buffer is required");
+    if (timing.busBytesPerCycle == 0)
+        fatal("bus bandwidth must be positive");
+}
+
+Config
+standardConfig()
+{
+    Config c;
+    c.name = "Stand.";
+    return c;
+}
+
+Config
+standardConfig(std::uint32_t line_bytes)
+{
+    Config c = standardConfig();
+    c.lineBytes = line_bytes;
+    c.name = "Stand. (Ls=" + std::to_string(line_bytes) + ")";
+    return c;
+}
+
+Config
+victimConfig()
+{
+    Config c = standardConfig();
+    c.name = "Stand.+Victim";
+    c.auxLines = 8;
+    c.auxReceivesVictims = true;
+    return c;
+}
+
+Config
+softConfig()
+{
+    Config c;
+    c.name = "Soft.";
+    c.auxLines = 8;
+    c.auxReceivesVictims = true;
+    c.bounceBack = true;
+    c.temporalBits = true;
+    c.virtualLines = true;
+    c.virtualLineBytes = 64;
+    return c;
+}
+
+Config
+softTemporalOnlyConfig()
+{
+    Config c = softConfig();
+    c.name = "Soft. Temp. only";
+    c.virtualLines = false;
+    return c;
+}
+
+Config
+softSpatialOnlyConfig()
+{
+    Config c = softConfig();
+    c.name = "Soft. Spat. only";
+    c.bounceBack = false;
+    c.temporalBits = false;
+    return c;
+}
+
+Config
+softConfig(std::uint32_t virtual_line_bytes)
+{
+    Config c = softConfig();
+    c.virtualLineBytes = virtual_line_bytes;
+    c.virtualLines = virtual_line_bytes > c.lineBytes;
+    c.name = "Soft. (Vl=" + std::to_string(virtual_line_bytes) + ")";
+    return c;
+}
+
+Config
+variableSoftConfig()
+{
+    Config c = softConfig();
+    c.name = "Soft. (variable Vl)";
+    c.variableVirtualLines = true;
+    c.virtualLineBytes = 256; // cap: level 3 = 8 lines
+    return c;
+}
+
+Config
+bypassConfig(bool through_buffer)
+{
+    Config c = standardConfig();
+    c.name = through_buffer ? "Bypass buffer" : "Bypass";
+    c.temporalBits = true;
+    c.bypass = through_buffer ? BypassMode::NonTemporalBuffered
+                              : BypassMode::NonTemporal;
+    return c;
+}
+
+Config
+twoWayConfig()
+{
+    Config c = standardConfig();
+    c.name = "2-way";
+    c.assoc = 2;
+    return c;
+}
+
+Config
+twoWayVictimConfig()
+{
+    Config c = victimConfig();
+    c.name = "2-way+victim";
+    c.assoc = 2;
+    return c;
+}
+
+Config
+softTwoWayConfig()
+{
+    Config c = softConfig();
+    c.name = "Soft. 2-way";
+    c.assoc = 2;
+    return c;
+}
+
+Config
+simplifiedSoftTwoWayConfig()
+{
+    Config c;
+    c.name = "Simplified Soft. 2-way";
+    c.assoc = 2;
+    c.temporalBits = true;
+    c.preferNonTemporalReplacement = true;
+    c.virtualLines = true;
+    c.virtualLineBytes = 64;
+    return c;
+}
+
+Config
+standardPrefetchConfig()
+{
+    Config c = standardConfig();
+    c.name = "Stand.+Prefetching";
+    // The prefetch buffer is the same 8-line structure, but demand
+    // victims do not enter it and nothing bounces back.
+    c.auxLines = 8;
+    c.auxReceivesVictims = false;
+    c.prefetch = true;
+    c.prefetchSpatialOnly = false;
+    return c;
+}
+
+Config
+softPrefetchConfig()
+{
+    Config c = softConfig();
+    c.name = "Soft.+Prefetching";
+    c.prefetch = true;
+    c.prefetchSpatialOnly = true;
+    return c;
+}
+
+Config
+scaledConfig(Config base, std::uint64_t cache_bytes,
+             std::uint32_t line_bytes)
+{
+    base.cacheSizeBytes = cache_bytes;
+    base.lineBytes = line_bytes;
+    if (base.virtualLines && base.virtualLineBytes <= line_bytes)
+        base.virtualLineBytes = line_bytes * 2;
+    base.name += " Cs=" + std::to_string(cache_bytes / 1024) + "k";
+    return base;
+}
+
+} // namespace core
+} // namespace sac

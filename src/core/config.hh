@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Configuration of the software-assisted cache simulator. Every cache
+ * organization evaluated in the paper — standard, bypass, victim,
+ * bounce-back, virtual lines, set-associative software control,
+ * prefetching — is a point in this configuration space; the named
+ * factory functions construct the exact configurations of the
+ * figures.
+ */
+
+#ifndef SAC_CORE_CONFIG_HH
+#define SAC_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/timing.hh"
+
+namespace sac {
+namespace core {
+
+/** Bypass policy for references without temporal locality (Fig 3a). */
+enum class BypassMode
+{
+    /** No bypassing (default). */
+    None,
+    /**
+     * Non-temporal references never allocate: only the requested
+     * words travel, so spatial locality is lost entirely.
+     */
+    NonTemporal,
+    /**
+     * Non-temporal references fetch through a single-line bypass
+     * buffer, recovering spatial locality within one uninterrupted
+     * stream but thrashing on the interleaved accesses of real loop
+     * nests.
+     */
+    NonTemporalBuffered,
+};
+
+/** Full description of one simulated cache organization. */
+struct Config
+{
+    /** Display name used by benches and examples. */
+    std::string name = "Stand.";
+
+    // --- Main cache geometry -------------------------------------
+    std::uint64_t cacheSizeBytes = 8 * 1024;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 1;
+
+    // --- Auxiliary cache (victim / bounce-back / prefetch buffer) -
+    /** Number of aux lines; 0 disables the aux cache entirely. */
+    std::uint32_t auxLines = 0;
+    /**
+     * Aux-cache associativity; 0 means fully associative. The paper
+     * notes a 4-way bounce-back cache performs reasonably well.
+     */
+    std::uint32_t auxAssoc = 0;
+    /** Victims of main-cache replacement enter the aux cache. */
+    bool auxReceivesVictims = false;
+    /**
+     * Temporal bounce-back (Section 2.2): a line evicted from the aux
+     * cache with its temporal bit set returns to the main cache
+     * instead of being discarded.
+     */
+    bool bounceBack = false;
+
+    // --- Spatial assistance (Section 2.1) -------------------------
+    /** Fetch whole virtual lines on spatially tagged misses. */
+    bool virtualLines = false;
+    std::uint32_t virtualLineBytes = 64;
+    /**
+     * Variable-length virtual lines (paper Section 3.2 extension):
+     * the fill spans 2^spatialLevel physical lines, capped by
+     * virtualLineBytes.
+     */
+    bool variableVirtualLines = false;
+    /**
+     * Check residence of each physical line of the virtual block and
+     * fetch only the absent ones (Section 2.1 coherence). Disabling
+     * this is an ablation: the whole block is always fetched.
+     */
+    bool virtualLineCoherenceCheck = true;
+
+    // --- Temporal assistance (Section 2.2) ------------------------
+    /** Honor instruction temporal tags (sets per-line temporal bits). */
+    bool temporalBits = false;
+    /**
+     * Reset a line's temporal bit when it bounces back (the paper's
+     * "dynamic adjustment", Section 2.2). Disabling this is an
+     * ablation: dead reusable data keeps bouncing.
+     */
+    bool resetTemporalBitOnBounce = true;
+    /**
+     * Cheaper set-associative software control (Fig 9b): LRU
+     * replacement that prefers evicting non-temporal lines.
+     */
+    bool preferNonTemporalReplacement = false;
+
+    // --- Bypassing (Fig 3a baselines) ------------------------------
+    BypassMode bypass = BypassMode::None;
+
+    // --- Prefetching (Section 4.4) ---------------------------------
+    bool prefetch = false;
+    /** Prefetch only on spatially tagged misses (software assist). */
+    bool prefetchSpatialOnly = true;
+    /** Maximum prefetched lines resident in the aux cache. */
+    std::uint32_t maxPrefetchedInAux = 4;
+    /**
+     * Physical lines fetched per prefetch request. The paper keeps 1
+     * (progressive prefetching) up to ~25-cycle latencies and
+     * suggests larger distances beyond.
+     */
+    std::uint32_t prefetchDegree = 1;
+
+    // --- Environment ----------------------------------------------
+    sim::TimingParams timing;
+    std::uint32_t writeBufferEntries = 8;
+    /** Run the three-C classifier (adds simulation time). */
+    bool classifyMisses = true;
+
+    /** Number of physical lines in one virtual line. */
+    std::uint32_t
+    linesPerVirtualLine() const
+    {
+        return virtualLines ? virtualLineBytes / lineBytes : 1;
+    }
+
+    /** Sanity-check the configuration; fatal() on invalid setups. */
+    void validate() const;
+};
+
+/** The paper's Standard baseline: 8 KB, 32 B lines, direct-mapped. */
+Config standardConfig();
+
+/** Standard cache with a different physical line size (Fig 8b). */
+Config standardConfig(std::uint32_t line_bytes);
+
+/** Standard + victim cache of 8 lines (Fig 3b). */
+Config victimConfig();
+
+/** Full software assistance (Soft.): virtual lines + bounce-back. */
+Config softConfig();
+
+/** Software assistance for temporal locality only (Fig 6a/7). */
+Config softTemporalOnlyConfig();
+
+/** Software assistance for spatial locality only (Fig 6a/7). */
+Config softSpatialOnlyConfig();
+
+/** Soft. with a different virtual line size (Fig 8a). */
+Config softConfig(std::uint32_t virtual_line_bytes);
+
+/**
+ * Soft. with variable-length virtual lines (Section 3.2 extension):
+ * per-reference spatial levels choose 64..256-byte virtual lines.
+ */
+Config variableSoftConfig();
+
+/** Bypassing of non-temporal references (Fig 3a). */
+Config bypassConfig(bool through_buffer);
+
+/** Plain 2-way set-associative cache (Fig 9b). */
+Config twoWayConfig();
+
+/** 2-way + victim cache (Fig 9b). */
+Config twoWayVictimConfig();
+
+/** Full software control on a 2-way cache (Fig 9b). */
+Config softTwoWayConfig();
+
+/** Simplified software control: 2-way, replacement priority only. */
+Config simplifiedSoftTwoWayConfig();
+
+/** Standard cache with hardware next-line prefetching (Fig 12). */
+Config standardPrefetchConfig();
+
+/** Soft. combined with software-assisted prefetching (Fig 12). */
+Config softPrefetchConfig();
+
+/** Scale a configuration to another cache size/line (Fig 9a). */
+Config scaledConfig(Config base, std::uint64_t cache_bytes,
+                    std::uint32_t line_bytes);
+
+} // namespace core
+} // namespace sac
+
+#endif // SAC_CORE_CONFIG_HH

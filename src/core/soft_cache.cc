@@ -1,0 +1,645 @@
+#include "src/core/soft_cache.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace core {
+
+SoftwareAssistedCache::SoftwareAssistedCache(Config cfg)
+    : cfg_(std::move(cfg)),
+      main_((cfg_.validate(), cfg_.cacheSizeBytes), cfg_.lineBytes,
+            cfg_.assoc),
+      writeBuffer_(cfg_.writeBufferEntries)
+{
+    if (cfg_.auxLines > 0) {
+        const std::uint32_t aux_assoc =
+            cfg_.auxAssoc == 0 ? cfg_.auxLines : cfg_.auxAssoc;
+        aux_.emplace(static_cast<std::uint64_t>(cfg_.auxLines) *
+                         cfg_.lineBytes,
+                     cfg_.lineBytes, aux_assoc);
+    }
+    if (cfg_.classifyMisses) {
+        classifier_.emplace(
+            static_cast<std::uint32_t>(cfg_.cacheSizeBytes /
+                                       cfg_.lineBytes),
+            cfg_.lineBytes);
+    }
+}
+
+void
+SoftwareAssistedCache::run(const trace::Trace &t)
+{
+    for (const auto &rec : t)
+        access(rec);
+    finish();
+}
+
+void
+SoftwareAssistedCache::access(const trace::Record &rec)
+{
+    SAC_ASSERT(!finished_, "access() after finish()");
+    // Blocking processor: the reference issues rec.delta cycles of
+    // instruction work after the previous access completed (the
+    // completing cycle overlaps the first work cycle).
+    now_ = procReadyAt_ + rec.delta - 1;
+    ++stats_.accesses;
+    if (rec.isRead())
+        ++stats_.reads;
+    else
+        ++stats_.writes;
+
+    Cycle start = std::max(now_, cacheFreeAt_);
+    const Addr line = main_.lineAddrOf(rec.addr);
+
+    // Land a pending prefetch that has arrived; if this very access
+    // wants the in-flight line, stall until it lands.
+    if (pending_.valid) {
+        if (pending_.readyAt <= start) {
+            installPendingPrefetch();
+        } else if (aux_ && pending_.line <= line &&
+                   line < pending_.line + pending_.count) {
+            start = pending_.readyAt;
+            installPendingPrefetch();
+        }
+    }
+
+    // 1. Main cache lookup.
+    if (const auto way = main_.findWay(line)) {
+        handleMainHit(rec, *way, start);
+        return;
+    }
+
+    // 2. Bypassing of non-temporal references (Fig 3a baselines).
+    if (cfg_.bypass != BypassMode::None && !rec.temporal) {
+        handleBypass(rec, start);
+        return;
+    }
+
+    // 3. Aux (bounce-back / victim / prefetch buffer) lookup.
+    if (aux_) {
+        if (const auto way = aux_->findWay(line)) {
+            handleAuxHit(rec, *way, start);
+            return;
+        }
+    }
+
+    // 4. Demand miss.
+    handleMiss(rec, start);
+}
+
+void
+SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
+                                     std::uint32_t way, Cycle start)
+{
+    const std::uint32_t set = main_.setIndexOf(main_.lineAddrOf(rec.addr));
+    cache::LineState &l = main_.line(set, way);
+    main_.touch(set, way);
+    if (rec.isWrite())
+        l.dirty = true;
+    applyTemporalTag(l, rec.temporal, cfg_.temporalBits);
+    l.prefetched = false;
+    ++stats_.mainHits;
+    classify(rec.addr, false);
+    const Cycle completion = start + cfg_.timing.mainHitTime;
+    complete(completion, completion);
+}
+
+void
+SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
+                                    std::uint32_t way, Cycle start)
+{
+    SAC_ASSERT(aux_, "aux hit without an aux cache");
+    const Addr line = main_.lineAddrOf(rec.addr);
+    const std::uint32_t aux_set = aux_->setIndexOf(line);
+    cache::LineState &a = aux_->line(aux_set, way);
+    const bool was_prefetched = a.prefetched;
+
+    ++stats_.auxHits;
+    ++stats_.swaps;
+    if (was_prefetched) {
+        ++stats_.auxPrefetchHits;
+        ++stats_.prefetchesUseful;
+    }
+    classify(rec.addr, false);
+
+    // Swap with the resident main-cache line: the aux line moves to
+    // its home set; the displaced main line takes the vacated aux
+    // slot (no aux eviction happens on a swap).
+    const std::uint32_t set = main_.setIndexOf(line);
+    const std::uint32_t mway = main_.victimWay(set, mainPolicy());
+    cache::LineState &m = main_.line(set, mway);
+    cache::LineState displaced = m;
+
+    m = a;
+    m.prefetched = false;
+    if (rec.isWrite())
+        m.dirty = true;
+    applyTemporalTag(m, rec.temporal, cfg_.temporalBits);
+    main_.touch(set, mway);
+
+    if (displaced.valid &&
+        aux_->setIndexOf(displaced.lineAddr) == aux_set) {
+        a = displaced;
+        aux_->touch(aux_set, way);
+    } else {
+        // The displaced line cannot live in this aux set (only
+        // possible with a set-associative aux cache): discard it.
+        if (displaced.valid && displaced.dirty) {
+            Cycle hidden = 0;
+            pushWriteback(cfg_.lineBytes, hidden);
+        }
+        a = cache::LineState{};
+    }
+
+    const Cycle completion = start + cfg_.timing.auxHitTime;
+    Cycle lock = completion + cfg_.timing.swapLockCycles;
+    if (was_prefetched) {
+        // After the swap the main cache stays stalled one extra cycle
+        // to check for the presence of the next prefetched line.
+        lock += cfg_.timing.prefetchHitExtraStall;
+        issuePrefetch(line + 1);
+    }
+    complete(completion, lock);
+}
+
+void
+SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
+{
+    const Addr line = main_.lineAddrOf(rec.addr);
+    const bool buffer_hit =
+        cfg_.bypass == BypassMode::NonTemporalBuffered && rec.isRead() &&
+        bypassBufferValid_ && bypassBufferLine_ == line;
+    classify(rec.addr, !buffer_hit);
+
+    if (rec.isWrite()) {
+        // Non-allocating write: write-through via the write buffer.
+        Cycle transfer_cost = 0;
+        pushWriteback(rec.size, transfer_cost);
+        ++stats_.bypasses;
+        const Cycle completion =
+            start + cfg_.timing.mainHitTime + transfer_cost;
+        complete(completion, completion);
+        return;
+    }
+
+    if (buffer_hit) {
+        ++stats_.bypassBufferHits;
+        const Cycle completion = start + cfg_.timing.mainHitTime;
+        complete(completion, completion);
+        return;
+    }
+
+    ++stats_.bypasses;
+    const Cycle request_sent = start + cfg_.timing.mainHitTime;
+    const Cycle mem_start = std::max(request_sent, busFreeAt_);
+    const std::uint64_t bytes =
+        cfg_.bypass == BypassMode::NonTemporalBuffered ? cfg_.lineBytes
+                                                       : rec.size;
+    const Cycle data_done = mem_start + cfg_.timing.memoryLatency +
+                            cfg_.timing.transferCycles(bytes);
+    busFreeAt_ = data_done;
+    stats_.bytesFetched += bytes;
+    if (cfg_.bypass == BypassMode::NonTemporalBuffered) {
+        ++stats_.linesFetched;
+        bypassBufferLine_ = line;
+        bypassBufferValid_ = true;
+    }
+    complete(data_done, data_done);
+}
+
+void
+SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
+{
+    const Addr line = main_.lineAddrOf(rec.addr);
+    ++stats_.misses;
+    classify(rec.addr, true);
+
+    // Which physical lines must be fetched? For a spatially tagged
+    // miss with virtual lines enabled, the whole aligned virtual
+    // block, skipping lines already resident (the pipelined, hidden
+    // coherence check of Section 2.1).
+    std::vector<Addr> fetch_lines;
+    if (cfg_.virtualLines && rec.spatial) {
+        std::uint32_t n = cfg_.linesPerVirtualLine();
+        if (cfg_.variableVirtualLines) {
+            // Section 3.2 extension: the virtual line spans
+            // 2^spatialLevel physical lines, capped by the config.
+            const std::uint32_t wanted =
+                1u << std::min<std::uint32_t>(rec.spatialLevel, 8);
+            n = std::min(n, wanted);
+        }
+        const Addr block = line & ~static_cast<Addr>(n - 1);
+        for (Addr l = block; l < block + n; ++l) {
+            if (cfg_.virtualLineCoherenceCheck && main_.contains(l) &&
+                l != line) {
+                continue;
+            }
+            fetch_lines.push_back(l);
+        }
+    } else {
+        fetch_lines.push_back(line);
+    }
+    SAC_ASSERT(!fetch_lines.empty() &&
+                   std::find(fetch_lines.begin(), fetch_lines.end(),
+                             line) != fetch_lines.end(),
+               "the missed line must be fetched");
+
+    const auto n_fetched = static_cast<std::uint32_t>(fetch_lines.size());
+    const Cycle request_sent = start + cfg_.timing.mainHitTime;
+    const Cycle mem_start = std::max(request_sent, busFreeAt_);
+    const Cycle data_done =
+        mem_start + cfg_.timing.missPenalty(n_fetched, cfg_.lineBytes);
+    busFreeAt_ = data_done;
+
+    stats_.linesFetched += n_fetched;
+    stats_.bytesFetched +=
+        static_cast<std::uint64_t>(n_fetched) * cfg_.lineBytes;
+    stats_.extraLinesFetched += n_fetched - 1;
+    if (n_fetched > 1)
+        ++stats_.virtualLineFills;
+
+    // Install the fetched lines; victim transfers and bounce-backs
+    // proceed while the miss is outstanding and only lengthen the
+    // stall when they exceed the hidden budget.
+    Cycle transfer_cost = 0;
+    std::vector<FillTarget> fill_targets;
+    fill_targets.reserve(n_fetched);
+    for (const Addr l : fetch_lines) {
+        // Bounce-back cache coherence (Section 2.2): if another line
+        // of the virtual block already sits in the aux cache, the
+        // fetch cannot be aborted; its main-cache slot is simply not
+        // filled (tagged invalid).
+        if (l != line && aux_ && aux_->contains(l)) {
+            ++stats_.coherenceInvalidations;
+            continue;
+        }
+        // A bounce-back triggered by an earlier fill of this very
+        // miss can have re-installed a pending line already; filling
+        // it again would duplicate it.
+        if (l != line && main_.contains(l))
+            continue;
+        const FillTarget target =
+            insertIntoMain(l, transfer_cost, fill_targets);
+        if (l == line) {
+            cache::LineState &m = main_.line(target.set, target.way);
+            if (rec.isWrite())
+                m.dirty = true;
+            applyTemporalTag(m, rec.temporal, cfg_.temporalBits);
+        }
+    }
+
+    const Cycle hidden_budget = data_done - request_sent;
+    const Cycle extra =
+        transfer_cost > hidden_budget ? transfer_cost - hidden_budget : 0;
+    const Cycle completion = data_done + extra;
+
+    drainWriteBuffer();
+    complete(completion, completion);
+
+    // Software-assisted progressive prefetching (Section 4.4): fetch
+    // the physical line following the (virtual) block as well.
+    if (cfg_.prefetch &&
+        (!cfg_.prefetchSpatialOnly || rec.spatial)) {
+        Addr last = line;
+        for (const Addr l : fetch_lines)
+            last = std::max(last, l);
+        issuePrefetch(last + 1);
+    }
+}
+
+SoftwareAssistedCache::FillTarget
+SoftwareAssistedCache::insertIntoMain(
+    Addr line_addr, Cycle &transfer_cost,
+    std::vector<FillTarget> &fill_targets)
+{
+    const std::uint32_t set = main_.setIndexOf(line_addr);
+    const std::uint32_t way = main_.victimWay(set, mainPolicy());
+
+    // Second-chance aging for the replacement-priority scheme: a
+    // temporal line that was skipped in favor of a younger
+    // non-temporal victim consumes its protection, so dead reusable
+    // data cannot pin a way forever (the set-associative analogue of
+    // the bounce-back bit reset).
+    if (cfg_.preferNonTemporalReplacement) {
+        const std::uint64_t chosen = main_.line(set, way).lruStamp;
+        for (std::uint32_t w = 0; w < main_.assoc(); ++w) {
+            cache::LineState &l = main_.line(set, w);
+            if (w != way && l.valid && l.temporal &&
+                l.lruStamp < chosen) {
+                l.temporal = false;
+            }
+        }
+    }
+
+    cache::LineState &slot = main_.line(set, way);
+    const cache::LineState victim = slot;
+
+    // Register the slot before handling the victim, so a bounce-back
+    // triggered by this very fill sees it as a miss target.
+    fill_targets.push_back({set, way});
+
+    slot = cache::LineState{};
+    slot.lineAddr = line_addr;
+    slot.valid = true;
+    main_.touch(set, way);
+
+    if (victim.valid) {
+        if (aux_ && cfg_.auxReceivesVictims) {
+            victimToAux(victim, transfer_cost, fill_targets);
+        } else if (victim.dirty) {
+            pushWriteback(cfg_.lineBytes, transfer_cost);
+            transfer_cost += cfg_.timing.dirtyTransferCycles;
+        }
+    }
+    return {set, way};
+}
+
+void
+SoftwareAssistedCache::victimToAux(
+    const cache::LineState &victim, Cycle &transfer_cost,
+    const std::vector<FillTarget> &fill_targets)
+{
+    SAC_ASSERT(aux_, "victimToAux without an aux cache");
+    transfer_cost += cfg_.timing.dirtyTransferCycles;
+
+    const cache::LineState aux_victim =
+        aux_->insert(victim.lineAddr, cache::ReplacementPolicy::Lru);
+    cache::LineState *slot = aux_->find(victim.lineAddr);
+    SAC_ASSERT(slot, "freshly inserted aux line vanished");
+    slot->dirty = victim.dirty;
+    slot->temporal = victim.temporal;
+
+    if (!aux_victim.valid)
+        return;
+
+    if (cfg_.bounceBack && aux_victim.temporal) {
+        bounceBack(aux_victim, transfer_cost, fill_targets);
+    } else if (aux_victim.dirty) {
+        pushWriteback(cfg_.lineBytes, transfer_cost);
+    }
+}
+
+void
+SoftwareAssistedCache::bounceBack(
+    const cache::LineState &victim, Cycle &transfer_cost,
+    const std::vector<FillTarget> &fill_targets)
+{
+    const std::uint32_t set = main_.setIndexOf(victim.lineAddr);
+    const std::uint32_t way =
+        main_.victimWay(set, cache::ReplacementPolicy::Lru);
+
+    // A bounce aimed at a slot the in-flight miss fills would be
+    // overwritten anyway: cancel it so no ping-pong can occur.
+    for (const auto &t : fill_targets) {
+        if (t.set == set && t.way == way) {
+            ++stats_.bouncesCancelled;
+            if (victim.dirty)
+                pushWriteback(cfg_.lineBytes, transfer_cost);
+            return;
+        }
+    }
+
+    cache::LineState &resident = main_.line(set, way);
+    if (resident.valid && resident.dirty && writeBuffer_.full()) {
+        // Bouncing onto a dirty line with a full write buffer is
+        // aborted (Section 2.2); the victim still needs writing back.
+        ++stats_.bouncesAborted;
+        if (victim.dirty)
+            pushWriteback(cfg_.lineBytes, transfer_cost);
+        return;
+    }
+
+    if (resident.valid && resident.dirty)
+        pushWriteback(cfg_.lineBytes, transfer_cost);
+
+    resident = victim;
+    // The "dynamic adjustment" of Section 2.2: the bit must be set
+    // again by a tagged reference before the line may bounce again.
+    if (cfg_.resetTemporalBitOnBounce)
+        resident.temporal = false;
+    resident.prefetched = false;
+    main_.touch(set, way);
+    transfer_cost += cfg_.timing.dirtyTransferCycles;
+    ++stats_.bounces;
+}
+
+void
+SoftwareAssistedCache::pushWriteback(std::uint32_t bytes,
+                                     Cycle &transfer_cost)
+{
+    if (writeBuffer_.full()) {
+        // Forced drain on the critical path.
+        writeBuffer_.noteFullStall();
+        ++stats_.writeBufferFullStalls;
+        const std::uint32_t drained = writeBuffer_.pop();
+        stats_.bytesWrittenBack += drained;
+        transfer_cost += cfg_.timing.transferCycles(drained);
+        busFreeAt_ += cfg_.timing.transferCycles(drained);
+    }
+    writeBuffer_.push(bytes);
+}
+
+void
+SoftwareAssistedCache::drainWriteBuffer()
+{
+    while (writeBuffer_.occupancy() > 0) {
+        const std::uint32_t bytes = writeBuffer_.pop();
+        stats_.bytesWrittenBack += bytes;
+        busFreeAt_ += cfg_.timing.transferCycles(bytes);
+    }
+}
+
+void
+SoftwareAssistedCache::issuePrefetch(Addr pf_line)
+{
+    if (!cfg_.prefetch || !aux_)
+        return;
+    const std::uint32_t degree = cfg_.prefetchDegree;
+
+    // Software instrumentation makes prefetch-on-miss unnecessary:
+    // skip requests whose lines are all already around.
+    bool all_resident = true;
+    for (Addr l = pf_line; l < pf_line + degree; ++l) {
+        if (!main_.contains(l) && !aux_->contains(l) &&
+            !(pending_.valid && pending_.line <= l &&
+              l < pending_.line + pending_.count)) {
+            all_resident = false;
+            break;
+        }
+    }
+    if (all_resident) {
+        ++stats_.prefetchesAvoided;
+        return;
+    }
+
+    if (pending_.valid) {
+        // Only one progressive prefetch is outstanding; land the old
+        // one now if it has arrived, otherwise drop it.
+        if (pending_.readyAt <= busFreeAt_)
+            installPendingPrefetch();
+        else
+            pending_.valid = false;
+    }
+    pending_.line = pf_line;
+    pending_.count = degree;
+    pending_.readyAt =
+        busFreeAt_ + cfg_.timing.memoryLatency +
+        cfg_.timing.transferCycles(
+            static_cast<std::uint64_t>(degree) * cfg_.lineBytes);
+    pending_.valid = true;
+    busFreeAt_ = pending_.readyAt;
+    ++stats_.prefetchesIssued;
+    stats_.bytesFetched +=
+        static_cast<std::uint64_t>(degree) * cfg_.lineBytes;
+    stats_.linesFetched += degree;
+}
+
+void
+SoftwareAssistedCache::installPendingPrefetch()
+{
+    SAC_ASSERT(pending_.valid, "no pending prefetch to install");
+    pending_.valid = false;
+    if (!aux_)
+        return;
+
+    for (Addr l = pending_.line; l < pending_.line + pending_.count;
+         ++l) {
+        if (main_.contains(l) || aux_->contains(l))
+            continue;
+
+        // Count resident prefetched lines to enforce the limit: once
+        // it is reached, a prefetched line preferably replaces
+        // another prefetched line (Section 4.4).
+        std::uint32_t prefetched = 0;
+        for (std::uint32_t set = 0; set < aux_->numSets(); ++set) {
+            for (std::uint32_t w = 0; w < aux_->assoc(); ++w) {
+                const auto &a = aux_->line(set, w);
+                if (a.valid && a.prefetched)
+                    ++prefetched;
+            }
+        }
+        const auto policy =
+            prefetched >= cfg_.maxPrefetchedInAux
+                ? cache::ReplacementPolicy::LruPreferPrefetched
+                : cache::ReplacementPolicy::Lru;
+
+        const cache::LineState aux_victim = aux_->insert(l, policy);
+        cache::LineState *slot = aux_->find(l);
+        SAC_ASSERT(slot, "freshly installed prefetch line vanished");
+        slot->prefetched = true;
+
+        if (aux_victim.valid) {
+            Cycle hidden = 0; // off the critical path
+            if (cfg_.bounceBack && aux_victim.temporal)
+                bounceBack(aux_victim, hidden, {});
+            else if (aux_victim.dirty)
+                pushWriteback(cfg_.lineBytes, hidden);
+        }
+    }
+}
+
+void
+SoftwareAssistedCache::classify(Addr addr, bool was_miss)
+{
+    if (!classifier_)
+        return;
+    const sim::MissClass cls = classifier_->access(addr, was_miss);
+    if (!was_miss)
+        return;
+    switch (cls) {
+      case sim::MissClass::Compulsory:
+        ++stats_.compulsoryMisses;
+        break;
+      case sim::MissClass::Capacity:
+        ++stats_.capacityMisses;
+        break;
+      case sim::MissClass::Conflict:
+        ++stats_.conflictMisses;
+        break;
+    }
+}
+
+void
+SoftwareAssistedCache::applyTemporalTag(cache::LineState &line,
+                                        bool tagged,
+                                        bool temporal_bits_enabled)
+{
+    // The temporal bit is only ever set by a tagged reference; an
+    // untagged reference leaves it unchanged (Section 2.2).
+    if (temporal_bits_enabled && tagged)
+        line.temporal = true;
+}
+
+void
+SoftwareAssistedCache::complete(Cycle completion, Cycle lock_until)
+{
+    stats_.totalAccessCycles += static_cast<double>(completion - now_);
+    procReadyAt_ = completion;
+    cacheFreeAt_ = std::max(cacheFreeAt_, lock_until);
+    stats_.completionCycle = std::max(stats_.completionCycle, completion);
+}
+
+cache::ReplacementPolicy
+SoftwareAssistedCache::mainPolicy() const
+{
+    return cfg_.preferNonTemporalReplacement
+               ? cache::ReplacementPolicy::LruPreferNonTemporal
+               : cache::ReplacementPolicy::Lru;
+}
+
+void
+SoftwareAssistedCache::finish()
+{
+    if (finished_)
+        return;
+    drainWriteBuffer();
+    stats_.writeBufferFullStalls = writeBuffer_.fullStalls();
+    finished_ = true;
+}
+
+bool
+SoftwareAssistedCache::mainContains(Addr addr) const
+{
+    return main_.contains(main_.lineAddrOf(addr));
+}
+
+bool
+SoftwareAssistedCache::auxContains(Addr addr) const
+{
+    return aux_ && aux_->contains(main_.lineAddrOf(addr));
+}
+
+bool
+SoftwareAssistedCache::mainTemporalBit(Addr addr) const
+{
+    const auto line = main_.lineAddrOf(addr);
+    const auto way = main_.findWay(line);
+    if (!way)
+        return false;
+    return main_.line(main_.setIndexOf(line), *way).temporal;
+}
+
+bool
+SoftwareAssistedCache::auxTemporalBit(Addr addr) const
+{
+    if (!aux_)
+        return false;
+    const auto line = main_.lineAddrOf(addr);
+    const auto way = aux_->findWay(line);
+    if (!way)
+        return false;
+    return aux_->line(aux_->setIndexOf(line), *way).temporal;
+}
+
+sim::RunStats
+simulateTrace(const trace::Trace &t, const Config &cfg)
+{
+    SoftwareAssistedCache sim(cfg);
+    sim.run(t);
+    return sim.stats();
+}
+
+} // namespace core
+} // namespace sac

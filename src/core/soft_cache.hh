@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The software-assisted cache simulator — the paper's primary
+ * contribution (Section 2) as an executable timing model.
+ *
+ * One class covers the whole design space of the evaluation:
+ *  - a set-associative (default direct-mapped) write-back,
+ *    write-allocate main cache with per-line temporal bits;
+ *  - an optional auxiliary fully-associative LRU cache that acts as a
+ *    victim cache, as the bounce-back cache, and as the prefetch
+ *    buffer, depending on the configuration;
+ *  - virtual-line fills on spatially tagged misses with pipelined
+ *    coherence checks;
+ *  - cache bypassing of non-temporal references (baseline);
+ *  - progressive software-assisted next-line prefetching;
+ *  - a bounded write buffer drained over the shared bus;
+ *  - AMAT accounting and three-C miss classification.
+ *
+ * The model is trace-driven and blocking (a miss stalls the processor
+ * until the last physical line arrives), exactly as in the paper.
+ */
+
+#ifndef SAC_CORE_SOFT_CACHE_HH
+#define SAC_CORE_SOFT_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "src/cache/cache_array.hh"
+#include "src/core/config.hh"
+#include "src/sim/miss_classifier.hh"
+#include "src/sim/run_stats.hh"
+#include "src/sim/write_buffer.hh"
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace core {
+
+/** Trace-driven simulator of one cache organization. */
+class SoftwareAssistedCache
+{
+  public:
+    /** Build the simulator for configuration @p cfg (validated). */
+    explicit SoftwareAssistedCache(Config cfg);
+
+    /** Simulate one reference. References must arrive in issue order. */
+    void access(const trace::Record &rec);
+
+    /** Simulate a whole trace (appends to the current state). */
+    void run(const trace::Trace &t);
+
+    /**
+     * Final bookkeeping: drain the write buffer and seal the
+     * completion cycle. Idempotent.
+     */
+    void finish();
+
+    /** Statistics accumulated so far. */
+    const sim::RunStats &stats() const { return stats_; }
+
+    /** The active configuration. */
+    const Config &config() const { return cfg_; }
+
+    // --- Introspection (used by tests) ---------------------------
+
+    /** Is the line containing @p addr resident in the main cache? */
+    bool mainContains(Addr addr) const;
+
+    /** Is the line containing @p addr resident in the aux cache? */
+    bool auxContains(Addr addr) const;
+
+    /** Temporal bit of the main-cache line holding @p addr. */
+    bool mainTemporalBit(Addr addr) const;
+
+    /** Temporal bit of the aux-cache line holding @p addr. */
+    bool auxTemporalBit(Addr addr) const;
+
+    /** Current issue clock (cycle of the last issued reference). */
+    Cycle now() const { return now_; }
+
+    /** Cycle at which the cache becomes free. */
+    Cycle cacheFreeAt() const { return cacheFreeAt_; }
+
+    /** Cycle at which the bus becomes free. */
+    Cycle busFreeAt() const { return busFreeAt_; }
+
+    /** Write-buffer occupancy. */
+    std::uint32_t writeBufferOccupancy() const
+    {
+        return writeBuffer_.occupancy();
+    }
+
+  private:
+    /** A main-cache slot filled by the in-flight miss. */
+    struct FillTarget
+    {
+        std::uint32_t set;
+        std::uint32_t way;
+    };
+
+    /** Serve a hit in the main cache. */
+    void handleMainHit(const trace::Record &rec, std::uint32_t way,
+                       Cycle start);
+
+    /** Serve a hit in the aux (bounce-back / victim) cache. */
+    void handleAuxHit(const trace::Record &rec, std::uint32_t way,
+                      Cycle start);
+
+    /** Serve a bypassed non-temporal reference. */
+    void handleBypass(const trace::Record &rec, Cycle start);
+
+    /** Serve a demand miss (possibly a virtual-line fill). */
+    void handleMiss(const trace::Record &rec, Cycle start);
+
+    /**
+     * Install @p line_addr into the main cache, moving the victim to
+     * the aux cache or the write buffer. Returns the filled slot.
+     * @param transfer_cost accumulates hidden transfer cycles
+     * @param fill_targets slots already filled by this miss
+     */
+    FillTarget insertIntoMain(Addr line_addr, Cycle &transfer_cost,
+                              std::vector<FillTarget> &fill_targets);
+
+    /**
+     * Move a main-cache victim into the aux cache, bouncing the aux
+     * victim back to the main cache when the bounce-back mechanism is
+     * active and its temporal bit is set.
+     */
+    void victimToAux(const cache::LineState &victim, Cycle &transfer_cost,
+                     const std::vector<FillTarget> &fill_targets);
+
+    /** Bounce an aux victim back into the main cache (Section 2.2). */
+    void bounceBack(const cache::LineState &victim, Cycle &transfer_cost,
+                    const std::vector<FillTarget> &fill_targets);
+
+    /** Queue a line writeback, forcing a drain when the buffer is full. */
+    void pushWriteback(std::uint32_t bytes, Cycle &transfer_cost);
+
+    /** Drain the whole write buffer over the bus (post-miss). */
+    void drainWriteBuffer();
+
+    /** Issue a progressive next-line prefetch for @p pf_line. */
+    void issuePrefetch(Addr pf_line);
+
+    /** Install the pending prefetched line into the aux cache. */
+    void installPendingPrefetch();
+
+    /** Record a classified demand miss. */
+    void classify(Addr addr, bool was_miss);
+
+    /** Update the per-line temporal bit from the instruction tag. */
+    static void applyTemporalTag(cache::LineState &line, bool tagged,
+                                 bool temporal_bits_enabled);
+
+    /** Finish one access: accounting and cache-busy update. */
+    void complete(Cycle completion, Cycle lock_until);
+
+    /** Replacement policy for main-cache fills. */
+    cache::ReplacementPolicy mainPolicy() const;
+
+    Config cfg_;
+    cache::CacheArray main_;
+    std::optional<cache::CacheArray> aux_;
+    sim::WriteBuffer writeBuffer_;
+    std::optional<sim::MissClassifier> classifier_;
+    sim::RunStats stats_;
+
+    Cycle now_ = 0;
+    /** Completion cycle of the previous access (processor resumes). */
+    Cycle procReadyAt_ = 1;
+    Cycle cacheFreeAt_ = 0;
+    Cycle busFreeAt_ = 0;
+
+    // Single-line bypass buffer (BypassMode::NonTemporalBuffered).
+    Addr bypassBufferLine_ = 0;
+    bool bypassBufferValid_ = false;
+
+    // One outstanding progressive prefetch (Section 4.4).
+    struct PendingPrefetch
+    {
+        Addr line = 0;
+        std::uint32_t count = 1;
+        Cycle readyAt = 0;
+        bool valid = false;
+    };
+    PendingPrefetch pending_;
+    bool finished_ = false;
+};
+
+/** Simulate @p t under @p cfg and return the statistics. */
+sim::RunStats simulateTrace(const trace::Trace &t, const Config &cfg);
+
+} // namespace core
+} // namespace sac
+
+#endif // SAC_CORE_SOFT_CACHE_HH

@@ -1,0 +1,206 @@
+#include "src/core/stream_buffer.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace core {
+
+StreamBufferCache::StreamBufferCache(StreamBufferConfig cfg)
+    : cfg_(std::move(cfg)),
+      main_(cfg_.cacheSizeBytes, cfg_.lineBytes, cfg_.assoc),
+      writeBuffer_(cfg_.writeBufferEntries)
+{
+    SAC_ASSERT(cfg_.numBuffers > 0 && cfg_.bufferDepth > 0,
+               "stream buffers need a positive count and depth");
+    buffers_.resize(cfg_.numBuffers);
+}
+
+void
+StreamBufferCache::run(const trace::Trace &t)
+{
+    for (const auto &rec : t)
+        access(rec);
+    finish();
+}
+
+void
+StreamBufferCache::access(const trace::Record &rec)
+{
+    SAC_ASSERT(!finished_, "access() after finish()");
+    now_ = procReadyAt_ + rec.delta - 1;
+    ++stats_.accesses;
+    if (rec.isRead())
+        ++stats_.reads;
+    else
+        ++stats_.writes;
+
+    const Cycle start = std::max(now_, cacheFreeAt_);
+    const Addr line = main_.lineAddrOf(rec.addr);
+
+    // 1. Main cache.
+    if (const auto way = main_.findWay(line)) {
+        const std::uint32_t set = main_.setIndexOf(line);
+        main_.touch(set, *way);
+        if (rec.isWrite())
+            main_.line(set, *way).dirty = true;
+        ++stats_.mainHits;
+        completeAccess(start + cfg_.timing.mainHitTime);
+        return;
+    }
+
+    // 2. Stream-buffer heads. Only the head of each FIFO is
+    //    comparable (Jouppi's single-way design).
+    for (auto &buf : buffers_) {
+        if (!buf.valid || buf.entries.empty() ||
+            buf.entries.front().line != line) {
+            continue;
+        }
+        const Entry head = buf.entries.front();
+        buf.entries.pop_front();
+        buf.lastUse = ++useCounter_;
+        // Keep the stream rolling: refill the vacated slot.
+        scheduleFill(buf);
+
+        ++stats_.auxHits;
+        ++stats_.prefetchesUseful;
+        installLine(line, false, rec.isWrite());
+        // The line is usable one cycle after it is ready.
+        const Cycle completion =
+            std::max(start, head.readyAt) + cfg_.timing.mainHitTime;
+        completeAccess(completion);
+        return;
+    }
+
+    // 3. Miss: fetch the line, flush the LRU buffer and restart it
+    //    at the successor (prefetch-on-miss).
+    ++stats_.misses;
+    const Cycle request_sent = start + cfg_.timing.mainHitTime;
+    const Cycle mem_start = std::max(request_sent, busFreeAt_);
+    const Cycle data_done =
+        mem_start + cfg_.timing.missPenalty(1, cfg_.lineBytes);
+    busFreeAt_ = data_done;
+    ++stats_.linesFetched;
+    stats_.bytesFetched += cfg_.lineBytes;
+
+    installLine(line, false, rec.isWrite());
+    allocateBuffer(line);
+
+    // Post-miss write-buffer drain, as in the main simulator.
+    while (writeBuffer_.occupancy() > 0) {
+        const auto bytes = writeBuffer_.pop();
+        stats_.bytesWrittenBack += bytes;
+        busFreeAt_ += cfg_.timing.transferCycles(bytes);
+    }
+    completeAccess(data_done);
+}
+
+void
+StreamBufferCache::scheduleFill(Buffer &buf)
+{
+    const Cycle transfer = cfg_.timing.transferCycles(cfg_.lineBytes);
+    Entry e;
+    e.line = buf.nextLine++;
+    e.readyAt = busFreeAt_ + cfg_.timing.memoryLatency + transfer;
+    busFreeAt_ += transfer;
+    buf.entries.push_back(e);
+    ++stats_.prefetchesIssued;
+    ++stats_.linesFetched;
+    stats_.bytesFetched += cfg_.lineBytes;
+}
+
+void
+StreamBufferCache::allocateBuffer(Addr line)
+{
+    Buffer *victim = &buffers_.front();
+    for (auto &buf : buffers_) {
+        if (!buf.valid) {
+            victim = &buf;
+            break;
+        }
+        if (buf.lastUse < victim->lastUse)
+            victim = &buf;
+    }
+    victim->entries.clear();
+    victim->valid = true;
+    victim->nextLine = line + 1;
+    victim->lastUse = ++useCounter_;
+    for (std::uint32_t i = 0; i < cfg_.bufferDepth; ++i)
+        scheduleFill(*victim);
+}
+
+void
+StreamBufferCache::installLine(Addr line, bool dirty, bool write)
+{
+    const std::uint32_t set = main_.setIndexOf(line);
+    const std::uint32_t way =
+        main_.victimWay(set, cache::ReplacementPolicy::Lru);
+    cache::LineState &slot = main_.line(set, way);
+    if (slot.valid && slot.dirty) {
+        if (writeBuffer_.full()) {
+            writeBuffer_.noteFullStall();
+            ++stats_.writeBufferFullStalls;
+            const auto bytes = writeBuffer_.pop();
+            stats_.bytesWrittenBack += bytes;
+            busFreeAt_ += cfg_.timing.transferCycles(bytes);
+        }
+        writeBuffer_.push(cfg_.lineBytes);
+    }
+    slot = cache::LineState{};
+    slot.lineAddr = line;
+    slot.valid = true;
+    slot.dirty = dirty || write;
+    main_.touch(set, way);
+}
+
+void
+StreamBufferCache::completeAccess(Cycle completion)
+{
+    stats_.totalAccessCycles += static_cast<double>(completion - now_);
+    procReadyAt_ = completion;
+    cacheFreeAt_ = std::max(cacheFreeAt_, completion);
+    stats_.completionCycle =
+        std::max(stats_.completionCycle, completion);
+}
+
+void
+StreamBufferCache::finish()
+{
+    if (finished_)
+        return;
+    while (writeBuffer_.occupancy() > 0)
+        stats_.bytesWrittenBack += writeBuffer_.pop();
+    finished_ = true;
+}
+
+bool
+StreamBufferCache::mainContains(Addr addr) const
+{
+    return main_.contains(main_.lineAddrOf(addr));
+}
+
+bool
+StreamBufferCache::headContains(Addr addr) const
+{
+    const Addr line = main_.lineAddrOf(addr);
+    for (const auto &buf : buffers_) {
+        if (buf.valid && !buf.entries.empty() &&
+            buf.entries.front().line == line) {
+            return true;
+        }
+    }
+    return false;
+}
+
+sim::RunStats
+simulateStreamBuffers(const trace::Trace &t,
+                      const StreamBufferConfig &cfg)
+{
+    StreamBufferCache sim(cfg);
+    sim.run(t);
+    return sim.stats();
+}
+
+} // namespace core
+} // namespace sac

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Stream buffers (Jouppi, ISCA 1990) — the hardware-prefetching
+ * related work the paper discusses in Section 5. A small set of FIFO
+ * buffers each prefetches sequential physical lines behind a miss;
+ * a miss whose address matches the *head* of a buffer pops it into
+ * the cache in one cycle, and the buffer keeps streaming.
+ *
+ * The paper's critique, reproduced by this model: "the mechanism
+ * does not work properly if the number of array references within
+ * the loop body, that induce compulsory/capacity misses, is larger
+ * than the number of stream buffers" — interleaved streams thrash
+ * the buffers.
+ */
+
+#ifndef SAC_CORE_STREAM_BUFFER_HH
+#define SAC_CORE_STREAM_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "src/cache/cache_array.hh"
+#include "src/sim/run_stats.hh"
+#include "src/sim/timing.hh"
+#include "src/sim/write_buffer.hh"
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace core {
+
+/** Configuration of the stream-buffer baseline. */
+struct StreamBufferConfig
+{
+    std::string name = "Stand.+StreamBufs";
+    std::uint64_t cacheSizeBytes = 8 * 1024;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 1;
+    /** Number of stream buffers (Jouppi evaluates 1 and 4). */
+    std::uint32_t numBuffers = 4;
+    /** Entries per buffer. */
+    std::uint32_t bufferDepth = 4;
+    sim::TimingParams timing;
+    std::uint32_t writeBufferEntries = 8;
+};
+
+/**
+ * Trace-driven simulator of a standard cache backed by stream
+ * buffers. Statistics use the shared RunStats: stream-buffer hits
+ * are reported as auxHits, buffer fills as prefetchesIssued.
+ */
+class StreamBufferCache
+{
+  public:
+    explicit StreamBufferCache(StreamBufferConfig cfg);
+
+    /** Simulate one reference (issue order). */
+    void access(const trace::Record &rec);
+
+    /** Simulate a whole trace and finish(). */
+    void run(const trace::Trace &t);
+
+    /** Drain the write buffer; idempotent. */
+    void finish();
+
+    /** Statistics accumulated so far. */
+    const sim::RunStats &stats() const { return stats_; }
+
+    /** Is the line containing @p addr in the main cache? */
+    bool mainContains(Addr addr) const;
+
+    /** Does any buffer head hold the line containing @p addr? */
+    bool headContains(Addr addr) const;
+
+  private:
+    /** One prefetched line waiting in a buffer. */
+    struct Entry
+    {
+        Addr line = 0;
+        Cycle readyAt = 0;
+    };
+
+    /** One FIFO stream buffer. */
+    struct Buffer
+    {
+        std::deque<Entry> entries;
+        Addr nextLine = 0;     //!< next line to prefetch
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Queue one line fill for @p buf on the shared bus. */
+    void scheduleFill(Buffer &buf);
+
+    /** Allocate (or recycle) a buffer to stream from @p line + 1. */
+    void allocateBuffer(Addr line);
+
+    /** Install @p line into the main cache, handling the victim. */
+    void installLine(Addr line, bool dirty, bool write);
+
+    void completeAccess(Cycle completion);
+
+    StreamBufferConfig cfg_;
+    cache::CacheArray main_;
+    sim::WriteBuffer writeBuffer_;
+    sim::RunStats stats_;
+    std::vector<Buffer> buffers_;
+
+    Cycle now_ = 0;
+    Cycle procReadyAt_ = 1;
+    Cycle cacheFreeAt_ = 0;
+    Cycle busFreeAt_ = 0;
+    std::uint64_t useCounter_ = 0;
+    bool finished_ = false;
+};
+
+/** Simulate @p t under the stream-buffer baseline. */
+sim::RunStats simulateStreamBuffers(const trace::Trace &t,
+                                    const StreamBufferConfig &cfg);
+
+} // namespace core
+} // namespace sac
+
+#endif // SAC_CORE_STREAM_BUFFER_HH

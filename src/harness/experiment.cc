@@ -1,0 +1,160 @@
+#include "src/harness/experiment.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/workloads/workloads.hh"
+
+namespace sac {
+namespace harness {
+
+Metric
+amatMetric()
+{
+    return {"AMAT", [](const sim::RunStats &s) { return s.amat(); }, 3};
+}
+
+Metric
+missRatioMetric()
+{
+    return {"miss ratio",
+            [](const sim::RunStats &s) { return s.missRatio(); }, 4};
+}
+
+Metric
+wordsPerAccessMetric()
+{
+    return {"words/ref",
+            [](const sim::RunStats &s) {
+                return s.wordsFetchedPerAccess();
+            },
+            3};
+}
+
+Metric
+mainHitShareMetric()
+{
+    return {"main-hit share",
+            [](const sim::RunStats &s) { return s.mainHitShare(); },
+            3};
+}
+
+Metric
+auxHitShareMetric()
+{
+    return {"aux-hit share",
+            [](const sim::RunStats &s) { return s.auxHitShare(); }, 3};
+}
+
+const trace::Trace &
+Runner::traceOf(const Workload &w)
+{
+    auto it = traces_.find(w.name);
+    if (it == traces_.end()) {
+        it = traces_.emplace(w.name, w.build()).first;
+        ++tracesGenerated_;
+    }
+    return it->second;
+}
+
+const sim::RunStats &
+Runner::run(const Workload &w, const core::Config &cfg)
+{
+    const auto key = std::make_pair(w.name, cfg.name);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        it = results_
+                 .emplace(key, core::simulateTrace(traceOf(w), cfg))
+                 .first;
+        ++runsExecuted_;
+    }
+    return it->second;
+}
+
+util::Table
+Runner::matrix(const std::vector<Workload> &workloads,
+               const std::vector<core::Config> &configs,
+               const Metric &metric)
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto &cfg : configs)
+        headers.push_back(cfg.name);
+    util::Table table(std::move(headers));
+    for (const auto &w : workloads) {
+        const auto row = table.addRow();
+        table.set(row, 0, w.name);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            table.setNumber(row, c + 1,
+                            metric.extract(run(w, configs[c])),
+                            metric.decimals);
+        }
+    }
+    return table;
+}
+
+std::vector<Workload>
+paperWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &b : workloads::paperBenchmarks()) {
+        out.push_back(
+            {b.name, [name = b.name] {
+                 return workloads::makeBenchmarkTrace(name);
+             }});
+    }
+    return out;
+}
+
+namespace {
+
+/** Quote a CSV field when it contains separators or quotes. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+toCsv(const util::Table &table)
+{
+    std::ostringstream os;
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+        if (c)
+            os << ',';
+        os << csvField(table.header(c));
+    }
+    os << '\n';
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        for (std::size_t c = 0; c < table.cols(); ++c) {
+            if (c)
+                os << ',';
+            os << csvField(table.cell(r, c));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool
+writeCsvFile(const util::Table &table, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << toCsv(table);
+    return static_cast<bool>(os);
+}
+
+} // namespace harness
+} // namespace sac

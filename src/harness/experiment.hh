@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment harness: runs configuration x workload matrices with
+ * trace and result caching, extracts named metrics, and renders the
+ * results as aligned tables or CSV. The figure-reproduction benches
+ * are thin clients of this library.
+ */
+
+#ifndef SAC_HARNESS_EXPERIMENT_HH
+#define SAC_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/trace/trace.hh"
+#include "src/util/table.hh"
+
+namespace sac {
+namespace harness {
+
+/** A metric extracted from one simulation run. */
+struct Metric
+{
+    std::string name;
+    std::function<double(const sim::RunStats &)> extract;
+    int decimals = 3;
+};
+
+/** The metrics the paper reports. */
+Metric amatMetric();
+Metric missRatioMetric();
+Metric wordsPerAccessMetric();
+Metric mainHitShareMetric();
+Metric auxHitShareMetric();
+
+/** A named trace source (generated lazily, cached per runner). */
+struct Workload
+{
+    std::string name;
+    std::function<trace::Trace()> build;
+};
+
+/**
+ * Runs (workload, config) pairs, caching each generated trace and
+ * each simulation result so sweeps sharing points are free.
+ */
+class Runner
+{
+  public:
+    Runner() = default;
+
+    /** The trace of @p w, generated on first use. */
+    const trace::Trace &traceOf(const Workload &w);
+
+    /** The statistics of @p w under @p cfg, simulated on first use. */
+    const sim::RunStats &run(const Workload &w,
+                             const core::Config &cfg);
+
+    /**
+     * Build the classic figure table: one row per workload, one
+     * column per configuration, cells = metric.
+     */
+    util::Table matrix(const std::vector<Workload> &workloads,
+                       const std::vector<core::Config> &configs,
+                       const Metric &metric);
+
+    /** Number of simulations actually executed (not served cached). */
+    std::size_t runsExecuted() const { return runsExecuted_; }
+
+    /** Number of traces actually generated. */
+    std::size_t tracesGenerated() const { return tracesGenerated_; }
+
+  private:
+    std::map<std::string, trace::Trace> traces_;
+    std::map<std::pair<std::string, std::string>, sim::RunStats>
+        results_;
+    std::size_t runsExecuted_ = 0;
+    std::size_t tracesGenerated_ = 0;
+};
+
+/** The nine paper benchmarks as harness workloads. */
+std::vector<Workload> paperWorkloads();
+
+/** Render a table as RFC-4180-style CSV (quoted where needed). */
+std::string toCsv(const util::Table &table);
+
+/** Write a table to a CSV file; returns false on I/O failure. */
+bool writeCsvFile(const util::Table &table, const std::string &path);
+
+} // namespace harness
+} // namespace sac
+
+#endif // SAC_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,444 @@
+#include "src/locality/analyzer.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace locality {
+
+namespace {
+
+using loopnest::AffineExpr;
+using loopnest::ArrayId;
+using loopnest::ArrayRef;
+using loopnest::Bound;
+using loopnest::Loop;
+using loopnest::Program;
+using loopnest::Stmt;
+using loopnest::Subscript;
+using loopnest::Tags;
+using loopnest::VarId;
+
+/** Everything the analysis needs to know about one static reference. */
+struct RefInfo
+{
+    RefId ref = invalidRefId;
+    ArrayId array = 0;
+    /** Affine parts of the subscripts (empty for indirect loads' 1-D
+     *  subscript convention: exactly one entry, the index expr). */
+    std::vector<AffineExpr> subs;
+    /** Enclosing loop variables, outermost first. */
+    std::vector<VarId> loops;
+    /**
+     * Per enclosing loop: true when a deeper open loop's bounds
+     * depend on this variable, so invariance with respect to it does
+     * not imply reuse (e.g. A(j2) inside DO j2 = D(j1)..D(j1+1)-1 is
+     * not reused across j1).
+     */
+    std::vector<bool> invarianceBlocked;
+    /** Identity of the innermost enclosing loop (grouping scope). */
+    const Loop *scope = nullptr;
+    /** Constant trip count of the innermost loop, if computable. */
+    std::optional<std::int64_t> innerTrip;
+    bool hasIndirectSub = false;
+    bool poisoned = false;
+    std::optional<bool> userTemporal;
+    std::optional<bool> userSpatial;
+};
+
+/** Collects RefInfo for every reference in lexical order. */
+class Collector
+{
+  public:
+    explicit Collector(const Program &program) : program_(program)
+    {
+        (void)program_;
+    }
+
+    std::vector<RefInfo>
+    collect()
+    {
+        walkStmts(program_.statements(), false);
+        return std::move(refs_);
+    }
+
+  private:
+    void
+    walkStmts(const std::vector<Stmt> &stmts, bool poisoned)
+    {
+        for (const auto &s : stmts) {
+            if (s.isLoop()) {
+                walkLoop(s.loop(), poisoned);
+            } else if (s.isRef()) {
+                addRef(s.ref(), poisoned);
+            } else if (s.isConditional()) {
+                // Compilers tag guarded references as if they always
+                // execute; a CALL inside the guard still poisons.
+                const auto &body = s.conditional().body;
+                const bool body_poisoned =
+                    poisoned ||
+                    std::any_of(body.begin(), body.end(),
+                                [](const Stmt &st) {
+                                    return st.isCall();
+                                });
+                walkStmts(body, body_poisoned);
+            }
+        }
+    }
+
+    void
+    walkLoop(const Loop &l, bool poisoned)
+    {
+        // Bounds are evaluated in the enclosing context, before the
+        // loop variable exists.
+        addBound(l.lo, poisoned);
+        addBound(l.hi, poisoned);
+
+        const bool body_poisoned =
+            poisoned ||
+            std::any_of(l.body.begin(), l.body.end(),
+                        [](const Stmt &s) { return s.isCall(); });
+
+        // Variables this loop's bounds depend on cannot carry reuse
+        // for anything inside this loop.
+        std::vector<std::size_t> marked;
+        for (const VarId u : boundVars(l)) {
+            for (std::size_t d = 0; d < loopStack_.size(); ++d) {
+                if (loopStack_[d] == u) {
+                    ++blockMark_[d];
+                    marked.push_back(d);
+                }
+            }
+        }
+
+        loopStack_.push_back(l.var);
+        blockMark_.push_back(0);
+        scopeStack_.push_back(&l);
+        tripStack_.push_back(constantTrip(l));
+        walkStmts(l.body, body_poisoned);
+        tripStack_.pop_back();
+        scopeStack_.pop_back();
+        blockMark_.pop_back();
+        loopStack_.pop_back();
+
+        for (const auto d : marked)
+            --blockMark_[d];
+    }
+
+    /** Constant trip count of a loop, when its bounds are constant. */
+    static std::optional<std::int64_t>
+    constantTrip(const Loop &l)
+    {
+        if (l.lo.indirect || l.hi.indirect ||
+            !l.lo.affine.isConstant() || !l.hi.affine.isConstant() ||
+            l.step == 0) {
+            return std::nullopt;
+        }
+        const std::int64_t span =
+            l.hi.affine.constant() - l.lo.affine.constant();
+        const std::int64_t trips = span / l.step + 1;
+        return trips > 0 ? std::optional(trips) : std::optional(0L);
+    }
+
+    /** Variables appearing in a loop's bound expressions. */
+    static std::vector<VarId>
+    boundVars(const Loop &l)
+    {
+        std::vector<VarId> vars;
+        auto collect = [&vars](const Bound &b) {
+            for (const auto &t : b.affine.terms())
+                vars.push_back(t.var);
+            if (b.indirect)
+                for (const auto &t : b.indirect->index.terms())
+                    vars.push_back(t.var);
+        };
+        collect(l.lo);
+        collect(l.hi);
+        return vars;
+    }
+
+    /** Snapshot of the currently blocked stack depths. */
+    std::vector<bool>
+    blockedSnapshot() const
+    {
+        std::vector<bool> blocked(loopStack_.size());
+        for (std::size_t d = 0; d < loopStack_.size(); ++d)
+            blocked[d] = blockMark_[d] > 0;
+        return blocked;
+    }
+
+    void
+    addBound(const Bound &b, bool poisoned)
+    {
+        if (!b.indirect)
+            return;
+        RefInfo info;
+        info.ref = b.indirect->ref;
+        info.array = b.indirect->array;
+        info.subs = {b.indirect->index};
+        info.loops = loopStack_;
+        info.invarianceBlocked = blockedSnapshot();
+        info.scope = scopeStack_.empty() ? nullptr : scopeStack_.back();
+        info.innerTrip =
+            tripStack_.empty() ? std::nullopt : tripStack_.back();
+        info.poisoned = poisoned;
+        refs_.push_back(std::move(info));
+    }
+
+    void
+    addRef(const ArrayRef &r, bool poisoned)
+    {
+        // Indirect-subscript loads are references of their own.
+        for (const auto &sub : r.subs) {
+            if (!sub.indirect)
+                continue;
+            RefInfo load;
+            load.ref = sub.indirect->ref;
+            load.array = sub.indirect->array;
+            load.subs = {sub.indirect->index};
+            load.loops = loopStack_;
+            load.invarianceBlocked = blockedSnapshot();
+            load.scope =
+                scopeStack_.empty() ? nullptr : scopeStack_.back();
+            load.innerTrip =
+                tripStack_.empty() ? std::nullopt : tripStack_.back();
+            load.poisoned = poisoned;
+            refs_.push_back(std::move(load));
+        }
+
+        RefInfo info;
+        info.ref = r.ref;
+        info.array = r.array;
+        info.loops = loopStack_;
+        info.invarianceBlocked = blockedSnapshot();
+        info.scope = scopeStack_.empty() ? nullptr : scopeStack_.back();
+        info.innerTrip =
+            tripStack_.empty() ? std::nullopt : tripStack_.back();
+        info.poisoned = poisoned;
+        info.userTemporal = r.userTemporal;
+        info.userSpatial = r.userSpatial;
+        for (const auto &sub : r.subs) {
+            info.subs.push_back(sub.affine);
+            if (sub.indirect)
+                info.hasIndirectSub = true;
+        }
+        refs_.push_back(std::move(info));
+    }
+
+    const Program &program_;
+    std::vector<RefInfo> refs_;
+    std::vector<VarId> loopStack_;
+    std::vector<int> blockMark_;
+    std::vector<const Loop *> scopeStack_;
+    std::vector<std::optional<std::int64_t>> tripStack_;
+};
+
+/** Is the reference invariant with respect to some enclosing loop? */
+bool
+hasSelfTemporalDependence(const RefInfo &r)
+{
+    // Only the innermost temporalDepthLimit loops can carry
+    // exploitable (localized) reuse.
+    const std::size_t first =
+        r.loops.size() > temporalDepthLimit
+            ? r.loops.size() - temporalDepthLimit
+            : 0;
+    for (std::size_t d = first; d < r.loops.size(); ++d) {
+        const VarId v = r.loops[d];
+        if (d < r.invarianceBlocked.size() && r.invarianceBlocked[d])
+            continue; // inner trip space depends on v: no reuse
+        bool invariant = true;
+        for (const auto &sub : r.subs) {
+            if (sub.coeffOf(v) != 0) {
+                invariant = false;
+                break;
+            }
+        }
+        if (invariant)
+            return true;
+    }
+    return false;
+}
+
+/** Paper rule: movement only through the leading subscript, |c| < 4. */
+bool
+hasSpatialLocality(const RefInfo &r)
+{
+    if (r.loops.empty() || r.subs.empty())
+        return false;
+    const VarId innermost = r.loops.back();
+    for (std::size_t d = 1; d < r.subs.size(); ++d) {
+        if (r.subs[d].coeffOf(innermost) != 0)
+            return false; // parametric address stride
+    }
+    return std::llabs(r.subs[0].coeffOf(innermost)) <
+           spatialCoefficientLimit;
+}
+
+/**
+ * Spatial level for the variable-virtual-line extension: estimate
+ * the stream span of the innermost loop and grade it so the virtual
+ * line covers 2^level physical lines (level 1 = 64 B ... level 3 =
+ * 256 B). Falls back to level 1 when the trip count is unknown.
+ */
+std::uint8_t
+spatialLevelOf(const RefInfo &r)
+{
+    const VarId innermost = r.loops.back();
+    const std::int64_t stride =
+        std::llabs(r.subs[0].coeffOf(innermost)) * 8;
+    if (stride == 0 || !r.innerTrip)
+        return 1;
+    const std::int64_t bytes = *r.innerTrip * stride;
+    if (bytes >= 256)
+        return 3;
+    if (bytes >= 128)
+        return 2;
+    return 1;
+}
+
+/** Are two references uniformly generated (same coefficients)? */
+bool
+uniformlyGenerated(const RefInfo &a, const RefInfo &b)
+{
+    if (a.array != b.array || a.subs.size() != b.subs.size())
+        return false;
+    for (std::size_t d = 0; d < a.subs.size(); ++d)
+        if (!a.subs[d].sameCoefficients(b.subs[d]))
+            return false;
+    return true;
+}
+
+/**
+ * Compare subscript-constant vectors, most significant subscript last
+ * (column-major). Returns <0, 0, >0 like a three-way comparison.
+ */
+int
+compareConstants(const RefInfo &a, const RefInfo &b)
+{
+    for (std::size_t d = a.subs.size(); d-- > 0;) {
+        const auto ca = a.subs[d].constant();
+        const auto cb = b.subs[d].constant();
+        if (ca != cb)
+            return ca < cb ? -1 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+AnalysisResult
+analyze(const Program &program)
+{
+    SAC_ASSERT(program.finalized(),
+               "the program must be finalized before analysis");
+
+    Collector collector(program);
+    const std::vector<RefInfo> refs = collector.collect();
+
+    AnalysisResult result;
+    result.tags.assign(program.refCount(), Tags{});
+    result.stats.totalRefs = refs.size();
+
+    // Pass 1: per-reference self analysis.
+    std::vector<Tags> computed(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const RefInfo &r = refs[i];
+        if (r.poisoned) {
+            ++result.stats.poisonedRefs;
+            continue;
+        }
+        if (r.loops.empty()) {
+            ++result.stats.outsideLoopRefs;
+            continue;
+        }
+        if (r.hasIndirectSub) {
+            ++result.stats.indirectRefs;
+            continue;
+        }
+        computed[i].spatial = hasSpatialLocality(r);
+        if (computed[i].spatial)
+            computed[i].spatialLevel = spatialLevelOf(r);
+        computed[i].temporal = hasSelfTemporalDependence(r);
+    }
+
+    // Pass 2: uniformly generated groups within the same loop body.
+    // Group by (scope, array, rank); compare coefficients pairwise.
+    std::map<std::tuple<const Loop *, ArrayId, std::size_t>,
+             std::vector<std::size_t>>
+        buckets;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const RefInfo &r = refs[i];
+        if (r.poisoned || r.loops.empty() || r.hasIndirectSub)
+            continue;
+        buckets[{r.scope, r.array, r.subs.size()}].push_back(i);
+    }
+    for (const auto &[key, members] : buckets) {
+        (void)key;
+        if (members.size() < 2)
+            continue;
+        // Partition the bucket into uniformly generated groups.
+        std::vector<bool> assigned(members.size(), false);
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            if (assigned[a])
+                continue;
+            std::vector<std::size_t> group{members[a]};
+            assigned[a] = true;
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                if (!assigned[b] &&
+                    uniformlyGenerated(refs[members[a]],
+                                       refs[members[b]])) {
+                    group.push_back(members[b]);
+                    assigned[b] = true;
+                }
+            }
+            if (group.size() < 2)
+                continue;
+            result.stats.groupMembers += group.size();
+            // Every member exhibits a group temporal dependence.
+            for (const auto idx : group)
+                computed[idx].temporal = true;
+            // Only leading members keep the spatial tag.
+            std::size_t leader = group[0];
+            for (const auto idx : group)
+                if (compareConstants(refs[idx], refs[leader]) > 0)
+                    leader = idx;
+            for (const auto idx : group) {
+                if (compareConstants(refs[idx], refs[leader]) < 0) {
+                    computed[idx].spatial = false;
+                    computed[idx].spatialLevel = 0;
+                }
+            }
+        }
+    }
+
+    // Pass 3: user directives and final write-out.
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        const RefInfo &r = refs[i];
+        Tags t = computed[i];
+        if (r.userTemporal) {
+            t.temporal = *r.userTemporal;
+            ++result.stats.userOverrides;
+        }
+        if (r.userSpatial) {
+            t.spatial = *r.userSpatial;
+            t.spatialLevel =
+                t.spatial ? std::max<std::uint8_t>(t.spatialLevel, 1)
+                          : 0;
+            ++result.stats.userOverrides;
+        }
+        SAC_ASSERT(r.ref < result.tags.size(), "reference id out of range");
+        result.tags[r.ref] = t;
+        result.stats.temporalRefs += t.temporal ? 1 : 0;
+        result.stats.spatialRefs += t.spatial ? 1 : 0;
+    }
+    return result;
+}
+
+} // namespace locality
+} // namespace sac

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's Section-2.3 locality analysis: elementary compile-time
+ * tagging of array references with temporal and spatial bits.
+ *
+ * Rules implemented (deliberately as simple as the paper's):
+ *  - spatial: the innermost enclosing loop variable moves the
+ *    reference only through the contiguous (leading) subscript, with a
+ *    known constant coefficient of magnitude < 4 elements (32 bytes of
+ *    doubles). Movement through a non-leading subscript means a
+ *    parametric address stride, so the reference is not tagged.
+ *  - temporal (self): some enclosing loop variable has a zero
+ *    coefficient in every subscript — the reference is invariant with
+ *    respect to that loop, so that loop carries its reuse.
+ *  - temporal (group): two references to the same array in the same
+ *    loop body are "uniformly generated" — identical coefficients in
+ *    every subscript, constants possibly differing. All members of
+ *    such a group are tagged temporal; only the lexicographically
+ *    leading member (the one touching new data first) keeps its
+ *    spatial tag, as in the paper's Figure 5 where B(J,I+1) is
+ *    temporal+spatial but B(J,I) is temporal only.
+ *  - a CALL in a loop body clears both tags on every reference inside
+ *    that loop (no interprocedural analysis).
+ *  - references with indirect subscripts, or outside any loop, are
+ *    not analyzable and stay untagged.
+ *  - user directives (Section 4.1) override the computed tags.
+ */
+
+#ifndef SAC_LOCALITY_ANALYZER_HH
+#define SAC_LOCALITY_ANALYZER_HH
+
+#include <cstddef>
+
+#include "src/loopnest/generator.hh"
+#include "src/loopnest/program.hh"
+
+namespace sac {
+namespace locality {
+
+/** Summary counters of one analysis run. */
+struct AnalysisStats
+{
+    std::size_t totalRefs = 0;
+    std::size_t temporalRefs = 0;
+    std::size_t spatialRefs = 0;
+    std::size_t poisonedRefs = 0;   //!< cleared because of a CALL
+    std::size_t indirectRefs = 0;   //!< unanalyzable indirect subscripts
+    std::size_t outsideLoopRefs = 0;
+    std::size_t groupMembers = 0;   //!< refs in uniformly generated groups
+    std::size_t userOverrides = 0;
+};
+
+/** Result of analyzing a program. */
+struct AnalysisResult
+{
+    loopnest::TagVector tags;
+    AnalysisStats stats;
+};
+
+/**
+ * Analyze a finalized program and compute the software tags of every
+ * static reference (array references, indirect-subscript loads and
+ * indirect-bound loads alike).
+ */
+AnalysisResult analyze(const loopnest::Program &program);
+
+/**
+ * The spatial-coefficient threshold in elements: a leading-dimension
+ * stride below this is considered spatial (4 doubles = one 32-byte
+ * physical line).
+ */
+inline constexpr std::int64_t spatialCoefficientLimit = 4;
+
+/**
+ * Self-temporal reuse is only credited when the carrying (invariant)
+ * loop lies within this many innermost levels of the reference's
+ * nest — the "localized iteration space" approximation of Wolf & Lam
+ * (the paper's reference [30]): reuse carried by an outer time loop
+ * sweeps the whole working set between touches and is not cacheable.
+ */
+inline constexpr std::size_t temporalDepthLimit = 2;
+
+} // namespace locality
+} // namespace sac
+
+#endif // SAC_LOCALITY_ANALYZER_HH

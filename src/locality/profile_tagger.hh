@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Profile-based tagging: derive the temporal/spatial tags of every
+ * static reference from a trace's *observed* behavior instead of
+ * compile-time analysis.
+ *
+ * This answers the question behind the paper's Figure 10a ("if most
+ * references can be instrumented ... significant further performance
+ * improvements could be obtained") as an upper bound: the profiler
+ * sees through CALL-poisoned loops, indirect subscripts and aliased
+ * subscripts — everything the Section-2.3 analysis must give up on —
+ * at the cost of needing a profiling run, as profile-guided
+ * compilers do.
+ */
+
+#ifndef SAC_LOCALITY_PROFILE_TAGGER_HH
+#define SAC_LOCALITY_PROFILE_TAGGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/loopnest/generator.hh"
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace locality {
+
+/** Thresholds of the profile-based tagger. */
+struct ProfileTaggerParams
+{
+    /**
+     * A touch of a datum counts as exploitable reuse when the next
+     * touch follows within this many references (the paper estimates
+     * a ~2500-reference line lifetime in an 8-KB cache).
+     */
+    std::uint64_t maxReuseDistance = 2500;
+    /**
+     * Tag a reference temporal when at least this fraction of the
+     * data it touches is re-touched within the window.
+     */
+    double minReuseFraction = 0.3;
+    /**
+     * A consecutive access pair of one instruction is spatial when
+     * its stride is at most this many bytes (one physical line).
+     */
+    std::uint64_t maxStrideBytes = 32;
+    /** Tag spatial when this fraction of pairs is within a line. */
+    double minStrideFraction = 0.5;
+};
+
+/** Per-reference profile counters (exposed for tests and tooling). */
+struct RefProfile
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t reusedSoon = 0;   //!< touches re-touched in window
+    std::uint64_t spatialPairs = 0; //!< consecutive in-line strides
+    std::uint64_t pairs = 0;        //!< consecutive access pairs
+    double streamSpanSum = 0.0;     //!< accumulated stream spans
+    std::uint64_t streams = 0;
+
+    double
+    reuseFraction() const
+    {
+        return accesses ? static_cast<double>(reusedSoon) / accesses
+                        : 0.0;
+    }
+
+    double
+    strideFraction() const
+    {
+        return pairs ? static_cast<double>(spatialPairs) / pairs : 0.0;
+    }
+
+    double
+    meanStreamSpan() const
+    {
+        return streams ? streamSpanSum / streams : 0.0;
+    }
+};
+
+/** Result of profiling a trace. */
+struct ProfileResult
+{
+    /** Tags per static reference, indexed by RefId. */
+    loopnest::TagVector tags;
+    /** Raw counters per static reference. */
+    std::vector<RefProfile> profiles;
+};
+
+/** Profile @p t and derive tags for every static reference in it. */
+ProfileResult profileTags(const trace::Trace &t,
+                          const ProfileTaggerParams &params = {});
+
+/** Copy of @p t re-tagged with profile-derived tags. */
+trace::Trace retagFromProfile(const trace::Trace &t,
+                              const ProfileTaggerParams &params = {});
+
+} // namespace locality
+} // namespace sac
+
+#endif // SAC_LOCALITY_PROFILE_TAGGER_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Terse construction helpers for loop-nest programs, so workload
+ * definitions read close to the Fortran loops in the paper.
+ */
+
+#ifndef SAC_LOOPNEST_BUILDER_HH
+#define SAC_LOOPNEST_BUILDER_HH
+
+#include <utility>
+#include <vector>
+
+#include "src/loopnest/program.hh"
+
+namespace sac {
+namespace loopnest {
+namespace builder {
+
+/** The affine expression for loop variable @p v. */
+inline AffineExpr
+v(VarId var)
+{
+    return AffineExpr::var(var);
+}
+
+/** The constant affine expression @p c. */
+inline AffineExpr
+c(std::int64_t value)
+{
+    return AffineExpr(value);
+}
+
+/** Scale an expression: k * e. */
+inline AffineExpr
+operator*(std::int64_t k, const AffineExpr &e)
+{
+    return e.scaled(k);
+}
+
+/** A read reference `array(subs...)`. */
+inline ArrayRef
+read(ArrayId array, std::vector<Subscript> subs)
+{
+    ArrayRef r;
+    r.array = array;
+    r.subs = std::move(subs);
+    r.type = trace::AccessType::Read;
+    return r;
+}
+
+/** A write reference `array(subs...) = ...`. */
+inline ArrayRef
+write(ArrayId array, std::vector<Subscript> subs)
+{
+    ArrayRef r;
+    r.array = array;
+    r.subs = std::move(subs);
+    r.type = trace::AccessType::Write;
+    return r;
+}
+
+/** Apply user tag directives to a reference (Section 4.1). */
+inline ArrayRef
+directives(ArrayRef r, std::optional<bool> temporal,
+           std::optional<bool> spatial)
+{
+    r.userTemporal = temporal;
+    r.userSpatial = spatial;
+    return r;
+}
+
+/** An indirect subscript `base + array(index)`. */
+inline Subscript
+indirect(ArrayId array, AffineExpr index, AffineExpr base = AffineExpr())
+{
+    IndirectPart part;
+    part.array = array;
+    part.index = std::move(index);
+    return {std::move(base), std::move(part)};
+}
+
+/** An indirect loop bound `offset + array(index)`. */
+inline Bound
+indirectBound(ArrayId array, AffineExpr index,
+              std::int64_t offset = 0)
+{
+    IndirectPart part;
+    part.array = array;
+    part.index = std::move(index);
+    return {AffineExpr(offset), std::move(part)};
+}
+
+/** A DO loop `for var = lo .. hi step step { body }` (inclusive). */
+inline Loop
+loop(VarId var, Bound lo, Bound hi, std::vector<Stmt> body,
+     std::int64_t step = 1)
+{
+    Loop l;
+    l.var = var;
+    l.lo = std::move(lo);
+    l.hi = std::move(hi);
+    l.step = step;
+    l.body = std::move(body);
+    return l;
+}
+
+/**
+ * A guard: body executes on iterations where (expr mod modulus) <
+ * threshold. With modulus 4 and threshold 1 the body runs on a
+ * quarter of the iterations.
+ */
+inline Conditional
+when(AffineExpr expr, std::int64_t modulus, std::int64_t threshold,
+     std::vector<Stmt> body)
+{
+    Conditional c;
+    c.expr = std::move(expr);
+    c.modulus = modulus;
+    c.threshold = threshold;
+    c.body = std::move(body);
+    return c;
+}
+
+/** A CALL marker statement. */
+inline Stmt
+call()
+{
+    return {CallStmt{}};
+}
+
+} // namespace builder
+} // namespace loopnest
+} // namespace sac
+
+#endif // SAC_LOOPNEST_BUILDER_HH

@@ -1,0 +1,73 @@
+#include "src/loopnest/expr.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace loopnest {
+
+AffineExpr
+AffineExpr::term(VarId v, std::int64_t coeff)
+{
+    AffineExpr e;
+    if (coeff != 0)
+        e.terms_.push_back({v, coeff});
+    return e;
+}
+
+AffineExpr &
+AffineExpr::operator+=(const AffineExpr &o)
+{
+    constant_ += o.constant_;
+    for (const auto &t : o.terms_) {
+        auto it = std::lower_bound(
+            terms_.begin(), terms_.end(), t.var,
+            [](const Term &a, VarId v) { return a.var < v; });
+        if (it != terms_.end() && it->var == t.var) {
+            it->coeff += t.coeff;
+            if (it->coeff == 0)
+                terms_.erase(it);
+        } else {
+            terms_.insert(it, t);
+        }
+    }
+    return *this;
+}
+
+AffineExpr
+AffineExpr::scaled(std::int64_t k) const
+{
+    AffineExpr e;
+    if (k == 0)
+        return e;
+    e.constant_ = constant_ * k;
+    e.terms_ = terms_;
+    for (auto &t : e.terms_)
+        t.coeff *= k;
+    return e;
+}
+
+std::int64_t
+AffineExpr::coeffOf(VarId v) const
+{
+    const auto it = std::lower_bound(
+        terms_.begin(), terms_.end(), v,
+        [](const Term &a, VarId id) { return a.var < id; });
+    return (it != terms_.end() && it->var == v) ? it->coeff : 0;
+}
+
+std::int64_t
+AffineExpr::eval(const std::vector<std::int64_t> &env) const
+{
+    std::int64_t v = constant_;
+    for (const auto &t : terms_) {
+        SAC_ASSERT(t.var < env.size(),
+                   "loop variable without a value in eval()");
+        v += t.coeff * env[t.var];
+    }
+    return v;
+}
+
+} // namespace loopnest
+} // namespace sac

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Affine expressions over loop variables: the building block of array
+ * subscripts and loop bounds in the loop-nest IR.
+ */
+
+#ifndef SAC_LOOPNEST_EXPR_HH
+#define SAC_LOOPNEST_EXPR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sac {
+namespace loopnest {
+
+/** Identifier of a loop variable within a Program. */
+using VarId = std::uint32_t;
+
+/** Identifier of an array within a Program. */
+using ArrayId = std::uint32_t;
+
+/**
+ * An affine expression c0 + sum(ci * var_i). Terms are kept sorted by
+ * variable id with no duplicates and no zero coefficients, so
+ * structural comparison doubles as semantic comparison.
+ */
+class AffineExpr
+{
+  public:
+    /** One (variable, coefficient) term. */
+    struct Term
+    {
+        VarId var;
+        std::int64_t coeff;
+
+        bool operator==(const Term &) const = default;
+    };
+
+    /** The zero expression. */
+    AffineExpr() = default;
+
+    /** A constant expression. */
+    explicit AffineExpr(std::int64_t c) : constant_(c) {}
+
+    /** The expression `v` (coefficient 1, constant 0). */
+    static AffineExpr var(VarId v) { return term(v, 1); }
+
+    /** The expression `coeff * v`. */
+    static AffineExpr term(VarId v, std::int64_t coeff);
+
+    /** Add another expression (term-wise). */
+    AffineExpr &operator+=(const AffineExpr &o);
+
+    /** Sum of two expressions. */
+    friend AffineExpr
+    operator+(AffineExpr a, const AffineExpr &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Add a constant. */
+    friend AffineExpr
+    operator+(AffineExpr a, std::int64_t c)
+    {
+        a.constant_ += c;
+        return a;
+    }
+
+    /** Subtract a constant. */
+    friend AffineExpr
+    operator-(AffineExpr a, std::int64_t c)
+    {
+        a.constant_ -= c;
+        return a;
+    }
+
+    /** Subtract another expression. */
+    friend AffineExpr
+    operator-(AffineExpr a, const AffineExpr &b)
+    {
+        a += b.scaled(-1);
+        return a;
+    }
+
+    /** Multiply by a scalar. */
+    AffineExpr scaled(std::int64_t k) const;
+
+    /** Constant part. */
+    std::int64_t constant() const { return constant_; }
+
+    /** Coefficient of variable @p v (0 when absent). */
+    std::int64_t coeffOf(VarId v) const;
+
+    /** Non-zero terms, sorted by variable id. */
+    const std::vector<Term> &terms() const { return terms_; }
+
+    /** True when the expression has no variable terms. */
+    bool isConstant() const { return terms_.empty(); }
+
+    /**
+     * Evaluate under an environment mapping variable id to value.
+     * @param env value of variable i at env[i]; must cover all terms
+     */
+    std::int64_t eval(const std::vector<std::int64_t> &env) const;
+
+    /** Structural (== semantic) equality. */
+    bool operator==(const AffineExpr &) const = default;
+
+    /** True when all variable coefficients match (constants ignored). */
+    bool sameCoefficients(const AffineExpr &o) const
+    {
+        return terms_ == o.terms_;
+    }
+
+  private:
+    std::int64_t constant_ = 0;
+    std::vector<Term> terms_;
+};
+
+} // namespace loopnest
+} // namespace sac
+
+#endif // SAC_LOOPNEST_EXPR_HH

@@ -1,0 +1,170 @@
+#include "src/loopnest/generator.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace loopnest {
+
+TraceGenerator::TraceGenerator(const Program &program,
+                               const TagVector &tags,
+                               trace::TimingModel &timing)
+    : program_(program), tags_(tags), timing_(timing)
+{
+    SAC_ASSERT(program_.finalized(),
+               "the program must be finalized before execution");
+    SAC_ASSERT(tags_.size() == program_.refCount(),
+               "tag vector size must equal the static reference count");
+    env_.assign(program_.varCount(), 0);
+}
+
+void
+TraceGenerator::run(trace::Trace &out, std::uint64_t max_records)
+{
+    out_ = &out;
+    maxRecords_ = max_records;
+    out.setName(program_.name());
+    execStmts(program_.statements());
+    out_ = nullptr;
+}
+
+void
+TraceGenerator::execStmts(const std::vector<Stmt> &stmts)
+{
+    for (const auto &s : stmts) {
+        if (s.isLoop()) {
+            execLoop(s.loop());
+        } else if (s.isRef()) {
+            execRef(s.ref());
+        } else if (s.isConditional()) {
+            const auto &c = s.conditional();
+            SAC_ASSERT(c.modulus > 0, "conditional modulus must be > 0");
+            const std::int64_t value = c.expr.eval(env_);
+            const std::int64_t residue =
+                ((value % c.modulus) + c.modulus) % c.modulus;
+            if (residue < c.threshold)
+                execStmts(c.body);
+        }
+        // CALL markers only affect analysis; nothing to execute.
+    }
+}
+
+void
+TraceGenerator::execLoop(const Loop &l)
+{
+    SAC_ASSERT(l.step != 0, "loop step must be non-zero");
+    const std::int64_t lo = evalBound(l.lo);
+    const std::int64_t hi = evalBound(l.hi);
+    const std::int64_t saved = env_[l.var];
+    if (l.step > 0) {
+        for (std::int64_t i = lo; i <= hi; i += l.step) {
+            env_[l.var] = i;
+            execStmts(l.body);
+        }
+    } else {
+        for (std::int64_t i = lo; i >= hi; i += l.step) {
+            env_[l.var] = i;
+            execStmts(l.body);
+        }
+    }
+    env_[l.var] = saved;
+}
+
+void
+TraceGenerator::execRef(const ArrayRef &r)
+{
+    const ArrayDecl &decl = program_.array(r.array);
+    std::vector<std::int64_t> idx;
+    idx.reserve(r.subs.size());
+    for (const auto &sub : r.subs) {
+        std::int64_t value = sub.affine.eval(env_);
+        if (sub.indirect)
+            value += evalIndirect(*sub.indirect);
+        idx.push_back(value);
+    }
+    emit(elementAddr(r.array, linearize(decl, idx)), r.ref, r.type);
+}
+
+std::int64_t
+TraceGenerator::evalBound(const Bound &b)
+{
+    std::int64_t value = b.affine.eval(env_);
+    if (b.indirect)
+        value += evalIndirect(*b.indirect);
+    return value;
+}
+
+std::int64_t
+TraceGenerator::evalIndirect(const IndirectPart &p)
+{
+    const ArrayDecl &decl = program_.array(p.array);
+    SAC_ASSERT(decl.dims.size() == 1,
+               "indirect index arrays must be one-dimensional: ",
+               decl.name);
+    SAC_ASSERT(!decl.data.empty(),
+               "index array has no contents: ", decl.name);
+    const std::int64_t i = p.index.eval(env_);
+    SAC_ASSERT(i >= 0 && i < decl.elementCount(),
+               "index-array subscript out of bounds in ", decl.name,
+               ": ", i);
+    emit(elementAddr(p.array, i), p.ref, trace::AccessType::Read);
+    return decl.data[static_cast<std::size_t>(i)];
+}
+
+void
+TraceGenerator::emit(Addr addr, RefId ref, trace::AccessType type)
+{
+    SAC_ASSERT(ref != invalidRefId,
+               "executing a reference with no id; was finalize() run?");
+    SAC_ASSERT(emitted_ < maxRecords_,
+               "trace exceeds the record cap; runaway loop nest?");
+    trace::Record rec;
+    rec.addr = addr;
+    rec.ref = ref;
+    rec.delta = timing_.sampleDelta();
+    rec.size = elementBytes;
+    rec.type = type;
+    rec.temporal = tags_[ref].temporal;
+    rec.spatial = tags_[ref].spatial;
+    rec.spatialLevel = tags_[ref].spatialLevel;
+    out_->push(rec);
+    ++emitted_;
+}
+
+Addr
+TraceGenerator::elementAddr(ArrayId a, std::int64_t linear) const
+{
+    const ArrayDecl &decl = program_.array(a);
+    return *decl.base +
+           static_cast<Addr>(linear) * decl.elemBytes;
+}
+
+std::int64_t
+TraceGenerator::linearize(const ArrayDecl &a,
+                          const std::vector<std::int64_t> &idx) const
+{
+    SAC_ASSERT(idx.size() == a.dims.size(),
+               "subscript count does not match array rank of ", a.name);
+    std::int64_t linear = 0;
+    std::int64_t stride = 1;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+        SAC_ASSERT(idx[d] >= 0 && idx[d] < a.dims[d],
+                   "subscript out of bounds in ", a.name, " dim ", d,
+                   ": ", idx[d], " not in [0, ", a.dims[d], ")");
+        linear += idx[d] * stride;
+        stride *= a.dims[d];
+    }
+    return linear;
+}
+
+trace::Trace
+generateUntagged(const Program &program, trace::TimingModel &timing)
+{
+    TagVector tags(program.refCount());
+    TraceGenerator gen(program, tags, timing);
+    trace::Trace t(program.name());
+    gen.run(t);
+    return t;
+}
+
+} // namespace loopnest
+} // namespace sac

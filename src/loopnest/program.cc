@@ -1,0 +1,139 @@
+#include "src/loopnest/program.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace loopnest {
+
+std::int64_t
+ArrayDecl::elementCount() const
+{
+    std::int64_t n = 1;
+    for (const auto d : dims)
+        n *= d;
+    return n;
+}
+
+std::int64_t
+ArrayDecl::sizeBytes() const
+{
+    return elementCount() * static_cast<std::int64_t>(elemBytes);
+}
+
+VarId
+Program::addVar(std::string name)
+{
+    SAC_ASSERT(!finalized_, "cannot add variables after finalize()");
+    vars_.push_back(std::move(name));
+    return static_cast<VarId>(vars_.size() - 1);
+}
+
+ArrayId
+Program::addArray(std::string name, std::vector<std::int64_t> dims,
+                  unsigned elem_bytes)
+{
+    SAC_ASSERT(!finalized_, "cannot add arrays after finalize()");
+    SAC_ASSERT(!dims.empty(), "arrays need at least one dimension");
+    for (const auto d : dims)
+        SAC_ASSERT(d > 0, "array dimensions must be positive: ", name);
+    ArrayDecl decl;
+    decl.name = std::move(name);
+    decl.dims = std::move(dims);
+    decl.elemBytes = elem_bytes;
+    arrays_.push_back(std::move(decl));
+    return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void
+Program::setArrayBase(ArrayId a, Addr base)
+{
+    SAC_ASSERT(a < arrays_.size(), "unknown array id");
+    SAC_ASSERT(!finalized_, "cannot move arrays after finalize()");
+    arrays_[a].base = base;
+}
+
+void
+Program::setArrayData(ArrayId a, std::vector<std::int64_t> data)
+{
+    SAC_ASSERT(a < arrays_.size(), "unknown array id");
+    SAC_ASSERT(static_cast<std::int64_t>(data.size()) ==
+                   arrays_[a].elementCount(),
+               "data size must match the array extent of ",
+               arrays_[a].name);
+    arrays_[a].data = std::move(data);
+}
+
+namespace {
+
+/** Assign dense reference ids to every reference in lexical order. */
+class RefNumberer
+{
+  public:
+    void
+    numberStmts(std::vector<Stmt> &stmts)
+    {
+        for (auto &s : stmts)
+            numberStmt(s);
+    }
+
+    std::size_t count() const { return next_; }
+
+  private:
+    void
+    numberStmt(Stmt &s)
+    {
+        if (s.isLoop()) {
+            auto &l = s.loop();
+            numberBound(l.lo);
+            numberBound(l.hi);
+            numberStmts(l.body);
+        } else if (s.isRef()) {
+            auto &r = s.ref();
+            for (auto &sub : r.subs)
+                if (sub.indirect)
+                    sub.indirect->ref = nextId();
+            r.ref = nextId();
+        } else if (s.isConditional()) {
+            numberStmts(s.conditional().body);
+        }
+    }
+
+    void
+    numberBound(Bound &b)
+    {
+        if (b.indirect)
+            b.indirect->ref = nextId();
+    }
+
+    RefId nextId() { return static_cast<RefId>(next_++); }
+
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+void
+Program::finalize()
+{
+    SAC_ASSERT(!finalized_, "finalize() may only be called once");
+
+    Addr next = baseAddress;
+    for (auto &a : arrays_) {
+        if (!a.base) {
+            a.base = next;
+        }
+        const Addr end =
+            *a.base + static_cast<Addr>(a.sizeBytes());
+        if (end > next)
+            next = end;
+        next = (next + arrayAlignment - 1) & ~(arrayAlignment - 1);
+    }
+
+    RefNumberer numberer;
+    numberer.numberStmts(top_);
+    ref_count_ = numberer.count();
+    finalized_ = true;
+}
+
+} // namespace loopnest
+} // namespace sac

@@ -1,0 +1,52 @@
+#include "src/sim/miss_classifier.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace sim {
+
+MissClassifier::MissClassifier(std::uint32_t capacity_lines,
+                               std::uint32_t line_bytes)
+    : capacityLines_(capacity_lines)
+{
+    SAC_ASSERT(capacity_lines > 0, "classifier needs capacity");
+    SAC_ASSERT(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+               "line size must be a power of two");
+    shift_ = 0;
+    while ((1u << shift_) < line_bytes)
+        ++shift_;
+}
+
+MissClass
+MissClassifier::access(Addr byte_addr, bool was_miss)
+{
+    const Addr line = lineOf(byte_addr);
+
+    const bool first_touch = seen_.insert(line).second;
+
+    // Shadow fully-associative LRU lookup + update.
+    bool shadow_hit = false;
+    const auto it = where_.find(line);
+    if (it != where_.end()) {
+        shadow_hit = true;
+        lru_.erase(it->second);
+    }
+    lru_.push_front(line);
+    where_[line] = lru_.begin();
+    if (lru_.size() > capacityLines_) {
+        where_.erase(lru_.back());
+        lru_.pop_back();
+    }
+
+    if (!was_miss)
+        return MissClass::Conflict; // unused by callers on hits
+
+    if (first_touch)
+        return MissClass::Compulsory;
+    if (!shadow_hit)
+        return MissClass::Capacity;
+    return MissClass::Conflict;
+}
+
+} // namespace sim
+} // namespace sac

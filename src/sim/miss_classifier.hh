@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The classical three-C miss classifier: a miss is *compulsory* on the
+ * first touch of a line, *capacity* when a fully-associative LRU cache
+ * of equal size would also have missed, and *conflict* otherwise. The
+ * shadow LRU is updated on every access, hit or miss.
+ */
+
+#ifndef SAC_SIM_MISS_CLASSIFIER_HH
+#define SAC_SIM_MISS_CLASSIFIER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/types.hh"
+
+namespace sac {
+namespace sim {
+
+/** Kind of cache miss, per the classical three-C model. */
+enum class MissClass { Compulsory, Capacity, Conflict };
+
+/**
+ * Tracks the shadow state needed to classify misses at physical-line
+ * granularity.
+ */
+class MissClassifier
+{
+  public:
+    /**
+     * @param capacity_lines number of lines a fully-associative cache
+     *        of the modeled capacity would hold
+     * @param line_bytes physical line size (power of two)
+     */
+    MissClassifier(std::uint32_t capacity_lines,
+                   std::uint32_t line_bytes);
+
+    /**
+     * Record an access to @p byte_addr and, when @p was_miss, return
+     * its class. Must be called for every demand access in order.
+     */
+    MissClass access(Addr byte_addr, bool was_miss);
+
+    /** Number of distinct lines ever touched. */
+    std::size_t touchedLines() const { return seen_.size(); }
+
+  private:
+    Addr lineOf(Addr byte_addr) const { return byte_addr >> shift_; }
+
+    std::uint32_t capacityLines_;
+    std::uint32_t shift_;
+    std::unordered_set<Addr> seen_;
+    /** LRU order, most recent at front. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> where_;
+};
+
+} // namespace sim
+} // namespace sac
+
+#endif // SAC_SIM_MISS_CLASSIFIER_HH

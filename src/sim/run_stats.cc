@@ -1,0 +1,87 @@
+#include "src/sim/run_stats.hh"
+
+#include <ostream>
+
+#include "src/util/stats.hh"
+
+namespace sac {
+namespace sim {
+
+double
+RunStats::amat() const
+{
+    return util::safeRatio(totalAccessCycles,
+                           static_cast<double>(accesses));
+}
+
+double
+RunStats::missRatio() const
+{
+    return util::safeRatio(static_cast<double>(misses + bypasses),
+                           static_cast<double>(accesses));
+}
+
+double
+RunStats::hitRatio() const
+{
+    return util::safeRatio(
+        static_cast<double>(mainHits + auxHits + bypassBufferHits),
+        static_cast<double>(accesses));
+}
+
+double
+RunStats::mainHitShare() const
+{
+    return util::safeRatio(static_cast<double>(mainHits),
+                           static_cast<double>(mainHits + auxHits));
+}
+
+double
+RunStats::auxHitShare() const
+{
+    return util::safeRatio(static_cast<double>(auxHits),
+                           static_cast<double>(mainHits + auxHits));
+}
+
+double
+RunStats::wordsFetchedPerAccess() const
+{
+    return util::safeRatio(
+        static_cast<double>(bytesFetched) / wordBytes,
+        static_cast<double>(accesses));
+}
+
+void
+RunStats::print(std::ostream &os) const
+{
+    os << "accesses            " << accesses << " (" << reads
+       << " reads, " << writes << " writes)\n"
+       << "AMAT                " << util::formatFixed(amat(), 3)
+       << " cycles\n"
+       << "miss ratio          " << util::formatFixed(missRatio(), 4)
+       << "\n"
+       << "main hits           " << mainHits << "\n"
+       << "aux hits            " << auxHits << " (" << auxPrefetchHits
+       << " on prefetched lines)\n"
+       << "misses              " << misses << " [compulsory "
+       << compulsoryMisses << ", capacity " << capacityMisses
+       << ", conflict " << conflictMisses << "]\n"
+       << "bypasses            " << bypasses << " (buffer hits "
+       << bypassBufferHits << ")\n"
+       << "lines fetched       " << linesFetched << " ("
+       << extraLinesFetched << " extra via virtual lines)\n"
+       << "words/access        "
+       << util::formatFixed(wordsFetchedPerAccess(), 3) << "\n"
+       << "written back        " << bytesWrittenBack << " bytes\n"
+       << "swaps               " << swaps << "\n"
+       << "bounce-backs        " << bounces << " (cancelled "
+       << bouncesCancelled << ", aborted " << bouncesAborted << ")\n"
+       << "invalidations       " << coherenceInvalidations << "\n"
+       << "prefetches          " << prefetchesIssued << " issued, "
+       << prefetchesUseful << " useful, " << prefetchesAvoided
+       << " avoided\n"
+       << "completion cycle    " << completionCycle << "\n";
+}
+
+} // namespace sim
+} // namespace sac

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Statistics of one simulation run: the counters behind every metric
+ * the paper reports (AMAT, miss ratio, hit repartition, memory
+ * traffic, miss classes, mechanism-specific event counts).
+ */
+
+#ifndef SAC_SIM_RUN_STATS_HH
+#define SAC_SIM_RUN_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/util/types.hh"
+
+namespace sac {
+namespace sim {
+
+/** All counters accumulated during one trace simulation. */
+struct RunStats
+{
+    // Access counts.
+    std::uint64_t accesses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    // Hit/miss breakdown.
+    std::uint64_t mainHits = 0;
+    std::uint64_t auxHits = 0;          //!< bounce-back / victim hits
+    std::uint64_t auxPrefetchHits = 0;  //!< aux hits on prefetched lines
+    std::uint64_t misses = 0;           //!< demand fetches from memory
+    std::uint64_t bypasses = 0;         //!< accesses served by bypass
+    std::uint64_t bypassBufferHits = 0;
+
+    // Miss classes (demand misses only).
+    std::uint64_t compulsoryMisses = 0;
+    std::uint64_t capacityMisses = 0;
+    std::uint64_t conflictMisses = 0;
+
+    // Traffic.
+    std::uint64_t linesFetched = 0;     //!< physical lines from memory
+    std::uint64_t bytesFetched = 0;     //!< demand + prefetch fetch bytes
+    std::uint64_t bytesWrittenBack = 0; //!< write-buffer drain bytes
+
+    // Mechanism events.
+    std::uint64_t virtualLineFills = 0; //!< misses that fetched > 1 line
+    std::uint64_t extraLinesFetched = 0;//!< lines beyond the missed one
+    std::uint64_t swaps = 0;            //!< aux hit swaps
+    std::uint64_t bounces = 0;          //!< temporal bounce-backs done
+    std::uint64_t bouncesCancelled = 0; //!< aimed at a miss fill target
+    std::uint64_t bouncesAborted = 0;   //!< dirty target, full buffer
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0; //!< prefetched lines demanded
+    std::uint64_t prefetchesAvoided = 0;//!< target already resident
+    std::uint64_t writeBufferFullStalls = 0;
+
+    // Time.
+    double totalAccessCycles = 0.0; //!< sum of per-access latencies
+    Cycle completionCycle = 0;      //!< cycle the last access finished
+
+    /** Average memory access time in cycles. */
+    double amat() const;
+
+    /** Fraction of accesses that went to memory. */
+    double missRatio() const;
+
+    /** Fraction of accesses that hit (main or aux or bypass buffer). */
+    double hitRatio() const;
+
+    /** Fraction of hits served by the main cache. */
+    double mainHitShare() const;
+
+    /** Fraction of hits served by the aux (bounce-back) cache. */
+    double auxHitShare() const;
+
+    /** 4-byte words fetched from memory per access (Figure 7a). */
+    double wordsFetchedPerAccess() const;
+
+    /** Print a human-readable summary. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace sim
+} // namespace sac
+
+#endif // SAC_SIM_RUN_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Timing parameters of the simulated memory hierarchy, following the
+ * paper's Section 3.1 defaults: 20-cycle memory latency, 16-byte bus,
+ * 1-cycle direct-mapped main cache, 3-cycle bounce-back cache.
+ */
+
+#ifndef SAC_SIM_TIMING_HH
+#define SAC_SIM_TIMING_HH
+
+#include <cstdint>
+
+#include "src/util/types.hh"
+
+namespace sac {
+namespace sim {
+
+/** All latency/bandwidth knobs of the simulated hierarchy. */
+struct TimingParams
+{
+    /** Main-memory access latency, in cycles (paper default: 20). */
+    Cycle memoryLatency = 20;
+    /** Bus bandwidth in bytes per cycle (paper default: 16). */
+    std::uint32_t busBytesPerCycle = 16;
+    /** Main cache hit time (direct-mapped, on-chip: 1 cycle). */
+    Cycle mainHitTime = 1;
+    /**
+     * Bounce-back / victim cache access time. The paper argues the
+     * hit/miss answer of the main cache arrives in the second cycle
+     * and selects a conservative 3 cycles.
+     */
+    Cycle auxHitTime = 3;
+    /** Extra cycles both caches stay locked after a swap. */
+    Cycle swapLockCycles = 2;
+    /** Cycles to transfer one dirty line to the write buffer. */
+    Cycle dirtyTransferCycles = 2;
+    /** Extra main-cache stall after a hit on a prefetched aux line. */
+    Cycle prefetchHitExtraStall = 1;
+
+    /** Bus cycles needed to move @p bytes. */
+    Cycle
+    transferCycles(std::uint64_t bytes) const
+    {
+        return (bytes + busBytesPerCycle - 1) / busBytesPerCycle;
+    }
+
+    /**
+     * Demand miss penalty for fetching @p n physical lines of
+     * @p line_bytes each: tlat + n*LS/wb (paper, Section 2.1).
+     */
+    Cycle
+    missPenalty(std::uint32_t n, std::uint32_t line_bytes) const
+    {
+        return memoryLatency +
+               transferCycles(static_cast<std::uint64_t>(n) * line_bytes);
+    }
+};
+
+} // namespace sim
+} // namespace sac
+
+#endif // SAC_SIM_TIMING_HH

@@ -1,0 +1,43 @@
+#include "src/sim/write_buffer.hh"
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace sim {
+
+WriteBuffer::WriteBuffer(std::uint32_t capacity) : capacity_(capacity)
+{
+    SAC_ASSERT(capacity > 0 && capacity <= 64,
+               "write buffer capacity must be in [1, 64]");
+}
+
+void
+WriteBuffer::push(std::uint32_t bytes)
+{
+    SAC_ASSERT(!full(), "push into a full write buffer");
+    pendingBytes_[(head_ + occupancy_) % capacity_] = bytes;
+    ++occupancy_;
+    totalBytes_ += bytes;
+}
+
+std::uint32_t
+WriteBuffer::pop()
+{
+    SAC_ASSERT(!empty(), "pop from an empty write buffer");
+    const std::uint32_t bytes = pendingBytes_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --occupancy_;
+    return bytes;
+}
+
+std::uint64_t
+WriteBuffer::drainAll()
+{
+    std::uint64_t total = 0;
+    while (!empty())
+        total += pop();
+    return total;
+}
+
+} // namespace sim
+} // namespace sac

@@ -1,0 +1,43 @@
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace trace {
+
+Cycle
+Trace::totalIssueCycles() const
+{
+    Cycle total = 0;
+    for (const auto &r : records_)
+        total += r.delta;
+    return total;
+}
+
+std::size_t
+Trace::temporalCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records_)
+        n += r.temporal ? 1 : 0;
+    return n;
+}
+
+std::size_t
+Trace::spatialCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records_)
+        n += r.spatial ? 1 : 0;
+    return n;
+}
+
+std::size_t
+Trace::writeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records_)
+        n += r.isWrite() ? 1 : 0;
+    return n;
+}
+
+} // namespace trace
+} // namespace sac

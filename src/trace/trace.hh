@@ -1,0 +1,82 @@
+/**
+ * @file
+ * An in-memory reference trace with summary metadata, the unit of
+ * exchange between workload generators, profilers and simulators.
+ */
+
+#ifndef SAC_TRACE_TRACE_HH
+#define SAC_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.hh"
+
+namespace sac {
+namespace trace {
+
+/**
+ * A sequence of Records plus the benchmark name they came from.
+ * Records are stored in issue order; absolute issue cycles are the
+ * running sum of the per-record deltas.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Create an empty trace for benchmark @p name. */
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    /** Benchmark name (e.g. "MV"). */
+    const std::string &name() const { return name_; }
+
+    /** Change the benchmark name. */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append a record. */
+    void push(const Record &r) { records_.push_back(r); }
+
+    /** Number of records. */
+    std::size_t size() const { return records_.size(); }
+
+    /** True when the trace holds no records. */
+    bool empty() const { return records_.empty(); }
+
+    /** Record at index @p i. */
+    const Record &operator[](std::size_t i) const { return records_[i]; }
+
+    /** Mutable record at index @p i (used by re-tagging utilities). */
+    Record &at(std::size_t i) { return records_[i]; }
+
+    /** Begin iterator over records. */
+    auto begin() const { return records_.begin(); }
+
+    /** End iterator over records. */
+    auto end() const { return records_.end(); }
+
+    /** Reserve capacity for @p n records. */
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    /** Sum of issue-time deltas (total issue span in cycles). */
+    Cycle totalIssueCycles() const;
+
+    /** Count of records with the temporal tag set. */
+    std::size_t temporalCount() const;
+
+    /** Count of records with the spatial tag set. */
+    std::size_t spatialCount() const;
+
+    /** Count of write records. */
+    std::size_t writeCount() const;
+
+  private:
+    std::string name_;
+    std::vector<Record> records_;
+};
+
+} // namespace trace
+} // namespace sac
+
+#endif // SAC_TRACE_TRACE_HH

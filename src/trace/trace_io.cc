@@ -1,0 +1,111 @@
+#include "src/trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace sac {
+namespace trace {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x53414354; // "SACT"
+constexpr std::uint32_t traceVersion = 2;
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+readScalar(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &t, std::ostream &os)
+{
+    writeScalar(os, traceMagic);
+    writeScalar(os, traceVersion);
+    const auto name_len = static_cast<std::uint32_t>(t.name().size());
+    writeScalar(os, name_len);
+    os.write(t.name().data(), name_len);
+    writeScalar(os, static_cast<std::uint64_t>(t.size()));
+    for (const auto &r : t) {
+        writeScalar(os, r.addr);
+        writeScalar(os, r.ref);
+        writeScalar(os, r.delta);
+        writeScalar(os, r.size);
+        writeScalar(os, static_cast<std::uint8_t>(r.type));
+        const std::uint8_t tags = static_cast<std::uint8_t>(
+            (r.temporal ? 1u : 0u) | (r.spatial ? 2u : 0u));
+        writeScalar(os, tags);
+        writeScalar(os, r.spatialLevel);
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+writeTraceFile(const Trace &t, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && writeTrace(t, os);
+}
+
+bool
+readTrace(std::istream &is, Trace &out)
+{
+    std::uint32_t magic = 0, version = 0, name_len = 0;
+    if (!readScalar(is, magic) || magic != traceMagic)
+        return false;
+    if (!readScalar(is, version) || version != traceVersion)
+        return false;
+    if (!readScalar(is, name_len) || name_len > (1u << 20))
+        return false;
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        return false;
+    std::uint64_t count = 0;
+    if (!readScalar(is, count))
+        return false;
+
+    Trace t(name);
+    t.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Record r;
+        std::uint8_t type = 0, tags = 0;
+        if (!readScalar(is, r.addr) || !readScalar(is, r.ref) ||
+            !readScalar(is, r.delta) || !readScalar(is, r.size) ||
+            !readScalar(is, type) || !readScalar(is, tags) ||
+            !readScalar(is, r.spatialLevel)) {
+            return false;
+        }
+        if (type != 1 && type != 2)
+            return false;
+        r.type = static_cast<AccessType>(type);
+        r.temporal = (tags & 1u) != 0;
+        r.spatial = (tags & 2u) != 0;
+        t.push(r);
+    }
+    out = std::move(t);
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, Trace &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && readTrace(is, out);
+}
+
+} // namespace trace
+} // namespace sac

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Binary serialization of traces so long traces can be generated once
+ * and replayed by multiple experiments, exactly as the paper generated
+ * traces once and simulated many configurations on them.
+ *
+ * Format: a fixed little-endian header (magic, version, name, count)
+ * followed by packed per-record fields. The format is self-checking:
+ * readers validate the magic, version and record count.
+ */
+
+#ifndef SAC_TRACE_TRACE_IO_HH
+#define SAC_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace trace {
+
+/** Serialize @p t to a binary stream. Returns false on I/O failure. */
+bool writeTrace(const Trace &t, std::ostream &os);
+
+/** Serialize @p t to a file. Returns false on I/O failure. */
+bool writeTraceFile(const Trace &t, const std::string &path);
+
+/**
+ * Deserialize a trace from a binary stream.
+ *
+ * @param is source stream
+ * @param out receives the trace on success
+ * @retval true on success, false on malformed input or I/O failure
+ */
+bool readTrace(std::istream &is, Trace &out);
+
+/** Deserialize a trace from a file. */
+bool readTraceFile(const std::string &path, Trace &out);
+
+} // namespace trace
+} // namespace sac
+
+#endif // SAC_TRACE_TRACE_IO_HH

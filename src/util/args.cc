@@ -1,0 +1,106 @@
+#include "src/util/args.hh"
+
+#include <cstdlib>
+
+namespace sac {
+namespace util {
+
+bool
+Args::parse(int argc, const char *const *argv, bool skip_first)
+{
+    options_.clear();
+    positionals_.clear();
+    error_.clear();
+
+    for (int i = skip_first ? 1 : 0; i < argc; ++i) {
+        const std::string tok = argv[i];
+        if (tok == "--") {
+            // Everything after a bare -- is positional.
+            for (int j = i + 1; j < argc; ++j)
+                positionals_.emplace_back(argv[j]);
+            break;
+        }
+        if (tok.rfind("--", 0) != 0) {
+            positionals_.push_back(tok);
+            continue;
+        }
+        std::string body = tok.substr(2);
+        if (body.empty()) {
+            error_ = "empty option name";
+            return false;
+        }
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        if (body.rfind("no-", 0) == 0) {
+            options_[body.substr(3)] = "false";
+            continue;
+        }
+        // `--key value` when the next token is not an option.
+        if (i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "true";
+        }
+    }
+    return true;
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    return options_.count(key) > 0;
+}
+
+std::string
+Args::getString(const std::string &key,
+                const std::string &fallback) const
+{
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::optional<std::int64_t>
+Args::getInt(const std::string &key, std::int64_t fallback) const
+{
+    const auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+bool
+Args::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    return fallback;
+}
+
+std::vector<std::string>
+Args::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(options_.size());
+    for (const auto &[k, v] : options_) {
+        (void)v;
+        out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace sac

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the example applications:
+ * GNU-style long options with values (--key=value or --key value),
+ * boolean flags (--flag / --no-flag), and positional arguments.
+ */
+
+#ifndef SAC_UTIL_ARGS_HH
+#define SAC_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sac {
+namespace util {
+
+/** Parsed command line: options plus positionals. */
+class Args
+{
+  public:
+    /**
+     * Parse @p argv (excluding the program name is fine; argv[0] is
+     * skipped only when @p skip_first is true).
+     *
+     * Recognized forms: `--key=value`, `--key value` (when the next
+     * token does not start with `--`), `--flag`, `--no-flag`, and
+     * bare positionals.
+     *
+     * @retval false on malformed input (e.g. `--` alone); errors are
+     *         retrievable via error()
+     */
+    bool parse(int argc, const char *const *argv,
+               bool skip_first = true);
+
+    /** Last parse error, empty when parse() succeeded. */
+    const std::string &error() const { return error_; }
+
+    /** Was --key present (with or without a value)? */
+    bool has(const std::string &key) const;
+
+    /** String value of --key, or @p fallback. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /**
+     * Integer value of --key, or @p fallback; returns std::nullopt
+     * when the value is present but not an integer.
+     */
+    std::optional<std::int64_t>
+    getInt(const std::string &key, std::int64_t fallback) const;
+
+    /**
+     * Boolean value: true for `--flag` or `--flag=true/1/yes`, false
+     * for `--no-flag` or `--flag=false/0/no`, @p fallback otherwise.
+     */
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** All option keys seen (for unknown-option checking). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positionals_;
+    std::string error_;
+};
+
+} // namespace util
+} // namespace sac
+
+#endif // SAC_UTIL_ARGS_HH

@@ -1,0 +1,35 @@
+#include "src/util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sac {
+namespace util {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Inform:
+        prefix = "info: ";
+        break;
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        break;
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        break;
+    }
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace util
+} // namespace sac

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 style: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for status messages.
+ */
+
+#ifndef SAC_UTIL_LOGGING_HH
+#define SAC_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sac {
+namespace util {
+
+/** Severity of a log event. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a log message. Fatal exits with code 1; Panic aborts. Exposed so
+ * the convenience wrappers below stay header-only for formatting.
+ *
+ * @param level severity class
+ * @param msg fully formatted message text
+ */
+[[gnu::cold]] void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal error that should never happen regardless of what
+ * the user does, then abort.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logMessage(LogLevel::Panic, detail::format(args...));
+    __builtin_unreachable();
+}
+
+/**
+ * Report a condition caused by bad user input or configuration, then
+ * exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logMessage(LogLevel::Fatal, detail::format(args...));
+    __builtin_unreachable();
+}
+
+/** Warn about suspicious but non-fatal behavior. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::format(args...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Inform, detail::format(args...));
+}
+
+/**
+ * Check an invariant; panic with a description when it does not hold.
+ * Active in all build types (unlike assert).
+ */
+#define SAC_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sac::util::panic("assertion failed: ", #cond, " at ",         \
+                               __FILE__, ":", __LINE__, " ",                \
+                               ##__VA_ARGS__);                              \
+        }                                                                   \
+    } while (0)
+
+} // namespace util
+} // namespace sac
+
+#endif // SAC_UTIL_LOGGING_HH

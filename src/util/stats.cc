@@ -1,0 +1,46 @@
+#include "src/util/stats.hh"
+
+#include <cstdio>
+
+namespace sac {
+namespace util {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+std::string
+formatFixed(double x, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, x);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatFixed(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace util
+} // namespace sac

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers: counters with ratio formatting and a
+ * running scalar summary (mean / min / max), shared by the simulator
+ * statistics and the trace profilers.
+ */
+
+#ifndef SAC_UTIL_STATS_HH
+#define SAC_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sac {
+namespace util {
+
+/** Running summary of a scalar sequence. */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+double safeRatio(double num, double den);
+
+/** Format @p x with @p decimals digits after the point. */
+std::string formatFixed(double x, int decimals);
+
+/** Format a fraction in [0,1] as a percentage string like "12.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace util
+} // namespace sac
+
+#endif // SAC_UTIL_STATS_HH

@@ -1,0 +1,101 @@
+#include "src/util/table.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.hh"
+#include "src/util/stats.hh"
+
+namespace sac {
+namespace util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SAC_ASSERT(!headers_.empty(), "a table needs at least one column");
+}
+
+std::size_t
+Table::addRow()
+{
+    cells_.emplace_back(headers_.size());
+    return cells_.size() - 1;
+}
+
+void
+Table::set(std::size_t row, std::size_t col, std::string value)
+{
+    SAC_ASSERT(row < cells_.size() && col < headers_.size(),
+               "table cell out of range");
+    cells_[row][col] = std::move(value);
+}
+
+void
+Table::setNumber(std::size_t row, std::size_t col, double value,
+                 int decimals)
+{
+    set(row, col, formatFixed(value, decimals));
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SAC_ASSERT(cells.size() == headers_.size(),
+               "row width does not match column count");
+    cells_.push_back(std::move(cells));
+}
+
+const std::string &
+Table::header(std::size_t col) const
+{
+    SAC_ASSERT(col < headers_.size(), "column out of range");
+    return headers_[col];
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t col) const
+{
+    SAC_ASSERT(row < cells_.size() && col < headers_.size(),
+               "table cell out of range");
+    return cells_[row][col];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : cells_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : cells_)
+        emit_row(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace util
+} // namespace sac

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASCII table printer used by every bench binary to emit the rows and
+ * series of the paper's figures in a uniform, diffable format.
+ */
+
+#ifndef SAC_UTIL_TABLE_HH
+#define SAC_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sac {
+namespace util {
+
+/**
+ * A rectangular table with a header row. Cells are strings; numeric
+ * convenience setters format with a fixed number of decimals. Columns
+ * are padded to their widest cell when printed.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append an empty row and return its index. */
+    std::size_t addRow();
+
+    /** Set cell (row, col) to a string value. */
+    void set(std::size_t row, std::size_t col, std::string value);
+
+    /** Set cell (row, col) to a fixed-point formatted number. */
+    void setNumber(std::size_t row, std::size_t col, double value,
+                   int decimals = 3);
+
+    /** Append a full row of string cells (must match column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return cells_.size(); }
+
+    /** Number of columns. */
+    std::size_t cols() const { return headers_.size(); }
+
+    /** Header of column @p col. */
+    const std::string &header(std::size_t col) const;
+
+    /** Cell contents at (row, col). */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+    /** Render with aligned columns, header underline, trailing newline. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (used by tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+} // namespace util
+} // namespace sac
+
+#endif // SAC_UTIL_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the
+ * software-assisted cache reproduction.
+ */
+
+#ifndef SAC_UTIL_TYPES_HH
+#define SAC_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace sac {
+
+/** Byte address in the simulated (virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a static load/store instruction (a source reference). */
+using RefId = std::uint32_t;
+
+/** Sentinel for "no instruction". */
+inline constexpr RefId invalidRefId = 0xffffffffu;
+
+/** Size, in bytes, of one double-precision element (the paper's unit). */
+inline constexpr unsigned elementBytes = 8;
+
+/** Size, in bytes, of one "word" for memory-traffic accounting. */
+inline constexpr unsigned wordBytes = 4;
+
+} // namespace sac
+
+#endif // SAC_UTIL_TYPES_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * LIV: a Livermore-loops kernel suite stand-in. Each kernel is
+ * repeated by its own outer loop, so arrays exhibit the cyclic
+ * temporal reuse with long reuse distances that the paper identifies
+ * as the worst case for LRU and the motivating case for the
+ * bounce-back mechanism (Section 2.2).
+ *
+ * Twelve kernels are modeled, chosen to cover the suite's access
+ * patterns: pure streams (1, 7, 12), first-order recurrences (5, 11),
+ * reductions (3), gather/scatter (13), banded and strided access
+ * (4, 8), small dense matrix work (21), an excerpt of the ICCG
+ * wavefront (2), and a state-equation fragment with a wide
+ * uniformly-generated group (7, 9).
+ */
+
+#include "src/workloads/workloads.hh"
+
+#include "src/loopnest/builder.hh"
+#include "src/util/rng.hh"
+
+namespace sac {
+namespace workloads {
+
+using namespace loopnest::builder;
+using loopnest::Program;
+
+Program
+buildLiv(Scale scale)
+{
+    const std::int64_t n = scale.apply(2000, 64);
+    const std::int64_t reps = 3;
+
+    Program p("LIV");
+    const auto X = p.addArray("X", {n + 16});
+    const auto Y = p.addArray("Y", {n + 16});
+    const auto Z = p.addArray("Z", {n + 16});
+    const auto U = p.addArray("U", {n + 16});
+    const auto V = p.addArray("V", {n + 16});
+    const auto l = p.addVar("l");
+    const auto k = p.addVar("k");
+    const auto j = p.addVar("j");
+
+    // Kernel 1 — hydro fragment:
+    //   X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n - 1,
+                         {read(Y, {v(k)}), read(Z, {v(k) + 10}),
+                          read(Z, {v(k) + 11}), write(X, {v(k)})})}));
+
+    // Kernel 2 — ICCG excerpt (strided gather at halving distance,
+    // modeled at a fixed stride of 2):
+    //   X(k) = X(2k) - V(2k)*X(2k+1)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n / 2 - 1,
+                         {read(X, {2 * v(k)}), read(V, {2 * v(k)}),
+                          read(X, {2 * v(k) + 1}),
+                          write(X, {v(k)})})}));
+
+    // Kernel 3 — inner product: Q += Z(k)*X(k)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n - 1,
+                         {read(Z, {v(k)}), read(X, {v(k)})})}));
+
+    // Kernel 4 — banded linear equations (stride-5 gather):
+    //   fragment: XZ += Y(j)*X(j*5)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(j, 0, n / 5 - 1,
+                         {read(Y, {v(j)}), read(X, {5 * v(j)})})}));
+
+    // Kernel 5 — tri-diagonal elimination, below diagonal:
+    //   X(i) = Z(i)*(Y(i) - X(i-1))
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 1, n - 1,
+                         {read(Z, {v(k)}), read(Y, {v(k)}),
+                          read(X, {v(k) - 1}), write(X, {v(k)})})}));
+
+    // Kernel 7 — equation of state fragment (a taste of its U(k+d)
+    // group reuse):
+    //   X(k) = U(k) + R*(Z(k)+R*Y(k))
+    //        + T*(U(k+3)+R*(U(k+2)+R*U(k+1)))
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n - 1,
+                         {read(U, {v(k)}), read(Z, {v(k)}),
+                          read(Y, {v(k)}), read(U, {v(k) + 3}),
+                          read(U, {v(k) + 2}), read(U, {v(k) + 1}),
+                          write(X, {v(k)})})}));
+
+    // Kernel 8 — ADI-like fragment: two interleaved strided streams.
+    //   U(2k) and U(2k+1) updated from V(k), Z(k)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n / 2 - 1,
+                         {read(V, {v(k)}), read(Z, {v(k)}),
+                          write(U, {2 * v(k)}),
+                          write(U, {2 * v(k) + 1})})}));
+
+    // Kernel 9 — integrate predictors: a wide uniformly generated
+    // group over one array (10 terms in the original).
+    p.addStmt(loop(
+        l, 1, reps,
+        {loop(k, 0, n - 8,
+              {read(U, {v(k)}), read(U, {v(k) + 1}),
+               read(U, {v(k) + 2}), read(U, {v(k) + 3}),
+               read(U, {v(k) + 4}), read(U, {v(k) + 5}),
+               write(X, {v(k)})})}));
+
+    // Kernel 11 — first sum: X(k) = X(k-1) + Y(k)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 1, n - 1,
+                         {read(X, {v(k) - 1}), read(Y, {v(k)}),
+                          write(X, {v(k)})})}));
+
+    // Kernel 12 — first difference: X(k) = Y(k+1) - Y(k)
+    p.addStmt(loop(l, 1, reps,
+                   {loop(k, 0, n - 1,
+                         {read(Y, {v(k) + 1}), read(Y, {v(k)}),
+                          write(X, {v(k)})})}));
+
+    // Kernel 13 — 2-D particle in cell (gather/scatter through a
+    // position-derived index).
+    {
+        const auto Ix = p.addArray("Ix", {n});
+        util::Rng rng(0x11cull);
+        std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+        for (auto &x : idx)
+            x = rng.nextInRange(0, n - 1);
+        p.setArrayData(Ix, idx);
+        p.addStmt(loop(l, 1, reps,
+                       {loop(k, 0, n - 1,
+                             {read(Y, {indirect(Ix, v(k))}),
+                              write(Z, {indirect(Ix, v(k))})})}));
+    }
+
+    // Kernel 21 — matrix product fragment on a small dense block:
+    //   PX(i,j) += VY(i,k)*CX(k,j) with 24x24 blocks.
+    {
+        const std::int64_t m = 24;
+        const auto PX = p.addArray("PX", {m, m});
+        const auto VY = p.addArray("VY", {m, m});
+        const auto CX = p.addArray("CX", {m, m});
+        const auto i = p.addVar("i");
+        const auto kk = p.addVar("kk");
+        const auto jj = p.addVar("jj");
+        p.addStmt(loop(
+            l, 1, reps,
+            {loop(jj, 0, m - 1,
+                  {loop(kk, 0, m - 1,
+                        {read(CX, {v(kk), v(jj)}),
+                         loop(i, 0, m - 1,
+                              {read(PX, {v(i), v(jj)}),
+                               read(VY, {v(i), v(kk)}),
+                               write(PX, {v(i), v(jj)})})})})}));
+    }
+
+    return p;
+}
+
+} // namespace workloads
+} // namespace sac

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * NAS and Slalom stand-ins. NAS is modeled as a conjugate-gradient
+ * iteration (sparse matrix-vector product plus vector kernels), the
+ * heart of NAS CG; Slalom as a dense LU-style factorization in the
+ * column-oriented jki form.
+ */
+
+#include "src/workloads/workloads.hh"
+
+#include <algorithm>
+
+#include "src/loopnest/builder.hh"
+#include "src/util/rng.hh"
+
+namespace sac {
+namespace workloads {
+
+using namespace loopnest::builder;
+using loopnest::Program;
+
+Program
+buildNas(Scale scale)
+{
+    const std::int64_t n = scale.apply(1000, 64);
+    const std::int64_t avg_nnz = 10;
+    const std::int64_t iters = 5;
+    util::Rng rng(0xca71ull);
+
+    std::vector<std::int64_t> rowptr(static_cast<std::size_t>(n + 1));
+    std::vector<std::int64_t> cols;
+    rowptr[0] = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t nnz = std::max<std::int64_t>(
+            1, rng.nextInRange(avg_nnz / 2, avg_nnz + avg_nnz / 2));
+        for (std::int64_t c = 0; c < nnz; ++c)
+            cols.push_back(rng.nextInRange(0, n - 1));
+        std::sort(cols.end() - nnz, cols.end());
+        rowptr[static_cast<std::size_t>(i + 1)] =
+            rowptr[static_cast<std::size_t>(i)] + nnz;
+    }
+    const auto total_nnz = static_cast<std::int64_t>(cols.size());
+
+    Program p("NAS");
+    const auto A = p.addArray("A", {total_nnz});
+    const auto Col = p.addArray("Col", {total_nnz});
+    const auto Rp = p.addArray("Rp", {n + 1});
+    const auto P = p.addArray("P", {n});
+    const auto Q = p.addArray("Q", {n});
+    const auto R = p.addArray("R", {n});
+    p.setArrayData(Col, cols);
+    p.setArrayData(Rp, rowptr);
+
+    const auto it = p.addVar("it");
+    const auto i = p.addVar("i");
+    const auto k = p.addVar("k");
+
+    p.addStmt(loop(
+        it, 1, iters,
+        {// q = A * p (CSR row sweep); p gathered through Col and
+         // tagged temporal by user directive, as in Section 4.1.
+         loop(i, 0, n - 1,
+              {loop(k, indirectBound(Rp, v(i)),
+                    indirectBound(Rp, v(i) + 1, -1),
+                    {read(A, {v(k)}),
+                     directives(read(P, {indirect(Col, v(k))}), true,
+                                std::nullopt)}),
+               write(Q, {v(i)})}),
+         // alpha = p . q
+         loop(k, 0, n - 1, {read(P, {v(k)}), read(Q, {v(k)})}),
+         // r = r - alpha * q ; rho = r . r
+         loop(k, 0, n - 1,
+              {read(R, {v(k)}), read(Q, {v(k)}), write(R, {v(k)}),
+               read(R, {v(k)})}),
+         // p = r + beta * p
+         loop(k, 0, n - 1,
+              {read(R, {v(k)}), read(P, {v(k)}),
+               write(P, {v(k)})})}));
+    return p;
+}
+
+Program
+buildSlalom(Scale scale)
+{
+    const std::int64_t m = scale.apply(128, 12);
+
+    Program p("Slalom");
+    const auto A = p.addArray("A", {m, m});
+    const auto j = p.addVar("j");
+    const auto k = p.addVar("k");
+    const auto i = p.addVar("i");
+
+    // Column-oriented (jki) LU factorization without pivoting:
+    //   DO j: DO k < j: DO i > k: A(i,j) -= A(i,k)*A(k,j)
+    //         DO i > j: A(i,j) /= A(j,j)
+    p.addStmt(loop(
+        j, 0, m - 1,
+        {loop(k, 0, v(j) + -1,
+              {read(A, {v(k), v(j)}),
+               loop(i, v(k) + 1, m - 1,
+                    {read(A, {v(i), v(j)}), read(A, {v(i), v(k)}),
+                     write(A, {v(i), v(j)})})}),
+         read(A, {v(j), v(j)}),
+         loop(i, v(j) + 1, m - 1,
+              {read(A, {v(i), v(j)}), write(A, {v(i), v(j)})})}));
+    return p;
+}
+
+} // namespace workloads
+} // namespace sac

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The numerical primitives of the paper: dense and sparse
+ * matrix-vector multiply (Sections 2.2 and 4.1) and the blocked /
+ * copied kernels of Sections 4.2-4.3.
+ */
+
+#include "src/workloads/workloads.hh"
+
+#include <algorithm>
+
+#include "src/loopnest/builder.hh"
+#include "src/util/logging.hh"
+#include "src/util/rng.hh"
+
+namespace sac {
+namespace workloads {
+
+using namespace loopnest::builder;
+using loopnest::Program;
+using loopnest::Stmt;
+
+Program
+buildMv(std::int64_t n)
+{
+    SAC_ASSERT(n > 0, "MV needs a positive order");
+    Program p("MV");
+    const auto A = p.addArray("A", {n, n});
+    const auto X = p.addArray("X", {n});
+    const auto Y = p.addArray("Y", {n});
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+
+    // DO j1: reg = Y(j1); DO j2: reg += A(j2,j1)*X(j2); Y(j1) = reg
+    p.addStmt(loop(j1, 0, n - 1,
+                   {read(Y, {v(j1)}),
+                    loop(j2, 0, n - 1,
+                         {read(A, {v(j2), v(j1)}), read(X, {v(j2)})}),
+                    write(Y, {v(j1)})}));
+    return p;
+}
+
+Program
+buildSpMv(std::int64_t n, std::int64_t avg_nnz, std::uint64_t seed)
+{
+    SAC_ASSERT(n > 1 && avg_nnz > 0, "bad SpMV parameters");
+    util::Rng rng(seed);
+
+    // Column pointer array D (n+1) and a row-index array per nonzero.
+    std::vector<std::int64_t> colptr(static_cast<std::size_t>(n + 1));
+    std::vector<std::int64_t> rows;
+    colptr[0] = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+        // Column counts vary between avg/2 and 3*avg/2.
+        const std::int64_t nnz = std::max<std::int64_t>(
+            1, rng.nextInRange(avg_nnz / 2, avg_nnz + avg_nnz / 2));
+        for (std::int64_t k = 0; k < nnz; ++k)
+            rows.push_back(rng.nextInRange(0, n - 1));
+        std::sort(rows.end() - nnz, rows.end());
+        colptr[static_cast<std::size_t>(j + 1)] =
+            colptr[static_cast<std::size_t>(j)] + nnz;
+    }
+    const auto total_nnz = static_cast<std::int64_t>(rows.size());
+
+    Program p("SpMV");
+    const auto A = p.addArray("A", {total_nnz});
+    const auto Index = p.addArray("Index", {total_nnz});
+    const auto D = p.addArray("D", {n + 1});
+    const auto X = p.addArray("X", {n});
+    const auto Y = p.addArray("Y", {n});
+    p.setArrayData(Index, rows);
+    p.setArrayData(D, colptr);
+
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+
+    // X is reused scarcely through the indirection; the compiler
+    // cannot analyze it, so a user directive tags it temporal
+    // (Section 4.1). A and Index are streaming pollution.
+    p.addStmt(loop(
+        j1, 0, n - 1,
+        {read(Y, {v(j1)}),
+         loop(j2, indirectBound(D, v(j1)),
+              indirectBound(D, v(j1) + 1, -1),
+              {read(A, {v(j2)}),
+               directives(read(X, {indirect(Index, v(j2))}), true,
+                          std::nullopt)}),
+         write(Y, {v(j1)})}));
+    return p;
+}
+
+Program
+buildBlockedMv(std::int64_t n, std::int64_t block)
+{
+    SAC_ASSERT(n > 0 && block > 0, "bad blocked-MV parameters");
+    block = std::min(block, n);
+    Program p("BlockedMV");
+    const auto A = p.addArray("A", {n, n});
+    const auto X = p.addArray("X", {n});
+    const auto Y = p.addArray("Y", {n});
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+
+    // Block over j2 (the X direction): each X block is swept across
+    // all rows before moving on, so larger blocks amortize Y traffic
+    // while X stays resident — until pollution by A evicts it.
+    const std::int64_t full_blocks = n / block;
+    for (std::int64_t b = 0; b < full_blocks; ++b) {
+        const std::int64_t lo = b * block;
+        const std::int64_t hi = lo + block - 1;
+        p.addStmt(loop(j1, 0, n - 1,
+                       {read(Y, {v(j1)}),
+                        loop(j2, lo, hi,
+                             {read(A, {v(j2), v(j1)}),
+                              read(X, {v(j2)})}),
+                        write(Y, {v(j1)})}));
+    }
+    const std::int64_t rem_lo = full_blocks * block;
+    if (rem_lo < n) {
+        p.addStmt(loop(j1, 0, n - 1,
+                       {read(Y, {v(j1)}),
+                        loop(j2, rem_lo, n - 1,
+                             {read(A, {v(j2), v(j1)}),
+                              read(X, {v(j2)})}),
+                        write(Y, {v(j1)})}));
+    }
+    return p;
+}
+
+Program
+buildCopiedMm(std::int64_t n, std::int64_t leading_dim,
+              std::int64_t block, bool copying)
+{
+    SAC_ASSERT(n > 0 && leading_dim >= n && block > 0 && block <= n &&
+                   n % block == 0,
+               "bad copied-MM parameters");
+    Program p(copying ? "CopiedMM" : "BlockedMM");
+    const auto A = p.addArray("A", {leading_dim, n});
+    const auto B = p.addArray("B", {leading_dim, n});
+    const auto C = p.addArray("C", {leading_dim, n});
+    // The local-memory array is contiguous regardless of leading_dim.
+    const auto T = p.addArray("T", {n, block});
+
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    const auto k = p.addVar("k");
+
+    // DO kb (blocks of k): [copy A block to T]; DO j, k, i:
+    //   C(i,j) += (T(i,k) | A(i,kb+k)) * B(kb+k,j)
+    for (std::int64_t kb = 0; kb < n; kb += block) {
+        if (copying) {
+            // Refill loop: very regular stride-one accesses that the
+            // virtual-line mechanism accelerates (Section 4.3).
+            p.addStmt(loop(k, 0, block - 1,
+                           {loop(i, 0, n - 1,
+                                 {read(A, {v(i), v(k) + kb}),
+                                  write(T, {v(i), v(k)})})}));
+        }
+        // B(kb+k,j) is loop-invariant in i and hoisted to a register,
+        // as the paper's codes do; it is read once per (j,k).
+        Stmt inner =
+            copying
+                ? Stmt(loop(i, 0, n - 1,
+                            {read(C, {v(i), v(j)}),
+                             read(T, {v(i), v(k)}),
+                             write(C, {v(i), v(j)})}))
+                : Stmt(loop(i, 0, n - 1,
+                            {read(C, {v(i), v(j)}),
+                             read(A, {v(i), v(k) + kb}),
+                             write(C, {v(i), v(j)})}));
+        p.addStmt(loop(j, 0, n - 1,
+                       {loop(k, 0, block - 1,
+                             {read(B, {v(k) + kb, v(j)}),
+                              std::move(inner)})}));
+    }
+    return p;
+}
+
+} // namespace workloads
+} // namespace sac

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Benchmark registry and the build → analyze → trace pipeline.
+ */
+
+#include "src/workloads/workloads.hh"
+
+#include "src/loopnest/generator.hh"
+#include "src/trace/timing_model.hh"
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace workloads {
+
+const std::vector<Benchmark> &
+paperBenchmarks()
+{
+    static const std::vector<Benchmark> list = {
+        {"MDG", [] { return buildMdg(); }},
+        {"BDN", [] { return buildBdn(); }},
+        {"DYF", [] { return buildDyf(); }},
+        {"TRF", [] { return buildTrf(); }},
+        {"NAS", [] { return buildNas(); }},
+        {"Slalom", [] { return buildSlalom(); }},
+        {"LIV", [] { return buildLiv(); }},
+        {"MV", [] { return buildMv(); }},
+        {"SpMV", [] { return buildSpMv(); }},
+    };
+    return list;
+}
+
+const std::vector<Benchmark> &
+kernelOnlyBenchmarks()
+{
+    static const std::vector<Benchmark> list = {
+        {"ADM", [] { return buildKernelOnly("ADM"); }},
+        {"MDG", [] { return buildKernelOnly("MDG"); }},
+        {"BDN", [] { return buildKernelOnly("BDN"); }},
+        {"DYF", [] { return buildKernelOnly("DYF"); }},
+        {"ARC", [] { return buildKernelOnly("ARC"); }},
+        {"FLO", [] { return buildKernelOnly("FLO"); }},
+        {"TRF", [] { return buildKernelOnly("TRF"); }},
+    };
+    return list;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : paperBenchmarks())
+        if (b.name == name)
+            return b;
+    util::fatal("unknown benchmark: ", name);
+}
+
+trace::Trace
+makeTaggedTrace(loopnest::Program &&program, std::uint64_t seed,
+                locality::AnalysisResult *analysis)
+{
+    program.finalize();
+    locality::AnalysisResult result = locality::analyze(program);
+    trace::TimingModel timing(seed);
+    loopnest::TraceGenerator gen(program, result.tags, timing);
+    trace::Trace t(program.name());
+    gen.run(t);
+    if (analysis)
+        *analysis = std::move(result);
+    return t;
+}
+
+trace::Trace
+makeBenchmarkTrace(const std::string &name, std::uint64_t seed)
+{
+    return makeTaggedTrace(findBenchmark(name).build(), seed);
+}
+
+trace::Trace
+makeTaggedTraceWithTiming(loopnest::Program &&program,
+                          const util::DiscreteDistribution &deltas,
+                          std::uint64_t seed)
+{
+    program.finalize();
+    const locality::AnalysisResult result = locality::analyze(program);
+    trace::TimingModel timing(deltas, seed);
+    loopnest::TraceGenerator gen(program, result.tags, timing);
+    trace::Trace t(program.name());
+    gen.run(t);
+    return t;
+}
+
+} // namespace workloads
+} // namespace sac

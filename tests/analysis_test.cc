@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the trace profilers behind Figures 1a, 1b and 4a:
+ * reuse distances, per-instruction vector lengths and tag fractions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/reuse_profiler.hh"
+#include "src/analysis/stream_profiler.hh"
+#include "src/analysis/tag_stats.hh"
+
+namespace {
+
+using namespace sac;
+using analysis::profileReuse;
+using analysis::profileStreams;
+using analysis::ReuseBucket;
+using analysis::VectorBucket;
+using trace::Record;
+using trace::Trace;
+
+Record
+rec(Addr addr, RefId ref = 0, bool temporal = false,
+    bool spatial = false)
+{
+    Record r;
+    r.addr = addr;
+    r.ref = ref;
+    r.temporal = temporal;
+    r.spatial = spatial;
+    return r;
+}
+
+TEST(ReuseProfiler, SingleUseDataIsNoReuse)
+{
+    Trace t("r");
+    t.push(rec(0));
+    t.push(rec(8));
+    t.push(rec(16));
+    const auto p = profileReuse(t);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(ReuseBucket::NoReuse)],
+              3u);
+    EXPECT_EQ(p.total, 3u);
+    EXPECT_DOUBLE_EQ(p.fraction(ReuseBucket::NoReuse), 1.0);
+}
+
+TEST(ReuseProfiler, ShortDistanceReuse)
+{
+    Trace t("r");
+    t.push(rec(0));
+    for (int i = 0; i < 49; ++i)
+        t.push(rec(8 * (i + 1)));
+    t.push(rec(0)); // reuse of datum 0 at distance 50
+    const auto p = profileReuse(t);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(ReuseBucket::UpTo100)],
+              1u);
+    // Everything else (and the final touch of 0) never recurs.
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(ReuseBucket::NoReuse)],
+              50u);
+    EXPECT_DOUBLE_EQ(p.meanReuseDistance, 50.0);
+}
+
+TEST(ReuseProfiler, BucketsByMagnitude)
+{
+    Trace t("r");
+    // Build distances of ~500 and ~5000 for two data.
+    t.push(rec(0));
+    for (int i = 0; i < 499; ++i)
+        t.push(rec(1000000 + 8 * i));
+    t.push(rec(0)); // distance 500 -> 10^2..10^3
+    for (int i = 0; i < 4999; ++i)
+        t.push(rec(2000000 + 8 * i));
+    t.push(rec(0)); // distance 5000 -> 10^3..10^4
+    const auto p = profileReuse(t);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(ReuseBucket::UpTo1k)],
+              1u);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(ReuseBucket::UpTo10k)],
+              1u);
+}
+
+TEST(ReuseProfiler, GranularityMergesNeighbors)
+{
+    Trace t("r");
+    t.push(rec(0));
+    t.push(rec(8)); // distinct at 8-byte granularity
+    const auto fine = profileReuse(t, 8);
+    EXPECT_EQ(
+        fine.counts[static_cast<std::size_t>(ReuseBucket::NoReuse)],
+        2u);
+    // At line (32-byte) granularity the second touch is a reuse.
+    const auto coarse = profileReuse(t, 32);
+    EXPECT_EQ(
+        coarse.counts[static_cast<std::size_t>(ReuseBucket::NoReuse)],
+        1u);
+    EXPECT_EQ(
+        coarse.counts[static_cast<std::size_t>(ReuseBucket::UpTo100)],
+        1u);
+}
+
+TEST(StreamProfiler, SingleStrideOneStream)
+{
+    Trace t("s");
+    for (int i = 0; i < 100; ++i)
+        t.push(rec(8 * static_cast<Addr>(i), 1));
+    const auto p = profileStreams(t);
+    EXPECT_EQ(p.streams, 1u);
+    // Span = 99*8 + 8 = 800 bytes: the "> 512 bytes" bucket gets all
+    // 100 references.
+    EXPECT_EQ(
+        p.counts[static_cast<std::size_t>(VectorBucket::Beyond512)],
+        100u);
+    EXPECT_DOUBLE_EQ(p.fraction(VectorBucket::Beyond512), 1.0);
+}
+
+TEST(StreamProfiler, ShortVectorBuckets)
+{
+    Trace t("s");
+    // Instruction 1 touches 4 consecutive doubles: 32-byte vector.
+    for (int i = 0; i < 4; ++i)
+        t.push(rec(8 * static_cast<Addr>(i), 1));
+    // Instruction 2 touches 12: 96-byte vector.
+    for (int i = 0; i < 12; ++i)
+        t.push(rec(100000 + 8 * static_cast<Addr>(i), 2));
+    const auto p = profileStreams(t);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(VectorBucket::UpTo32)],
+              4u);
+    EXPECT_EQ(
+        p.counts[static_cast<std::size_t>(VectorBucket::UpTo128)],
+        12u);
+    EXPECT_EQ(p.streams, 2u);
+}
+
+TEST(StreamProfiler, LargeStrideTerminatesStream)
+{
+    Trace t("s");
+    for (int i = 0; i < 10; ++i)
+        t.push(rec(8 * static_cast<Addr>(i), 1));
+    // A 4-KB jump (> 32-byte stride) starts a new stream.
+    for (int i = 0; i < 10; ++i)
+        t.push(rec(4096 + 8 * static_cast<Addr>(i), 1));
+    const auto p = profileStreams(t);
+    EXPECT_EQ(p.streams, 2u);
+}
+
+TEST(StreamProfiler, SilenceGapTerminatesStream)
+{
+    Trace t("s");
+    t.push(rec(0, 1));
+    t.push(rec(8, 1));
+    // 501 references of another instruction exceed the 500-ref gap.
+    for (int i = 0; i < 501; ++i)
+        t.push(rec(1000000 + 8 * static_cast<Addr>(i), 2));
+    t.push(rec(16, 1)); // would continue the stride-one run
+    const auto p = profileStreams(t);
+    // Instruction 1 contributes two streams; instruction 2 one.
+    EXPECT_EQ(p.streams, 3u);
+}
+
+TEST(StreamProfiler, ZeroStrideStaysInStream)
+{
+    Trace t("s");
+    for (int i = 0; i < 20; ++i)
+        t.push(rec(64, 1)); // same address repeatedly
+    const auto p = profileStreams(t);
+    EXPECT_EQ(p.streams, 1u);
+    EXPECT_EQ(p.counts[static_cast<std::size_t>(VectorBucket::UpTo32)],
+              20u);
+}
+
+TEST(StreamProfiler, CustomParams)
+{
+    Trace t("s");
+    t.push(rec(0, 1));
+    t.push(rec(64, 1)); // 64-byte stride
+    analysis::StreamParams params;
+    params.maxStrideBytes = 128;
+    EXPECT_EQ(profileStreams(t, params).streams, 1u);
+    EXPECT_EQ(profileStreams(t).streams, 2u); // default 32-byte limit
+}
+
+TEST(TagStats, FourWayPartition)
+{
+    Trace t("g");
+    t.push(rec(0, 0, false, false));
+    t.push(rec(0, 0, false, true));
+    t.push(rec(0, 0, true, false));
+    t.push(rec(0, 0, true, true));
+    t.push(rec(0, 0, true, true));
+    const auto s = analysis::computeTagStats(t);
+    EXPECT_EQ(s.total, 5u);
+    EXPECT_EQ(s.noTemporalNoSpatial, 1u);
+    EXPECT_EQ(s.noTemporalSpatial, 1u);
+    EXPECT_EQ(s.temporalNoSpatial, 1u);
+    EXPECT_EQ(s.temporalSpatial, 2u);
+    EXPECT_DOUBLE_EQ(s.fractionTemporal(), 0.6);
+    EXPECT_DOUBLE_EQ(s.fractionSpatial(), 0.6);
+    EXPECT_DOUBLE_EQ(s.fractionNoTemporalNoSpatial(), 0.2);
+    EXPECT_DOUBLE_EQ(s.fractionNoTemporalSpatial(), 0.2);
+    EXPECT_DOUBLE_EQ(s.fractionTemporalNoSpatial(), 0.2);
+    EXPECT_DOUBLE_EQ(s.fractionTemporalSpatial(), 0.4);
+}
+
+TEST(TagStats, EmptyTrace)
+{
+    Trace t;
+    const auto s = analysis::computeTagStats(t);
+    EXPECT_EQ(s.total, 0u);
+    EXPECT_DOUBLE_EQ(s.fractionTemporal(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/args.hh"
+
+namespace {
+
+using sac::util::Args;
+
+Args
+parsed(std::initializer_list<const char *> tokens)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    Args args;
+    EXPECT_TRUE(
+        args.parse(static_cast<int>(argv.size()), argv.data()));
+    return args;
+}
+
+TEST(ArgsTest, KeyEqualsValue)
+{
+    const auto a = parsed({"--cache-kb=16", "--name=soft"});
+    EXPECT_TRUE(a.has("cache-kb"));
+    EXPECT_EQ(a.getString("name"), "soft");
+    EXPECT_EQ(a.getInt("cache-kb", 0).value(), 16);
+}
+
+TEST(ArgsTest, KeySpaceValue)
+{
+    const auto a = parsed({"--latency", "30"});
+    EXPECT_EQ(a.getInt("latency", 0).value(), 30);
+}
+
+TEST(ArgsTest, BooleanFlags)
+{
+    const auto a = parsed({"--prefetch", "--no-bounce-back"});
+    EXPECT_TRUE(a.getBool("prefetch"));
+    EXPECT_FALSE(a.getBool("bounce-back", true));
+    EXPECT_TRUE(a.getBool("absent", true)); // fallback
+}
+
+TEST(ArgsTest, BooleanValueSpellings)
+{
+    const auto a = parsed({"--a=true", "--b=1", "--c=yes", "--d=false",
+                           "--e=0", "--f=no"});
+    EXPECT_TRUE(a.getBool("a"));
+    EXPECT_TRUE(a.getBool("b"));
+    EXPECT_TRUE(a.getBool("c"));
+    EXPECT_FALSE(a.getBool("d", true));
+    EXPECT_FALSE(a.getBool("e", true));
+    EXPECT_FALSE(a.getBool("f", true));
+}
+
+TEST(ArgsTest, Positionals)
+{
+    const auto a = parsed({"gen", "--out=x.bin", "MV"});
+    ASSERT_EQ(a.positionals().size(), 2u);
+    EXPECT_EQ(a.positionals()[0], "gen");
+    EXPECT_EQ(a.positionals()[1], "MV");
+}
+
+TEST(ArgsTest, DoubleDashEndsOptions)
+{
+    const auto a = parsed({"--x=1", "--", "--not-an-option"});
+    EXPECT_TRUE(a.has("x"));
+    ASSERT_EQ(a.positionals().size(), 1u);
+    EXPECT_EQ(a.positionals()[0], "--not-an-option");
+}
+
+TEST(ArgsTest, BadIntegerReturnsNullopt)
+{
+    const auto a = parsed({"--n=abc"});
+    EXPECT_FALSE(a.getInt("n", 0).has_value());
+}
+
+TEST(ArgsTest, MissingIntegerUsesFallback)
+{
+    const auto a = parsed({});
+    EXPECT_EQ(a.getInt("n", 42).value(), 42);
+}
+
+TEST(ArgsTest, HexIntegers)
+{
+    const auto a = parsed({"--seed=0x10"});
+    EXPECT_EQ(a.getInt("seed", 0).value(), 16);
+}
+
+TEST(ArgsTest, NegativeIntegers)
+{
+    const auto a = parsed({"--offset=-5"});
+    EXPECT_EQ(a.getInt("offset", 0).value(), -5);
+}
+
+TEST(ArgsTest, KeysEnumeration)
+{
+    const auto a = parsed({"--b=1", "--a=2"});
+    const auto keys = a.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a"); // map order
+    EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ArgsTest, FlagBeforeOptionNotSwallowed)
+{
+    // `--flag --key=v`: flag must not consume the next option.
+    const auto a = parsed({"--flag", "--key=v"});
+    EXPECT_TRUE(a.getBool("flag"));
+    EXPECT_EQ(a.getString("key"), "v");
+}
+
+TEST(ArgsTest, EmptyOptionNameIsAnError)
+{
+    const char *argv[] = {"prog", "--=x"};
+    sac::util::Args args;
+    // "--=x" has an empty name before '='; the parser stores it under
+    // the empty key rather than failing (document the behavior).
+    EXPECT_TRUE(args.parse(2, argv));
+
+    const char *argv2[] = {"prog", "--"};
+    sac::util::Args args2;
+    EXPECT_TRUE(args2.parse(2, argv2));
+    EXPECT_TRUE(args2.positionals().empty());
+}
+
+TEST(ArgsTest, ReparseResetsState)
+{
+    sac::util::Args args;
+    const char *first[] = {"prog", "--a=1", "pos"};
+    ASSERT_TRUE(args.parse(3, first));
+    const char *second[] = {"prog", "--b=2"};
+    ASSERT_TRUE(args.parse(2, second));
+    EXPECT_FALSE(args.has("a"));
+    EXPECT_TRUE(args.has("b"));
+    EXPECT_TRUE(args.positionals().empty());
+}
+
+} // namespace

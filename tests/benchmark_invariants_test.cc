@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameterized invariants over every registered benchmark: trace
+ * well-formedness, analyzer consistency, and simulator accounting
+ * closure under representative configurations. These are the
+ * system-level properties that must hold regardless of workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/analysis/tag_stats.hh"
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+
+class BenchmarkInvariants
+    : public testing::TestWithParam<const char *>
+{
+  protected:
+    const trace::Trace &
+    traceOf() const
+    {
+        static std::map<std::string, trace::Trace> cache;
+        const std::string name = GetParam();
+        auto it = cache.find(name);
+        if (it == cache.end())
+            it = cache
+                     .emplace(name,
+                              workloads::makeBenchmarkTrace(name))
+                     .first;
+        return it->second;
+    }
+};
+
+TEST_P(BenchmarkInvariants, TraceIsWellFormed)
+{
+    const auto &t = traceOf();
+    ASSERT_GT(t.size(), 0u);
+    for (std::size_t i = 0; i < t.size(); i += 101) {
+        const auto &r = t[i];
+        EXPECT_GE(r.delta, 1u);
+        EXPECT_EQ(r.size, 8u);
+        EXPECT_NE(r.ref, invalidRefId);
+        // Addresses live in the program's arena, above the base.
+        EXPECT_GE(r.addr, loopnest::Program::baseAddress);
+        // Spatial level and spatial bit are consistent.
+        EXPECT_EQ(r.spatial, r.spatialLevel > 0);
+        EXPECT_LE(r.spatialLevel, 3u);
+    }
+}
+
+TEST_P(BenchmarkInvariants, TagsAreStablePerInstruction)
+{
+    // A static reference has one set of tags: every dynamic instance
+    // of the same RefId carries identical bits.
+    const auto &t = traceOf();
+    std::map<RefId, std::pair<bool, bool>> seen;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &r = t[i];
+        const auto [it, fresh] =
+            seen.emplace(r.ref, std::make_pair(r.temporal, r.spatial));
+        if (!fresh) {
+            EXPECT_EQ(it->second.first, r.temporal) << "ref " << r.ref;
+            EXPECT_EQ(it->second.second, r.spatial) << "ref " << r.ref;
+        }
+    }
+}
+
+TEST_P(BenchmarkInvariants, AccountingClosesUnderAllKeyConfigs)
+{
+    const auto &t = traceOf();
+    for (const auto &cfg :
+         {core::standardConfig(), core::victimConfig(),
+          core::softConfig(), core::softPrefetchConfig(),
+          core::variableSoftConfig(),
+          core::simplifiedSoftTwoWayConfig()}) {
+        const auto s = core::simulateTrace(t, cfg);
+        EXPECT_EQ(s.accesses, t.size()) << cfg.name;
+        EXPECT_EQ(s.mainHits + s.auxHits + s.misses + s.bypasses +
+                      s.bypassBufferHits,
+                  s.accesses)
+            << cfg.name;
+        EXPECT_GE(s.amat(), 1.0) << cfg.name;
+        EXPECT_EQ(s.compulsoryMisses + s.capacityMisses +
+                      s.conflictMisses,
+                  s.misses + s.bypasses)
+            << cfg.name;
+    }
+}
+
+TEST_P(BenchmarkInvariants, SoftNeverLosesToStandard)
+{
+    const auto &t = traceOf();
+    const auto stand = core::simulateTrace(t, core::standardConfig());
+    const auto soft = core::simulateTrace(t, core::softConfig());
+    EXPECT_LE(soft.amat(), stand.amat() * 1.01);
+}
+
+TEST_P(BenchmarkInvariants, ClassifierInsensitiveToConfig)
+{
+    // Compulsory misses depend only on the trace and the line size,
+    // never on the cache organization (for non-bypass configs).
+    const auto &t = traceOf();
+    const auto a = core::simulateTrace(t, core::standardConfig());
+    const auto b = core::simulateTrace(t, core::twoWayConfig());
+    EXPECT_EQ(a.compulsoryMisses, b.compulsoryMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkInvariants,
+                         testing::Values("MDG", "BDN", "DYF", "TRF",
+                                         "NAS", "Slalom", "LIV", "MV",
+                                         "SpMV"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace

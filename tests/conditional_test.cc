@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the Conditional IR statement: guarded execution in the
+ * generator, transparent tagging in the analyzer, and reference
+ * numbering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/locality/analyzer.hh"
+#include "src/loopnest/builder.hh"
+#include "src/loopnest/generator.hh"
+#include "src/trace/timing_model.hh"
+
+namespace {
+
+using namespace sac;
+using namespace sac::loopnest::builder;
+using loopnest::Program;
+using loopnest::TagVector;
+
+trace::Trace
+execute(Program &p)
+{
+    p.finalize();
+    TagVector tags(p.refCount());
+    trace::TimingModel tm(util::DiscreteDistribution({{1, 1.0}}), 0);
+    loopnest::TraceGenerator gen(p, tags, tm);
+    trace::Trace t;
+    gen.run(t);
+    return t;
+}
+
+TEST(ConditionalTest, GuardSelectsResidues)
+{
+    // Body runs when i mod 4 < 1: iterations 0, 4, 8, 12.
+    Program p("c");
+    const auto A = p.addArray("A", {16});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 15,
+                   {when(v(i), 4, 1, {read(A, {v(i)})})}));
+    const auto t = execute(p);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].addr, loopnest::Program::baseAddress);
+    EXPECT_EQ(t[1].addr, loopnest::Program::baseAddress + 4 * 8);
+}
+
+TEST(ConditionalTest, ThresholdControlsDensity)
+{
+    Program p("c");
+    const auto A = p.addArray("A", {100});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 99,
+                   {when(v(i), 10, 3, {read(A, {v(i)})})}));
+    EXPECT_EQ(execute(p).size(), 30u);
+}
+
+TEST(ConditionalTest, NegativeExpressionsWrapCorrectly)
+{
+    // (i - 8) mod 4 must behave like a mathematical modulus.
+    Program p("c");
+    const auto A = p.addArray("A", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {when(v(i) - 8, 4, 1, {read(A, {v(i)})})}));
+    const auto t = execute(p);
+    ASSERT_EQ(t.size(), 2u); // i = 0 and i = 4
+}
+
+TEST(ConditionalTest, NestedStatementsExecute)
+{
+    Program p("c");
+    const auto A = p.addArray("A", {8, 8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(
+        i, 0, 7,
+        {when(v(i), 2, 1,
+              {loop(j, 0, 7, {read(A, {v(j), v(i)})})})}));
+    EXPECT_EQ(execute(p).size(), 4u * 8u);
+}
+
+TEST(ConditionalTest, AnalyzerTagsGuardedRefsNormally)
+{
+    Program p("c");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(
+        i, 0, 7,
+        {loop(j, 0, 7,
+              {when(v(j), 2, 1, {read(X, {v(j)})})})}));
+    p.finalize();
+    const auto r = locality::analyze(p);
+    EXPECT_TRUE(r.tags[0].temporal); // invariant w.r.t. i
+    EXPECT_TRUE(r.tags[0].spatial);
+}
+
+TEST(ConditionalTest, CallInsideGuardPoisons)
+{
+    Program p("c");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {when(v(i), 2, 1, {call(), read(X, {v(i)})})}));
+    p.finalize();
+    const auto r = locality::analyze(p);
+    EXPECT_FALSE(r.tags[0].temporal);
+    EXPECT_FALSE(r.tags[0].spatial);
+    EXPECT_EQ(r.stats.poisonedRefs, 1u);
+}
+
+TEST(ConditionalTest, RefIdsNumberedInsideGuards)
+{
+    Program p("c");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {read(X, {v(i)}),
+                    when(v(i), 2, 1, {write(X, {v(i)})}),
+                    read(X, {c(0)})}));
+    p.finalize();
+    EXPECT_EQ(p.refCount(), 3u);
+    const auto &body = p.statements()[0].loop().body;
+    EXPECT_EQ(body[0].ref().ref, 0u);
+    EXPECT_EQ(body[1].conditional().body[0].ref().ref, 1u);
+    EXPECT_EQ(body[2].ref().ref, 2u);
+}
+
+TEST(ConditionalTest, ZeroThresholdNeverExecutes)
+{
+    Program p("c");
+    const auto A = p.addArray("A", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7, {when(v(i), 2, 0, {read(A, {v(i)})})}));
+    EXPECT_TRUE(execute(p).empty());
+}
+
+} // namespace

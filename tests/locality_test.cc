@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Unit tests for the Section-2.3 locality analyzer, including an
+ * exact replay of the paper's Figure-5 instrumented loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/locality/analyzer.hh"
+#include "src/loopnest/builder.hh"
+
+namespace {
+
+using namespace sac;
+using namespace sac::loopnest::builder;
+using locality::analyze;
+using loopnest::Program;
+using loopnest::Tags;
+
+/** Field-wise tag check (spatialLevel is covered by its own tests). */
+void
+expectTags(const Tags &t, bool temporal, bool spatial,
+           const char *what = "")
+{
+    EXPECT_EQ(t.temporal, temporal) << what;
+    EXPECT_EQ(t.spatial, spatial) << what;
+}
+
+TEST(LocalityTest, Figure5Example)
+{
+    // DO I: DO J:
+    //   Y(I) = Y(I) + (A(I,J)+B(J,I)+B(J,I+1))*(X(J)+X(J))
+    // Paper tags: A(I,J) (0,0); B(J,I) (1,0); B(J,I+1) (1,1);
+    //             X(J) (1,1); Y(I) read (1,1); Y(I) write (1,1).
+    const std::int64_t n = 16;
+    Program p("fig5");
+    const auto A = p.addArray("A", {n, n});
+    const auto B = p.addArray("B", {n, n + 1});
+    const auto X = p.addArray("X", {n});
+    const auto Y = p.addArray("Y", {n});
+    const auto I = p.addVar("I");
+    const auto J = p.addVar("J");
+    p.addStmt(loop(
+        I, 0, n - 1,
+        {loop(J, 0, n - 1,
+              {read(A, {v(I), v(J)}),
+               read(B, {v(J), v(I)}),
+               read(B, {v(J), v(I) + 1}),
+               read(X, {v(J)}),
+               read(Y, {v(I)}),
+               write(Y, {v(I)})})}));
+    p.finalize();
+    const auto result = analyze(p);
+    ASSERT_EQ(result.tags.size(), 6u);
+    expectTags(result.tags[0], false, false); // A(I,J)
+    expectTags(result.tags[1], true, false); // B(J,I)
+    expectTags(result.tags[2], true, true); // B(J,I+1)
+    expectTags(result.tags[3], true, true); // X(J)
+    expectTags(result.tags[4], true, true); // Y(I) read
+    expectTags(result.tags[5], true, true); // Y(I) write
+    EXPECT_EQ(result.stats.totalRefs, 6u);
+    EXPECT_EQ(result.stats.temporalRefs, 5u);
+    EXPECT_EQ(result.stats.spatialRefs, 4u);
+}
+
+/** Single stride-k reference in a 1-D loop; expects given tags. */
+Tags
+tagsOfStride(std::int64_t coeff)
+{
+    Program p("s");
+    const auto A = p.addArray("A", {1024});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7, {read(A, {coeff * v(i)})}));
+    p.finalize();
+    return analyze(p).tags[0];
+}
+
+TEST(LocalityTest, SpatialThresholdIsFourElements)
+{
+    EXPECT_TRUE(tagsOfStride(1).spatial);
+    EXPECT_TRUE(tagsOfStride(2).spatial);
+    EXPECT_TRUE(tagsOfStride(3).spatial);
+    EXPECT_FALSE(tagsOfStride(4).spatial);
+    EXPECT_FALSE(tagsOfStride(100).spatial);
+}
+
+TEST(LocalityTest, NegativeSmallStrideIsSpatial)
+{
+    EXPECT_TRUE(tagsOfStride(-1).spatial);
+    EXPECT_FALSE(tagsOfStride(-4).spatial);
+}
+
+TEST(LocalityTest, ZeroCoefficientCountsAsSpatial)
+{
+    // Y(I) inside DO J is spatial in the paper's Figure 5: the
+    // innermost coefficient is 0 < 4.
+    Program p("z");
+    const auto Y = p.addArray("Y", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7, {loop(j, 0, 7, {read(Y, {v(i)})})}));
+    p.finalize();
+    const auto t = analyze(p).tags[0];
+    EXPECT_TRUE(t.spatial);
+    EXPECT_TRUE(t.temporal); // invariant with respect to j
+}
+
+TEST(LocalityTest, MovementThroughNonLeadingSubscriptNotSpatial)
+{
+    // A(I,J) with J innermost: parametric address stride.
+    Program p("p");
+    const auto A = p.addArray("A", {8, 8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7,
+                   {loop(j, 0, 7, {read(A, {v(i), v(j)})})}));
+    p.finalize();
+    expectTags(analyze(p).tags[0], false, false);
+}
+
+TEST(LocalityTest, SelfTemporalViaOuterLoopInvariance)
+{
+    // X(J) inside DO I / DO J: invariant with respect to I.
+    Program p("x");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7, {loop(j, 0, 7, {read(X, {v(j)})})}));
+    p.finalize();
+    expectTags(analyze(p).tags[0], true, true);
+}
+
+TEST(LocalityTest, SingleLoopStreamIsNotTemporal)
+{
+    Program p("s");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7, {read(X, {v(i)})}));
+    p.finalize();
+    expectTags(analyze(p).tags[0], false, true);
+}
+
+TEST(LocalityTest, GroupDependenceTagsAllMembersTemporal)
+{
+    // Y(k+1) - Y(k): both temporal, only the leader Y(k+1) spatial.
+    Program p("g");
+    const auto Y = p.addArray("Y", {16});
+    const auto k = p.addVar("k");
+    p.addStmt(loop(k, 0, 7,
+                   {read(Y, {v(k) + 1}), read(Y, {v(k)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[0], true, true); // Y(k+1): leader
+    expectTags(r.tags[1], true, false); // Y(k)
+    EXPECT_EQ(r.stats.groupMembers, 2u);
+}
+
+TEST(LocalityTest, ReadWriteSameAddressFormsGroup)
+{
+    Program p("rw");
+    const auto Y = p.addArray("Y", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {read(Y, {v(i)}), write(Y, {v(i)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    // Equal constants: both are leaders and keep the spatial tag.
+    expectTags(r.tags[0], true, true);
+    expectTags(r.tags[1], true, true);
+}
+
+TEST(LocalityTest, DifferentArraysNeverGroup)
+{
+    Program p("d");
+    const auto X = p.addArray("X", {8});
+    const auto Y = p.addArray("Y", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {read(X, {v(i)}), read(Y, {v(i)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_FALSE(r.tags[0].temporal);
+    EXPECT_FALSE(r.tags[1].temporal);
+}
+
+TEST(LocalityTest, DifferentCoefficientsNeverGroup)
+{
+    Program p("d2");
+    const auto X = p.addArray("X", {64});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7,
+                   {read(X, {v(i)}), read(X, {2 * v(i)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_FALSE(r.tags[0].temporal);
+    EXPECT_FALSE(r.tags[1].temporal);
+}
+
+TEST(LocalityTest, GroupsAreScopedToTheSameLoopBody)
+{
+    // The same X(i) in two sibling loops must not form a group.
+    Program p("scope");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    p.addStmt(loop(i, 0, 7, {read(X, {v(i)})}));
+    p.addStmt(loop(i, 0, 7, {read(X, {v(i)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_FALSE(r.tags[0].temporal);
+    EXPECT_FALSE(r.tags[1].temporal);
+    EXPECT_EQ(r.stats.groupMembers, 0u);
+}
+
+TEST(LocalityTest, CallPoisonsWholeLoopSubtree)
+{
+    Program p("call");
+    const auto X = p.addArray("X", {64});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7,
+                   {call(), read(X, {v(i)}),
+                    loop(j, 0, 7, {read(X, {v(j)})})}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[0], false, false);
+    expectTags(r.tags[1], false, false);
+    EXPECT_EQ(r.stats.poisonedRefs, 2u);
+}
+
+TEST(LocalityTest, CallInInnerLoopDoesNotPoisonOuterRefs)
+{
+    Program p("call2");
+    const auto X = p.addArray("X", {64});
+    const auto Y = p.addArray("Y", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7,
+                   {read(Y, {v(i)}),
+                    loop(j, 0, 7, {call(), read(X, {v(j)})}),
+                    write(Y, {v(i)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[1], false, false); // X poisoned
+    EXPECT_TRUE(r.tags[0].temporal);            // Y group intact
+    EXPECT_TRUE(r.tags[2].temporal);
+}
+
+TEST(LocalityTest, OutsideLoopRefsUntagged)
+{
+    Program p("out");
+    const auto X = p.addArray("X", {8});
+    p.addStmt(read(X, {c(3)}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[0], false, false);
+    EXPECT_EQ(r.stats.outsideLoopRefs, 1u);
+}
+
+TEST(LocalityTest, IndirectSubscriptUnanalyzable)
+{
+    Program p("ind");
+    const auto Idx = p.addArray("I", {8});
+    const auto X = p.addArray("X", {64});
+    const auto i = p.addVar("i");
+    p.setArrayData(Idx, {0, 1, 2, 3, 4, 5, 6, 7});
+    p.addStmt(loop(i, 0, 7, {read(X, {indirect(Idx, v(i))})}));
+    p.finalize();
+    const auto r = analyze(p);
+    // The index load itself is a plain stride-one reference ...
+    expectTags(r.tags[0], false, true); // ... but the gather through it cannot be analyzed.
+    expectTags(r.tags[1], false, false);
+    EXPECT_EQ(r.stats.indirectRefs, 1u);
+}
+
+TEST(LocalityTest, UserDirectivesOverride)
+{
+    Program p("dir");
+    const auto Idx = p.addArray("I", {8});
+    const auto X = p.addArray("X", {64});
+    const auto i = p.addVar("i");
+    p.setArrayData(Idx, {0, 1, 2, 3, 4, 5, 6, 7});
+    p.addStmt(loop(
+        i, 0, 7,
+        {directives(read(X, {indirect(Idx, v(i))}), true, false)}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[1], true, false);
+    EXPECT_EQ(r.stats.userOverrides, 2u);
+}
+
+TEST(LocalityTest, DirectiveCanSuppressComputedTag)
+{
+    Program p("dir2");
+    const auto X = p.addArray("X", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(
+        i, 0, 7,
+        {loop(j, 0, 7,
+              {directives(read(X, {v(j)}), false, std::nullopt)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_FALSE(r.tags[0].temporal); // suppressed
+    EXPECT_TRUE(r.tags[0].spatial);   // computed tag kept
+}
+
+TEST(LocalityTest, IndirectBoundLoadIsTagged)
+{
+    // D(j1), D(j1+1): a uniformly generated group of stride-one
+    // loads in the enclosing loop.
+    Program p("bnd");
+    const auto D = p.addArray("D", {9});
+    const auto A = p.addArray("A", {64});
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+    p.setArrayData(D, {0, 2, 4, 6, 8, 10, 12, 14, 16});
+    p.addStmt(loop(j1, 0, 7,
+                   {loop(j2, indirectBound(D, v(j1)),
+                         indirectBound(D, v(j1) + 1, -1),
+                         {read(A, {v(j2)})})}));
+    p.finalize();
+    const auto r = analyze(p);
+    // Ref ids in lexical order: D(j1), D(j1+1), A(j2).
+    EXPECT_TRUE(r.tags[0].temporal);
+    EXPECT_FALSE(r.tags[0].spatial); // trailing group member
+    EXPECT_TRUE(r.tags[1].temporal);
+    EXPECT_TRUE(r.tags[1].spatial); // leader
+    expectTags(r.tags[2], false, true);
+}
+
+TEST(LocalityTest, MvLoopTagsMatchPaperSection22)
+{
+    // The matrix-vector loop: A streams (spatial only), X is
+    // temporal+spatial, Y is a temporal read/write group.
+    Program p("mv");
+    const auto A = p.addArray("A", {16, 16});
+    const auto X = p.addArray("X", {16});
+    const auto Y = p.addArray("Y", {16});
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+    p.addStmt(loop(j1, 0, 15,
+                   {read(Y, {v(j1)}),
+                    loop(j2, 0, 15,
+                         {read(A, {v(j2), v(j1)}),
+                          read(X, {v(j2)})}),
+                    write(Y, {v(j1)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[0], true, true); // Y read
+    expectTags(r.tags[1], false, true); // A(j2,j1)
+    expectTags(r.tags[2], true, true); // X(j2)
+    expectTags(r.tags[3], true, true); // Y write
+}
+
+TEST(LocalityTest, DepthLimitIgnoresOuterTimeLoops)
+{
+    // X(j) inside DO t / DO i / DO j is invariant with respect to t,
+    // but t is beyond the innermost-two localized levels: the reuse
+    // it carries sweeps the whole working set and is not credited.
+    Program p("depth");
+    const auto X = p.addArray("X", {8});
+    const auto t = p.addVar("t");
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(
+        t, 0, 3,
+        {loop(i, 0, 7,
+              {loop(j, 0, 7, {read(X, {v(i)})})})}));
+    p.finalize();
+    // X(i) is invariant w.r.t. j (innermost): temporal via j, fine.
+    EXPECT_TRUE(analyze(p).tags[0].temporal);
+
+    Program q("depth2");
+    const auto Y = q.addArray("Y", {8});
+    const auto t2 = q.addVar("t");
+    const auto i2 = q.addVar("i");
+    const auto j2 = q.addVar("j");
+    q.addStmt(loop(
+        t2, 0, 3,
+        {loop(i2, 0, 7,
+              {loop(j2, 0, 7, {read(Y, {v(j2) + 0 * v(i2)})})})}));
+    // Y(j) moves with j and i-coefficient 0... i is within depth 2:
+    // temporal via i. Only t-carried invariance must be ignored.
+    q.finalize();
+    EXPECT_TRUE(analyze(q).tags[0].temporal);
+
+    Program r("depth3");
+    const auto Z = r.addArray("Z", {64, 8});
+    const auto t3 = r.addVar("t");
+    const auto i3 = r.addVar("i");
+    const auto j3 = r.addVar("j");
+    // Z(i,j): moves with both inner loops; invariant only w.r.t. t
+    // (depth 0 of 3) -> NOT temporal.
+    r.addStmt(loop(
+        t3, 0, 3,
+        {loop(j3, 0, 7,
+              {loop(i3, 0, 63, {read(Z, {v(i3), v(j3)})})})}));
+    r.finalize();
+    EXPECT_FALSE(analyze(r).tags[0].temporal);
+}
+
+TEST(LocalityTest, TwoLevelNestStillCreditsOuterInvariance)
+{
+    // With only two loops, the outer one is within the localized
+    // window: the MV X(j2) case.
+    Program p("two");
+    const auto X = p.addArray("X", {8});
+    const auto a = p.addVar("a");
+    const auto b = p.addVar("b");
+    p.addStmt(loop(a, 0, 7, {loop(b, 0, 7, {read(X, {v(b)})})}));
+    p.finalize();
+    EXPECT_TRUE(analyze(p).tags[0].temporal);
+}
+
+TEST(LocalityTest, BoundDependenceBlocksInvariance)
+{
+    // A(j2) inside DO j2 = D(j1)..D(j1+1)-1: j1's coefficient is 0,
+    // but the inner trip space depends on j1 -> not temporal (the
+    // matrix array of SpMV must stay a polluting stream).
+    Program p("spmv");
+    const auto D = p.addArray("D", {9});
+    const auto A = p.addArray("A", {64});
+    const auto j1 = p.addVar("j1");
+    const auto j2 = p.addVar("j2");
+    p.setArrayData(D, {0, 8, 16, 24, 32, 40, 48, 56, 64});
+    p.addStmt(loop(j1, 0, 7,
+                   {loop(j2, indirectBound(D, v(j1)),
+                         indirectBound(D, v(j1) + 1, -1),
+                         {read(A, {v(j2)})})}));
+    p.finalize();
+    const auto r = analyze(p);
+    // Ref ids: D(j1), D(j1+1), A(j2).
+    EXPECT_FALSE(r.tags[2].temporal);
+    EXPECT_TRUE(r.tags[2].spatial);
+}
+
+TEST(LocalityTest, AffineBoundDependenceAlsoBlocks)
+{
+    // Triangular loop: A(j) inside DO j = 0..i is not reused across
+    // i in the analyzable sense (the trip space changes with i).
+    // Note: the group/self rules still see A(j) as invariant in
+    // nothing, so this tests the bound-vars path with affine bounds.
+    Program p("tri");
+    const auto A = p.addArray("A", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.addStmt(loop(i, 0, 7,
+                   {loop(j, 0, v(i) + 0, {read(A, {c(3)})})}));
+    p.finalize();
+    // A(3) has zero coefficients everywhere; i is blocked (bounds of
+    // j depend on it) but j itself is not: temporal via j.
+    EXPECT_TRUE(analyze(p).tags[0].temporal);
+}
+
+TEST(LocalityTest, GroupLeaderWithThreeMembers)
+{
+    Program p("g3");
+    const auto Y = p.addArray("Y", {16});
+    const auto k = p.addVar("k");
+    p.addStmt(loop(k, 0, 7,
+                   {read(Y, {v(k)}), read(Y, {v(k) + 2}),
+                    read(Y, {v(k) + 5})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_TRUE(r.tags[0].temporal);
+    EXPECT_TRUE(r.tags[1].temporal);
+    EXPECT_TRUE(r.tags[2].temporal);
+    EXPECT_FALSE(r.tags[0].spatial);
+    EXPECT_FALSE(r.tags[1].spatial);
+    EXPECT_TRUE(r.tags[2].spatial); // largest constant leads
+}
+
+TEST(LocalityTest, TwoIndependentGroupsInOneBody)
+{
+    Program p("g2");
+    const auto Y = p.addArray("Y", {16});
+    const auto Z = p.addArray("Z", {16, 4});
+    const auto k = p.addVar("k");
+    p.addStmt(loop(k, 0, 7,
+                   {read(Y, {v(k)}), read(Y, {v(k) + 1}),
+                    read(Z, {v(k), c(0)}), read(Z, {v(k), c(1)})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_EQ(r.stats.groupMembers, 4u);
+    // Y group: leader Y(k+1); Z group: leader Z(k,1).
+    EXPECT_FALSE(r.tags[0].spatial);
+    EXPECT_TRUE(r.tags[1].spatial);
+    EXPECT_FALSE(r.tags[2].spatial);
+    EXPECT_TRUE(r.tags[3].spatial);
+}
+
+TEST(LocalityTest, PoisonedRefsIgnoreGroups)
+{
+    Program p("pg");
+    const auto Y = p.addArray("Y", {16});
+    const auto k = p.addVar("k");
+    p.addStmt(loop(k, 0, 7,
+                   {call(), read(Y, {v(k)}), read(Y, {v(k) + 1})}));
+    p.finalize();
+    const auto r = analyze(p);
+    expectTags(r.tags[0], false, false);
+    expectTags(r.tags[1], false, false);
+    EXPECT_EQ(r.stats.groupMembers, 0u);
+}
+
+TEST(LocalityTest, StatsCountsAreConsistent)
+{
+    Program p("stats");
+    const auto X = p.addArray("X", {64});
+    const auto Idx = p.addArray("I", {8});
+    const auto i = p.addVar("i");
+    const auto j = p.addVar("j");
+    p.setArrayData(Idx, {0, 1, 2, 3, 4, 5, 6, 7});
+    p.addStmt(read(X, {c(0)}));                     // outside loop
+    p.addStmt(loop(i, 0, 7,
+                   {call(), read(X, {v(i)})}));     // poisoned
+    p.addStmt(loop(i, 0, 7,
+                   {loop(j, 0, 7,
+                         {read(X, {indirect(Idx, v(j))})})}));
+    p.finalize();
+    const auto r = analyze(p);
+    EXPECT_EQ(r.stats.totalRefs, 4u); // outside + poisoned + load + gather
+    EXPECT_EQ(r.stats.outsideLoopRefs, 1u);
+    EXPECT_EQ(r.stats.poisonedRefs, 1u);
+    EXPECT_EQ(r.stats.indirectRefs, 1u);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the profile-based tagger: temporal/spatial detection from
+ * observed behavior, immunity to CALL poisoning, and retagging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/tag_stats.hh"
+#include "src/locality/profile_tagger.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+using locality::profileTags;
+using locality::ProfileTaggerParams;
+using locality::retagFromProfile;
+using trace::Record;
+using trace::Trace;
+
+Record
+rec(Addr addr, RefId ref)
+{
+    Record r;
+    r.addr = addr;
+    r.ref = ref;
+    return r;
+}
+
+TEST(ProfileTagger, StreamingReferenceIsSpatialNotTemporal)
+{
+    Trace t("s");
+    for (int i = 0; i < 200; ++i)
+        t.push(rec(8 * static_cast<Addr>(i), 0));
+    const auto p = profileTags(t);
+    ASSERT_EQ(p.tags.size(), 1u);
+    EXPECT_FALSE(p.tags[0].temporal);
+    EXPECT_TRUE(p.tags[0].spatial);
+    // A 1600-byte stream grades to the largest virtual line.
+    EXPECT_EQ(p.tags[0].spatialLevel, 3u);
+}
+
+TEST(ProfileTagger, HotDatumIsTemporalNotSpatial)
+{
+    Trace t("h");
+    for (int i = 0; i < 100; ++i)
+        t.push(rec(0x1000 + (i % 4) * 4096, 1));
+    const auto p = profileTags(t);
+    EXPECT_TRUE(p.tags[1].temporal);   // re-touched every 4 refs
+    EXPECT_FALSE(p.tags[1].spatial);   // 4-KB strides
+}
+
+TEST(ProfileTagger, FarReuseIsNotCredited)
+{
+    ProfileTaggerParams params;
+    params.maxReuseDistance = 10;
+    Trace t("far");
+    t.push(rec(0, 0));
+    for (int i = 0; i < 50; ++i)
+        t.push(rec(0x100000 + 8 * static_cast<Addr>(i), 1));
+    t.push(rec(0, 0)); // distance 51 > 10
+    const auto p = profileTags(t, params);
+    EXPECT_FALSE(p.tags[0].temporal);
+}
+
+TEST(ProfileTagger, CrossReferenceReuseCreditsThePreviousToucher)
+{
+    // Ref 0 writes a datum; ref 1 re-reads it soon after: ref 0's
+    // data is reused, so ref 0 earns the temporal tag.
+    Trace t("x");
+    for (int i = 0; i < 50; ++i) {
+        t.push(rec(8 * static_cast<Addr>(i % 8), 0));
+        t.push(rec(8 * static_cast<Addr>(i % 8), 1));
+    }
+    const auto p = profileTags(t);
+    EXPECT_TRUE(p.tags[0].temporal);
+    EXPECT_TRUE(p.tags[1].temporal);
+}
+
+TEST(ProfileTagger, ProfilesCountersAreExact)
+{
+    Trace t("c");
+    t.push(rec(0, 0));
+    t.push(rec(8, 0));
+    t.push(rec(16, 0));
+    t.push(rec(4096, 0)); // breaks the stream
+    const auto p = profileTags(t);
+    const auto &prof = p.profiles[0];
+    EXPECT_EQ(prof.accesses, 4u);
+    EXPECT_EQ(prof.pairs, 3u);
+    EXPECT_EQ(prof.spatialPairs, 2u);
+    EXPECT_EQ(prof.streams, 2u);
+}
+
+TEST(ProfileTagger, EmptyTrace)
+{
+    Trace t;
+    const auto p = profileTags(t);
+    EXPECT_TRUE(p.tags.empty());
+}
+
+TEST(ProfileTagger, RetagPreservesEverythingButTags)
+{
+    const auto orig = workloads::makeBenchmarkTrace("MV");
+    const auto t = retagFromProfile(orig);
+    ASSERT_EQ(t.size(), orig.size());
+    for (std::size_t i = 0; i < t.size(); i += 971) {
+        EXPECT_EQ(t[i].addr, orig[i].addr);
+        EXPECT_EQ(t[i].delta, orig[i].delta);
+        EXPECT_EQ(t[i].ref, orig[i].ref);
+    }
+}
+
+TEST(ProfileTagger, AgreesWithCompilerOnMv)
+{
+    // MV is fully analyzable: profile and compiler tags should
+    // broadly coincide (X and Y temporal, A spatial).
+    const auto orig = workloads::makeBenchmarkTrace("MV");
+    const auto prof = retagFromProfile(orig);
+    const auto a = analysis::computeTagStats(orig);
+    const auto b = analysis::computeTagStats(prof);
+    EXPECT_NEAR(a.fractionTemporal(), b.fractionTemporal(), 0.15);
+    EXPECT_NEAR(a.fractionSpatial(), b.fractionSpatial(), 0.15);
+}
+
+TEST(ProfileTagger, SeesThroughCallPoisoning)
+{
+    // MDG's compiler tags lose the poisoned nests; the profiler
+    // recovers tags there, so its tagged fraction is higher.
+    const auto orig = workloads::makeBenchmarkTrace("MDG");
+    const auto prof = retagFromProfile(orig);
+    const auto a = analysis::computeTagStats(orig);
+    const auto b = analysis::computeTagStats(prof);
+    EXPECT_LT(b.fractionNoTemporalNoSpatial(),
+              a.fractionNoTemporalNoSpatial());
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for src/sim: timing parameters, the write buffer, the
+ * three-C miss classifier and the run statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/miss_classifier.hh"
+#include "src/sim/run_stats.hh"
+#include "src/sim/timing.hh"
+#include "src/sim/write_buffer.hh"
+
+namespace {
+
+using sac::sim::MissClass;
+using sac::sim::MissClassifier;
+using sac::sim::RunStats;
+using sac::sim::TimingParams;
+using sac::sim::WriteBuffer;
+
+TEST(TimingParams, PaperDefaults)
+{
+    const TimingParams t;
+    EXPECT_EQ(t.memoryLatency, 20u);
+    EXPECT_EQ(t.busBytesPerCycle, 16u);
+    EXPECT_EQ(t.mainHitTime, 1u);
+    EXPECT_EQ(t.auxHitTime, 3u);
+}
+
+TEST(TimingParams, TransferCyclesRoundUp)
+{
+    const TimingParams t;
+    EXPECT_EQ(t.transferCycles(32), 2u);
+    EXPECT_EQ(t.transferCycles(8), 1u);
+    EXPECT_EQ(t.transferCycles(17), 2u);
+    EXPECT_EQ(t.transferCycles(0), 0u);
+}
+
+TEST(TimingParams, MissPenaltyFormula)
+{
+    // Paper Section 2.1: tlat + n*LS/wb. Loading a 256-byte virtual
+    // line takes 14 more cycles than a 32-byte physical line.
+    const TimingParams t;
+    EXPECT_EQ(t.missPenalty(1, 32), 22u);
+    EXPECT_EQ(t.missPenalty(8, 32), 36u);
+    EXPECT_EQ(t.missPenalty(8, 32) - t.missPenalty(1, 32), 14u);
+}
+
+TEST(WriteBufferTest, PushPopFifo)
+{
+    WriteBuffer wb(4);
+    EXPECT_TRUE(wb.empty());
+    wb.push(32);
+    wb.push(8);
+    EXPECT_EQ(wb.occupancy(), 2u);
+    EXPECT_EQ(wb.pop(), 32u);
+    EXPECT_EQ(wb.pop(), 8u);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(WriteBufferTest, FullDetection)
+{
+    WriteBuffer wb(2);
+    wb.push(32);
+    wb.push(32);
+    EXPECT_TRUE(wb.full());
+    wb.pop();
+    EXPECT_FALSE(wb.full());
+}
+
+TEST(WriteBufferTest, DrainAllReturnsTotalBytes)
+{
+    WriteBuffer wb(8);
+    wb.push(32);
+    wb.push(32);
+    wb.push(8);
+    EXPECT_EQ(wb.drainAll(), 72u);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_EQ(wb.totalBytesPushed(), 72u);
+}
+
+TEST(WriteBufferTest, WrapAround)
+{
+    WriteBuffer wb(3);
+    for (int round = 0; round < 5; ++round) {
+        wb.push(static_cast<std::uint32_t>(round + 1));
+        EXPECT_EQ(wb.pop(), static_cast<std::uint32_t>(round + 1));
+    }
+}
+
+TEST(WriteBufferTest, PushWhenFullPanics)
+{
+    WriteBuffer wb(1);
+    wb.push(32);
+    EXPECT_DEATH(wb.push(32), "full write buffer");
+}
+
+TEST(WriteBufferTest, PopWhenEmptyPanics)
+{
+    WriteBuffer wb(1);
+    EXPECT_DEATH(wb.pop(), "empty write buffer");
+}
+
+TEST(MissClassifierTest, FirstTouchIsCompulsory)
+{
+    MissClassifier mc(4, 32);
+    EXPECT_EQ(mc.access(0, true), MissClass::Compulsory);
+    EXPECT_EQ(mc.access(32, true), MissClass::Compulsory);
+    EXPECT_EQ(mc.touchedLines(), 2u);
+}
+
+TEST(MissClassifierTest, SameLineNotCompulsoryTwice)
+{
+    MissClassifier mc(4, 32);
+    mc.access(0, true);
+    EXPECT_NE(mc.access(0, true), MissClass::Compulsory);
+    // Two addresses in the same line count as one touched line.
+    mc.access(40, true);
+    mc.access(63, true);
+    EXPECT_EQ(mc.touchedLines(), 2u);
+}
+
+TEST(MissClassifierTest, CapacityWhenShadowLruMisses)
+{
+    MissClassifier mc(2, 32); // 2-line fully-associative shadow
+    mc.access(0, true);
+    mc.access(32, true);
+    mc.access(64, true); // shadow now {64, 32}; 0 evicted
+    EXPECT_EQ(mc.access(0, true), MissClass::Capacity);
+}
+
+TEST(MissClassifierTest, ConflictWhenShadowLruHits)
+{
+    MissClassifier mc(4, 32);
+    mc.access(0, true);
+    mc.access(32, true);
+    // Line 0 is still in the 4-line shadow: a real-cache miss on it
+    // must be a mapping conflict.
+    EXPECT_EQ(mc.access(0, true), MissClass::Conflict);
+}
+
+TEST(MissClassifierTest, HitsUpdateShadowRecency)
+{
+    MissClassifier mc(2, 32);
+    mc.access(0, true);
+    mc.access(32, true);
+    mc.access(0, false); // hit refreshes line 0; 32 is now LRU
+    mc.access(64, true); // evicts 32 from the shadow
+    EXPECT_EQ(mc.access(0, true), MissClass::Conflict);
+    EXPECT_EQ(mc.access(32, true), MissClass::Capacity);
+}
+
+TEST(RunStatsTest, DerivedMetrics)
+{
+    RunStats s;
+    s.accesses = 100;
+    s.mainHits = 80;
+    s.auxHits = 10;
+    s.misses = 10;
+    s.bytesFetched = 320; // 80 words
+    s.totalAccessCycles = 250.0;
+    EXPECT_DOUBLE_EQ(s.amat(), 2.5);
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.1);
+    EXPECT_DOUBLE_EQ(s.hitRatio(), 0.9);
+    EXPECT_DOUBLE_EQ(s.mainHitShare(), 80.0 / 90.0);
+    EXPECT_DOUBLE_EQ(s.auxHitShare(), 10.0 / 90.0);
+    EXPECT_DOUBLE_EQ(s.wordsFetchedPerAccess(), 0.8);
+}
+
+TEST(RunStatsTest, EmptyStatsAreZero)
+{
+    const RunStats s;
+    EXPECT_DOUBLE_EQ(s.amat(), 0.0);
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(s.wordsFetchedPerAccess(), 0.0);
+}
+
+TEST(RunStatsTest, BypassesCountTowardMissRatio)
+{
+    RunStats s;
+    s.accesses = 10;
+    s.misses = 1;
+    s.bypasses = 2;
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.3);
+}
+
+TEST(RunStatsTest, PrintMentionsKeyCounters)
+{
+    RunStats s;
+    s.accesses = 42;
+    s.mainHits = 40;
+    s.misses = 2;
+    std::ostringstream os;
+    s.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("AMAT"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("bounce-backs"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the stream-buffer baseline (Jouppi 1990, paper Section 5
+ * related work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/stream_buffer.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+using core::StreamBufferCache;
+using core::StreamBufferConfig;
+using trace::AccessType;
+using trace::Record;
+
+constexpr Addr
+lineAddr(Addr n)
+{
+    return n * 32;
+}
+
+Record
+rec(Addr addr, std::uint16_t delta = 1, bool write = false)
+{
+    Record r;
+    r.addr = addr;
+    r.delta = delta;
+    r.type = write ? AccessType::Write : AccessType::Read;
+    return r;
+}
+
+TEST(StreamBuffer, MissAllocatesABufferBehindTheLine)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    sim.access(rec(lineAddr(10)));
+    sim.finish();
+    EXPECT_TRUE(sim.mainContains(lineAddr(10)));
+    EXPECT_TRUE(sim.headContains(lineAddr(11)));
+    // Depth-4 buffer: 4 prefetches issued behind the demand fetch.
+    EXPECT_EQ(sim.stats().prefetchesIssued, 4u);
+    EXPECT_EQ(sim.stats().linesFetched, 5u);
+}
+
+TEST(StreamBuffer, SequentialStreamHitsHeads)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    // Touch line 0, then walk the following lines with comfortable
+    // spacing: each new line pops a head.
+    sim.access(rec(lineAddr(0)));
+    for (Addr l = 1; l <= 4; ++l)
+        sim.access(rec(lineAddr(l), 60));
+    sim.finish();
+    EXPECT_EQ(sim.stats().misses, 1u);
+    EXPECT_EQ(sim.stats().auxHits, 4u);
+    EXPECT_EQ(sim.stats().prefetchesUseful, 4u);
+}
+
+TEST(StreamBuffer, HeadPopKeepsTheStreamRolling)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    sim.access(rec(lineAddr(0)));
+    sim.access(rec(lineAddr(1), 200));
+    sim.finish();
+    // After popping line 1, the buffer refills toward line 5.
+    EXPECT_TRUE(sim.headContains(lineAddr(2)));
+    EXPECT_EQ(sim.stats().prefetchesIssued, 5u);
+}
+
+TEST(StreamBuffer, NonHeadMatchIsAMiss)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    sim.access(rec(lineAddr(0)));
+    // Line 3 sits deep in the buffer; only heads are comparable.
+    sim.access(rec(lineAddr(3), 200));
+    sim.finish();
+    EXPECT_EQ(sim.stats().misses, 2u);
+    EXPECT_EQ(sim.stats().auxHits, 0u);
+}
+
+TEST(StreamBuffer, LruBufferIsRecycled)
+{
+    StreamBufferConfig cfg;
+    cfg.numBuffers = 2;
+    StreamBufferCache sim(cfg);
+    sim.access(rec(lineAddr(0), 60));
+    sim.access(rec(lineAddr(100), 60));
+    sim.access(rec(lineAddr(200), 60)); // recycles the stream at 1..
+    sim.finish();
+    EXPECT_FALSE(sim.headContains(lineAddr(1)));
+    EXPECT_TRUE(sim.headContains(lineAddr(101)));
+    EXPECT_TRUE(sim.headContains(lineAddr(201)));
+}
+
+TEST(StreamBuffer, InterleavedStreamsBeyondBufferCountThrash)
+{
+    // Three interleaved streams with one buffer: no head ever
+    // matches, exactly the paper's critique.
+    StreamBufferConfig one;
+    one.numBuffers = 1;
+    StreamBufferCache sim(one);
+    for (int step = 0; step < 8; ++step) {
+        sim.access(rec(lineAddr(static_cast<Addr>(step)), 30));
+        sim.access(rec(lineAddr(1000 + static_cast<Addr>(step)), 30));
+        sim.access(rec(lineAddr(2000 + static_cast<Addr>(step)), 30));
+    }
+    sim.finish();
+    EXPECT_EQ(sim.stats().auxHits, 0u);
+    EXPECT_EQ(sim.stats().misses, 24u);
+
+    // With four buffers the same pattern streams after the warm-up.
+    StreamBufferConfig four;
+    four.numBuffers = 4;
+    StreamBufferCache sim4(four);
+    for (int step = 0; step < 8; ++step) {
+        sim4.access(rec(lineAddr(static_cast<Addr>(step)), 30));
+        sim4.access(rec(lineAddr(1000 + static_cast<Addr>(step)), 30));
+        sim4.access(rec(lineAddr(2000 + static_cast<Addr>(step)), 30));
+    }
+    sim4.finish();
+    EXPECT_EQ(sim4.stats().misses, 3u);
+    EXPECT_EQ(sim4.stats().auxHits, 21u);
+}
+
+TEST(StreamBuffer, DirtyVictimsReachTheWriteBuffer)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    sim.access(rec(lineAddr(0), 1, true));
+    sim.access(rec(lineAddr(256), 60)); // same set, evicts dirty 0
+    sim.finish();
+    EXPECT_EQ(sim.stats().bytesWrittenBack, 32u);
+}
+
+TEST(StreamBuffer, AccountingCloses)
+{
+    StreamBufferCache sim(StreamBufferConfig{});
+    const auto t = workloads::makeBenchmarkTrace("MV");
+    sim.run(t);
+    const auto &s = sim.stats();
+    EXPECT_EQ(s.accesses, t.size());
+    EXPECT_EQ(s.mainHits + s.auxHits + s.misses, s.accesses);
+    EXPECT_GE(s.amat(), 1.0);
+}
+
+TEST(StreamBuffer, DeterministicAcrossRuns)
+{
+    const auto t = workloads::makeBenchmarkTrace("DYF");
+    const auto a = core::simulateStreamBuffers(t, StreamBufferConfig{});
+    const auto b = core::simulateStreamBuffers(t, StreamBufferConfig{});
+    EXPECT_EQ(a.totalAccessCycles, b.totalAccessCycles);
+    EXPECT_EQ(a.misses, b.misses);
+}
+
+} // namespace

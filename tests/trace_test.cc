@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for src/trace: records, traces, the Figure-4b timing
+ * model and the binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/record.hh"
+#include "src/trace/timing_model.hh"
+#include "src/trace/trace.hh"
+#include "src/trace/trace_io.hh"
+
+namespace {
+
+using sac::trace::AccessType;
+using sac::trace::Record;
+using sac::trace::TimingModel;
+using sac::trace::Trace;
+
+Record
+makeRecord(sac::Addr addr, bool write = false, bool temporal = false,
+           bool spatial = false, std::uint16_t delta = 1)
+{
+    Record r;
+    r.addr = addr;
+    r.ref = 7;
+    r.delta = delta;
+    r.type = write ? AccessType::Write : AccessType::Read;
+    r.temporal = temporal;
+    r.spatial = spatial;
+    return r;
+}
+
+TEST(RecordTest, Defaults)
+{
+    Record r;
+    EXPECT_TRUE(r.isRead());
+    EXPECT_FALSE(r.isWrite());
+    EXPECT_EQ(r.size, 8u);
+    EXPECT_EQ(r.delta, 1u);
+    EXPECT_FALSE(r.temporal);
+    EXPECT_FALSE(r.spatial);
+}
+
+TEST(RecordTest, Equality)
+{
+    Record a = makeRecord(0x100);
+    Record b = makeRecord(0x100);
+    EXPECT_EQ(a, b);
+    b.spatial = true;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(TraceTest, CountsAndIteration)
+{
+    Trace t("bench");
+    t.push(makeRecord(0, false, true, false, 2));
+    t.push(makeRecord(8, true, false, true, 3));
+    t.push(makeRecord(16, false, true, true, 1));
+    EXPECT_EQ(t.name(), "bench");
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.temporalCount(), 2u);
+    EXPECT_EQ(t.spatialCount(), 2u);
+    EXPECT_EQ(t.writeCount(), 1u);
+    EXPECT_EQ(t.totalIssueCycles(), 6u);
+    std::size_t n = 0;
+    for (const auto &r : t) {
+        (void)r;
+        ++n;
+    }
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(TraceTest, EmptyTrace)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.totalIssueCycles(), 0u);
+    EXPECT_EQ(t.temporalCount(), 0u);
+}
+
+TEST(TimingModelTest, DeltasAreInDistributionSupport)
+{
+    TimingModel tm(99);
+    for (int i = 0; i < 10000; ++i) {
+        const auto d = tm.sampleDelta();
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, 25u);
+    }
+}
+
+TEST(TimingModelTest, SameSeedSameDeltas)
+{
+    TimingModel a(5), b(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.sampleDelta(), b.sampleDelta());
+}
+
+TEST(TimingModelTest, MeanDeltaMatchesFigure4b)
+{
+    TimingModel tm(1);
+    // The Figure-4b distribution has most mass at 1-3 cycles; the
+    // mean must be small but above 1.
+    EXPECT_GT(tm.meanDelta(), 1.5);
+    EXPECT_LT(tm.meanDelta(), 5.0);
+
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += tm.sampleDelta();
+    EXPECT_NEAR(sum / n, tm.meanDelta(), 0.05);
+}
+
+TEST(TimingModelTest, CustomDistribution)
+{
+    TimingModel tm(sac::util::DiscreteDistribution({{4, 1.0}}), 3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(tm.sampleDelta(), 4u);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    Trace t("roundtrip");
+    for (int i = 0; i < 257; ++i) {
+        t.push(makeRecord(static_cast<sac::Addr>(i) * 8, i % 3 == 0,
+                          i % 2 == 0, i % 5 == 0,
+                          static_cast<std::uint16_t>(1 + i % 20)));
+    }
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+
+    Trace back;
+    ASSERT_TRUE(sac::trace::readTrace(ss, back));
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), "roundtrip");
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(TraceIoTest, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "this is not a trace file at all";
+    Trace t;
+    EXPECT_FALSE(sac::trace::readTrace(ss, t));
+}
+
+TEST(TraceIoTest, RejectsTruncatedStream)
+{
+    Trace t("x");
+    t.push(makeRecord(0));
+    t.push(makeRecord(8));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    data.resize(data.size() - 5); // chop the last record
+    std::stringstream cut(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(cut, back));
+}
+
+TEST(TraceIoTest, RejectsBadAccessType)
+{
+    Trace t("x");
+    t.push(makeRecord(0));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    // The access-type byte sits before the tag and spatial-level
+    // bytes at the end of the record.
+    data[data.size() - 3] = 9;
+    std::stringstream bad(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(bad, back));
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    Trace t("file");
+    t.push(makeRecord(0x1234));
+    const std::string path = "/tmp/sac_trace_io_test.bin";
+    ASSERT_TRUE(sac::trace::writeTraceFile(t, path));
+    Trace back;
+    ASSERT_TRUE(sac::trace::readTraceFile(path, back));
+    EXPECT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0], t[0]);
+}
+
+TEST(TraceIoTest, MissingFileFails)
+{
+    Trace t;
+    EXPECT_FALSE(
+        sac::trace::readTraceFile("/tmp/definitely_missing_sac", t));
+}
+
+} // namespace

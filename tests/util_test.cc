@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG determinism and statistics, discrete
+ * distributions, histograms, running stats and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/distribution.hh"
+#include "src/util/rng.hh"
+#include "src/util/stats.hh"
+#include "src/util/table.hh"
+
+namespace {
+
+using sac::util::BucketHistogram;
+using sac::util::DiscreteDistribution;
+using sac::util::Rng;
+using sac::util::RunningStat;
+using sac::util::Table;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto x = rng.nextInRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        saw_lo |= x == -3;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(17);
+    int trues = 0;
+    for (int i = 0; i < 20000; ++i)
+        trues += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(trues / 20000.0, 0.3, 0.02);
+}
+
+TEST(DiscreteDistribution, SingleOutcome)
+{
+    DiscreteDistribution d({{42, 1.0}});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 42);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+}
+
+TEST(DiscreteDistribution, ProbabilitiesNormalized)
+{
+    DiscreteDistribution d({{1, 2.0}, {2, 6.0}, {3, 2.0}});
+    EXPECT_NEAR(d.probability(0), 0.2, 1e-12);
+    EXPECT_NEAR(d.probability(1), 0.6, 1e-12);
+    EXPECT_NEAR(d.probability(2), 0.2, 1e-12);
+    EXPECT_NEAR(d.mean(), 0.2 * 1 + 0.6 * 2 + 0.2 * 3, 1e-12);
+}
+
+TEST(DiscreteDistribution, SamplingMatchesWeights)
+{
+    DiscreteDistribution d({{1, 1.0}, {2, 3.0}});
+    Rng rng(23);
+    int twos = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        twos += d.sample(rng) == 2 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(twos) / n, 0.75, 0.02);
+}
+
+TEST(DiscreteDistribution, ZeroWeightOutcomeNeverSampled)
+{
+    DiscreteDistribution d({{1, 0.0}, {2, 1.0}});
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(d.sample(rng), 2);
+}
+
+TEST(BucketHistogram, AssignsToCorrectBuckets)
+{
+    BucketHistogram h({10, 100}, {"<10", "10-99", ">=100"});
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(99);
+    h.add(100);
+    h.add(5000);
+    EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(2), 2.0);
+    EXPECT_DOUBLE_EQ(h.total(), 6.0);
+    EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BucketHistogram, EmptyHistogramFractionIsZero)
+{
+    BucketHistogram h({1}, {"a", "b"});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(BucketHistogram, WeightedAdds)
+{
+    BucketHistogram h({5}, {"low", "high"});
+    h.add(1, 2.5);
+    h.add(10, 7.5);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+}
+
+TEST(RunningStat, TracksMinMaxMean)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(5.0);
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(RunningStat, EmptyMeanIsZero)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(StatsHelpers, SafeRatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(sac::util::safeRatio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(sac::util::safeRatio(6.0, 3.0), 2.0);
+}
+
+TEST(StatsHelpers, FormatFixed)
+{
+    EXPECT_EQ(sac::util::formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(sac::util::formatFixed(2.0, 3), "2.000");
+}
+
+TEST(StatsHelpers, FormatPercent)
+{
+    EXPECT_EQ(sac::util::formatPercent(0.1234, 1), "12.3%");
+}
+
+TEST(TableTest, AlignsColumnsAndUnderlinesHeader)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.50"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("------"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TableTest, NumericSetters)
+{
+    Table t({"a"});
+    const auto r = t.addRow();
+    t.setNumber(r, 0, 3.14159, 2);
+    EXPECT_NE(t.toString().find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, RowAndColCounts)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.cols(), 3u);
+    t.addRow();
+    t.addRow();
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace

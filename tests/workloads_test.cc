@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the benchmark suite: every builder produces a runnable,
+ * deterministic program whose tag profile matches the properties the
+ * paper reports for the corresponding code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/tag_stats.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+using workloads::makeBenchmarkTrace;
+using workloads::makeTaggedTrace;
+
+TEST(Workloads, RegistryHasTheNinePaperBenchmarks)
+{
+    const auto &list = workloads::paperBenchmarks();
+    ASSERT_EQ(list.size(), 9u);
+    EXPECT_EQ(list[0].name, "MDG");
+    EXPECT_EQ(list[8].name, "SpMV");
+}
+
+TEST(Workloads, KernelOnlyRegistryHasSeven)
+{
+    EXPECT_EQ(workloads::kernelOnlyBenchmarks().size(), 7u);
+}
+
+TEST(Workloads, FindBenchmarkByName)
+{
+    EXPECT_EQ(workloads::findBenchmark("MV").name, "MV");
+    EXPECT_EXIT(workloads::findBenchmark("nope"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Workloads, EveryBenchmarkBuildsAndTraces)
+{
+    for (const auto &b : workloads::paperBenchmarks()) {
+        const auto t = makeBenchmarkTrace(b.name);
+        EXPECT_GT(t.size(), 10000u) << b.name;
+        EXPECT_LT(t.size(), 10'000'000u) << b.name;
+        EXPECT_EQ(t.name(), b.name);
+    }
+}
+
+TEST(Workloads, EveryKernelOnlyVariantBuildsAndTraces)
+{
+    for (const auto &b : workloads::kernelOnlyBenchmarks()) {
+        const auto t = makeTaggedTrace(b.build());
+        EXPECT_GT(t.size(), 5000u) << b.name;
+    }
+}
+
+TEST(Workloads, TracesAreDeterministicPerSeed)
+{
+    const auto a = makeBenchmarkTrace("MV", 7);
+    const auto b = makeBenchmarkTrace("MV", 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 997)
+        EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a.totalIssueCycles(), b.totalIssueCycles());
+}
+
+TEST(Workloads, DifferentSeedsChangeOnlyTiming)
+{
+    const auto a = makeBenchmarkTrace("MV", 1);
+    const auto b = makeBenchmarkTrace("MV", 2);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a[5].addr, b[5].addr);
+    EXPECT_EQ(a[5].temporal, b[5].temporal);
+    EXPECT_NE(a.totalIssueCycles(), b.totalIssueCycles());
+}
+
+TEST(Workloads, MvTagProfileMatchesPaper)
+{
+    // MV: X and Y temporal+spatial, A spatial-only; roughly half the
+    // references are temporal and all are spatial.
+    const auto t = makeBenchmarkTrace("MV");
+    const auto s = analysis::computeTagStats(t);
+    EXPECT_NEAR(s.fractionTemporal(), 0.5, 0.05);
+    EXPECT_GT(s.fractionSpatial(), 0.95);
+}
+
+TEST(Workloads, SpMvHasUntaggableIndirection)
+{
+    const auto t = makeBenchmarkTrace("SpMV");
+    const auto s = analysis::computeTagStats(t);
+    // A and Index stream (spatial, no temporal); X is temporal via
+    // user directive; D bound loads are temporal.
+    EXPECT_GT(s.fractionSpatial(), 0.4);
+    EXPECT_GT(s.fractionTemporal(), 0.2);
+    EXPECT_LT(s.fractionTemporal(), 0.7);
+}
+
+TEST(Workloads, DyfHasHighTemporalFraction)
+{
+    // The paper singles out DYF for its high temporal-tag share.
+    const auto t = makeBenchmarkTrace("DYF");
+    const auto s = analysis::computeTagStats(t);
+    EXPECT_GT(s.fractionTemporal(), 0.5);
+}
+
+TEST(Workloads, PerfectProxiesHaveUntaggedShare)
+{
+    // CALL-poisoned loops leave a sizable fraction untagged in the
+    // dusty-deck proxies (Figure 4a).
+    for (const std::string name : {"MDG", "BDN", "TRF"}) {
+        const auto t = makeBenchmarkTrace(name);
+        const auto s = analysis::computeTagStats(t);
+        EXPECT_GT(s.fractionNoTemporalNoSpatial(), 0.1) << name;
+    }
+}
+
+TEST(Workloads, KernelOnlyVariantsAreFullyTagged)
+{
+    // Figure 10a: the hand-instrumented subroutines have no CALLs, so
+    // the untagged share collapses.
+    const auto full = analysis::computeTagStats(makeBenchmarkTrace("TRF"));
+    const auto kernel = analysis::computeTagStats(
+        makeTaggedTrace(workloads::buildKernelOnly("TRF")));
+    EXPECT_LT(kernel.fractionNoTemporalNoSpatial(),
+              full.fractionNoTemporalNoSpatial());
+}
+
+TEST(Workloads, BlockedMvCoversRemainder)
+{
+    // n not divisible by the block size still touches every column.
+    auto t = makeTaggedTrace(workloads::buildBlockedMv(100, 30));
+    auto full = makeTaggedTrace(workloads::buildBlockedMv(100, 100));
+    // Same number of A accesses in both schedules: count reads.
+    std::size_t a_refs = 0, a_refs_full = 0;
+    for (const auto &r : t)
+        a_refs += r.isRead() ? 1 : 0;
+    for (const auto &r : full)
+        a_refs_full += r.isRead() ? 1 : 0;
+    // Blocked version re-reads Y per block: more Y reads, same A+X.
+    EXPECT_GT(a_refs, a_refs_full);
+}
+
+TEST(Workloads, CopiedMmAddsCopyTraffic)
+{
+    const auto plain =
+        makeTaggedTrace(workloads::buildCopiedMm(32, 36, 16, false));
+    const auto copied =
+        makeTaggedTrace(workloads::buildCopiedMm(32, 36, 16, true));
+    EXPECT_GT(copied.size(), plain.size());
+}
+
+TEST(Workloads, ScaleShrinksPrograms)
+{
+    const auto small = makeTaggedTrace(
+        workloads::buildDyf(workloads::Scale{0.3}));
+    const auto normal = makeTaggedTrace(workloads::buildDyf());
+    EXPECT_LT(small.size(), normal.size());
+}
+
+TEST(Workloads, SpMvParametersControlDensity)
+{
+    const auto sparse =
+        makeTaggedTrace(workloads::buildSpMv(500, 4, 1));
+    const auto dense =
+        makeTaggedTrace(workloads::buildSpMv(500, 40, 1));
+    EXPECT_GT(dense.size(), sparse.size() * 4);
+}
+
+TEST(Workloads, LivSuiteTouchesItsKernelArrays)
+{
+    auto p = workloads::buildLiv();
+    const auto t = workloads::makeTaggedTrace(workloads::buildLiv());
+    p.finalize();
+    // Twelve kernels over five shared vectors plus the kernel-21
+    // block matrices and the kernel-13 index array.
+    EXPECT_GE(p.arrayCount(), 9u);
+    EXPECT_GT(t.size(), 100000u);
+}
+
+TEST(Workloads, LivHasStridedAndIndirectReferences)
+{
+    // Kernels 4/8 stride, kernel 13 gathers: the trace must contain
+    // non-stride-one and repeated-address behavior beyond plain
+    // streams (distinguishes the suite from a memcpy loop).
+    const auto t = makeBenchmarkTrace("LIV");
+    const auto s = analysis::computeTagStats(t);
+    EXPECT_GT(s.fractionTemporal(), 0.3);
+    EXPECT_LT(s.fractionSpatial(), 0.99);
+}
+
+TEST(Workloads, MvOrderParameterControlsFootprint)
+{
+    const auto small = makeTaggedTrace(workloads::buildMv(64));
+    const auto large = makeTaggedTrace(workloads::buildMv(128));
+    EXPECT_NEAR(static_cast<double>(large.size()) / small.size(), 4.0,
+                0.5);
+}
+
+TEST(Workloads, KernelOnlyDropsPoisonedShare)
+{
+    for (const std::string name : {"MDG", "BDN", "DYF"}) {
+        const auto full =
+            analysis::computeTagStats(makeBenchmarkTrace(name));
+        const auto kernel = analysis::computeTagStats(
+            makeTaggedTrace(workloads::buildKernelOnly(name)));
+        EXPECT_LE(kernel.fractionNoTemporalNoSpatial(),
+                  full.fractionNoTemporalNoSpatial())
+            << name;
+    }
+}
+
+TEST(Workloads, CopiedMmRejectsBadParameters)
+{
+    EXPECT_DEATH(workloads::buildCopiedMm(64, 32, 16, false),
+                 "bad copied-MM parameters"); // ld < n
+    EXPECT_DEATH(workloads::buildCopiedMm(64, 64, 17, false),
+                 "bad copied-MM parameters"); // block does not divide
+}
+
+} // namespace
