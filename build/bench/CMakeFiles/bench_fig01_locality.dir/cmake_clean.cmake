@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_locality.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig01_locality.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig01_locality.dir/bench_fig01_locality.cc.o"
+  "CMakeFiles/bench_fig01_locality.dir/bench_fig01_locality.cc.o.d"
+  "bench_fig01_locality"
+  "bench_fig01_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_bypass_victim.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig03_bypass_victim.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig03_bypass_victim.dir/bench_fig03_bypass_victim.cc.o"
+  "CMakeFiles/bench_fig03_bypass_victim.dir/bench_fig03_bypass_victim.cc.o.d"
+  "bench_fig03_bypass_victim"
+  "bench_fig03_bypass_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_bypass_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

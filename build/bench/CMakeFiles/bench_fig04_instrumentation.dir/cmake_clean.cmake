@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_instrumentation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig04_instrumentation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig04_instrumentation.dir/bench_fig04_instrumentation.cc.o"
+  "CMakeFiles/bench_fig04_instrumentation.dir/bench_fig04_instrumentation.cc.o.d"
+  "bench_fig04_instrumentation"
+  "bench_fig04_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_amat.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig06_amat.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig06_amat.dir/bench_fig06_amat.cc.o"
+  "CMakeFiles/bench_fig06_amat.dir/bench_fig06_amat.cc.o.d"
+  "bench_fig06_amat"
+  "bench_fig06_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_traffic_missratio.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig07_traffic_missratio.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig07_traffic_missratio.dir/bench_fig07_traffic_missratio.cc.o"
+  "CMakeFiles/bench_fig07_traffic_missratio.dir/bench_fig07_traffic_missratio.cc.o.d"
+  "bench_fig07_traffic_missratio"
+  "bench_fig07_traffic_missratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_traffic_missratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_linesize.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig08_linesize.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig08_linesize.dir/bench_fig08_linesize.cc.o"
+  "CMakeFiles/bench_fig08_linesize.dir/bench_fig08_linesize.cc.o.d"
+  "bench_fig08_linesize"
+  "bench_fig08_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_size_assoc.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig09_size_assoc.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig09_size_assoc.dir/bench_fig09_size_assoc.cc.o"
+  "CMakeFiles/bench_fig09_size_assoc.dir/bench_fig09_size_assoc.cc.o.d"
+  "bench_fig09_size_assoc"
+  "bench_fig09_size_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_size_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

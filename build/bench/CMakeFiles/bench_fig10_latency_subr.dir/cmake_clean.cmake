@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_latency_subr.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10_latency_subr.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10_latency_subr.dir/bench_fig10_latency_subr.cc.o"
+  "CMakeFiles/bench_fig10_latency_subr.dir/bench_fig10_latency_subr.cc.o.d"
+  "bench_fig10_latency_subr"
+  "bench_fig10_latency_subr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latency_subr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

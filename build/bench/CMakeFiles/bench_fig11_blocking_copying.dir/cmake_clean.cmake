@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_blocking_copying.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_blocking_copying.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_blocking_copying.dir/bench_fig11_blocking_copying.cc.o"
+  "CMakeFiles/bench_fig11_blocking_copying.dir/bench_fig11_blocking_copying.cc.o.d"
+  "bench_fig11_blocking_copying"
+  "bench_fig11_blocking_copying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_blocking_copying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_prefetch.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_prefetch.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_prefetch.dir/bench_fig12_prefetch.cc.o"
+  "CMakeFiles/bench_fig12_prefetch.dir/bench_fig12_prefetch.cc.o.d"
+  "bench_fig12_prefetch"
+  "bench_fig12_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_tags.dir/bench_common.cc.o"
+  "CMakeFiles/bench_profile_tags.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_profile_tags.dir/bench_profile_tags.cc.o"
+  "CMakeFiles/bench_profile_tags.dir/bench_profile_tags.cc.o.d"
+  "bench_profile_tags"
+  "bench_profile_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

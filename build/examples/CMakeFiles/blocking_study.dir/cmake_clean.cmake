@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_study.dir/blocking_study.cpp.o"
+  "CMakeFiles/blocking_study.dir/blocking_study.cpp.o.d"
+  "blocking_study"
+  "blocking_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_order_study.dir/loop_order_study.cpp.o"
+  "CMakeFiles/loop_order_study.dir/loop_order_study.cpp.o.d"
+  "loop_order_study"
+  "loop_order_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_order_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_vector_study.dir/matrix_vector_study.cpp.o"
+  "CMakeFiles/matrix_vector_study.dir/matrix_vector_study.cpp.o.d"
+  "matrix_vector_study"
+  "matrix_vector_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_vector_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

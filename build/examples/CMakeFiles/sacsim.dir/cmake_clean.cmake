@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacsim.dir/sacsim.cpp.o"
+  "CMakeFiles/sacsim.dir/sacsim.cpp.o.d"
+  "sacsim"
+  "sacsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_locality.dir/sparse_locality.cpp.o"
+  "CMakeFiles/sparse_locality.dir/sparse_locality.cpp.o.d"
+  "sparse_locality"
+  "sparse_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

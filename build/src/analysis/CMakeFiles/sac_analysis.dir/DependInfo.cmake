@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/array_breakdown.cc" "src/analysis/CMakeFiles/sac_analysis.dir/array_breakdown.cc.o" "gcc" "src/analysis/CMakeFiles/sac_analysis.dir/array_breakdown.cc.o.d"
+  "/root/repo/src/analysis/reuse_profiler.cc" "src/analysis/CMakeFiles/sac_analysis.dir/reuse_profiler.cc.o" "gcc" "src/analysis/CMakeFiles/sac_analysis.dir/reuse_profiler.cc.o.d"
+  "/root/repo/src/analysis/stream_profiler.cc" "src/analysis/CMakeFiles/sac_analysis.dir/stream_profiler.cc.o" "gcc" "src/analysis/CMakeFiles/sac_analysis.dir/stream_profiler.cc.o.d"
+  "/root/repo/src/analysis/tag_stats.cc" "src/analysis/CMakeFiles/sac_analysis.dir/tag_stats.cc.o" "gcc" "src/analysis/CMakeFiles/sac_analysis.dir/tag_stats.cc.o.d"
+  "/root/repo/src/analysis/tag_transform.cc" "src/analysis/CMakeFiles/sac_analysis.dir/tag_transform.cc.o" "gcc" "src/analysis/CMakeFiles/sac_analysis.dir/tag_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loopnest/CMakeFiles/sac_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

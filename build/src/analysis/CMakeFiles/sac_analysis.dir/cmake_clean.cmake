@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_analysis.dir/array_breakdown.cc.o"
+  "CMakeFiles/sac_analysis.dir/array_breakdown.cc.o.d"
+  "CMakeFiles/sac_analysis.dir/reuse_profiler.cc.o"
+  "CMakeFiles/sac_analysis.dir/reuse_profiler.cc.o.d"
+  "CMakeFiles/sac_analysis.dir/stream_profiler.cc.o"
+  "CMakeFiles/sac_analysis.dir/stream_profiler.cc.o.d"
+  "CMakeFiles/sac_analysis.dir/tag_stats.cc.o"
+  "CMakeFiles/sac_analysis.dir/tag_stats.cc.o.d"
+  "CMakeFiles/sac_analysis.dir/tag_transform.cc.o"
+  "CMakeFiles/sac_analysis.dir/tag_transform.cc.o.d"
+  "libsac_analysis.a"
+  "libsac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

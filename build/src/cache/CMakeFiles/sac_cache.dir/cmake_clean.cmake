@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_cache.dir/cache_array.cc.o"
+  "CMakeFiles/sac_cache.dir/cache_array.cc.o.d"
+  "libsac_cache.a"
+  "libsac_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

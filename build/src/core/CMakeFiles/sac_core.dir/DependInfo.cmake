@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/column_assoc.cc" "src/core/CMakeFiles/sac_core.dir/column_assoc.cc.o" "gcc" "src/core/CMakeFiles/sac_core.dir/column_assoc.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/sac_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/sac_core.dir/config.cc.o.d"
+  "/root/repo/src/core/soft_cache.cc" "src/core/CMakeFiles/sac_core.dir/soft_cache.cc.o" "gcc" "src/core/CMakeFiles/sac_core.dir/soft_cache.cc.o.d"
+  "/root/repo/src/core/stream_buffer.cc" "src/core/CMakeFiles/sac_core.dir/stream_buffer.cc.o" "gcc" "src/core/CMakeFiles/sac_core.dir/stream_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/sac_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_core.dir/column_assoc.cc.o"
+  "CMakeFiles/sac_core.dir/column_assoc.cc.o.d"
+  "CMakeFiles/sac_core.dir/config.cc.o"
+  "CMakeFiles/sac_core.dir/config.cc.o.d"
+  "CMakeFiles/sac_core.dir/soft_cache.cc.o"
+  "CMakeFiles/sac_core.dir/soft_cache.cc.o.d"
+  "CMakeFiles/sac_core.dir/stream_buffer.cc.o"
+  "CMakeFiles/sac_core.dir/stream_buffer.cc.o.d"
+  "libsac_core.a"
+  "libsac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_harness.dir/experiment.cc.o"
+  "CMakeFiles/sac_harness.dir/experiment.cc.o.d"
+  "libsac_harness.a"
+  "libsac_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

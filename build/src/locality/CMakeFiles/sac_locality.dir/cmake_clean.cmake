@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_locality.dir/analyzer.cc.o"
+  "CMakeFiles/sac_locality.dir/analyzer.cc.o.d"
+  "CMakeFiles/sac_locality.dir/profile_tagger.cc.o"
+  "CMakeFiles/sac_locality.dir/profile_tagger.cc.o.d"
+  "libsac_locality.a"
+  "libsac_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loopnest/expr.cc" "src/loopnest/CMakeFiles/sac_loopnest.dir/expr.cc.o" "gcc" "src/loopnest/CMakeFiles/sac_loopnest.dir/expr.cc.o.d"
+  "/root/repo/src/loopnest/generator.cc" "src/loopnest/CMakeFiles/sac_loopnest.dir/generator.cc.o" "gcc" "src/loopnest/CMakeFiles/sac_loopnest.dir/generator.cc.o.d"
+  "/root/repo/src/loopnest/program.cc" "src/loopnest/CMakeFiles/sac_loopnest.dir/program.cc.o" "gcc" "src/loopnest/CMakeFiles/sac_loopnest.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

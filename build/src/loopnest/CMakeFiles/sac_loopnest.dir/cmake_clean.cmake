@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_loopnest.dir/expr.cc.o"
+  "CMakeFiles/sac_loopnest.dir/expr.cc.o.d"
+  "CMakeFiles/sac_loopnest.dir/generator.cc.o"
+  "CMakeFiles/sac_loopnest.dir/generator.cc.o.d"
+  "CMakeFiles/sac_loopnest.dir/program.cc.o"
+  "CMakeFiles/sac_loopnest.dir/program.cc.o.d"
+  "libsac_loopnest.a"
+  "libsac_loopnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_loopnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sac_loopnest.
+# This may be replaced when dependencies are built.

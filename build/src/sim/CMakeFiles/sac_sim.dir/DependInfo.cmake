@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/miss_classifier.cc" "src/sim/CMakeFiles/sac_sim.dir/miss_classifier.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/miss_classifier.cc.o.d"
+  "/root/repo/src/sim/run_stats.cc" "src/sim/CMakeFiles/sac_sim.dir/run_stats.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/run_stats.cc.o.d"
+  "/root/repo/src/sim/write_buffer.cc" "src/sim/CMakeFiles/sac_sim.dir/write_buffer.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

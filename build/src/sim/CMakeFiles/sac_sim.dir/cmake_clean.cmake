@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_sim.dir/miss_classifier.cc.o"
+  "CMakeFiles/sac_sim.dir/miss_classifier.cc.o.d"
+  "CMakeFiles/sac_sim.dir/run_stats.cc.o"
+  "CMakeFiles/sac_sim.dir/run_stats.cc.o.d"
+  "CMakeFiles/sac_sim.dir/write_buffer.cc.o"
+  "CMakeFiles/sac_sim.dir/write_buffer.cc.o.d"
+  "libsac_sim.a"
+  "libsac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

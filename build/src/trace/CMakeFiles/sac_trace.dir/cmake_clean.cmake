@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_trace.dir/timing_model.cc.o"
+  "CMakeFiles/sac_trace.dir/timing_model.cc.o.d"
+  "CMakeFiles/sac_trace.dir/trace.cc.o"
+  "CMakeFiles/sac_trace.dir/trace.cc.o.d"
+  "CMakeFiles/sac_trace.dir/trace_io.cc.o"
+  "CMakeFiles/sac_trace.dir/trace_io.cc.o.d"
+  "libsac_trace.a"
+  "libsac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

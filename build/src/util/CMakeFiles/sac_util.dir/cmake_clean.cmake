@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_util.dir/args.cc.o"
+  "CMakeFiles/sac_util.dir/args.cc.o.d"
+  "CMakeFiles/sac_util.dir/distribution.cc.o"
+  "CMakeFiles/sac_util.dir/distribution.cc.o.d"
+  "CMakeFiles/sac_util.dir/logging.cc.o"
+  "CMakeFiles/sac_util.dir/logging.cc.o.d"
+  "CMakeFiles/sac_util.dir/rng.cc.o"
+  "CMakeFiles/sac_util.dir/rng.cc.o.d"
+  "CMakeFiles/sac_util.dir/stats.cc.o"
+  "CMakeFiles/sac_util.dir/stats.cc.o.d"
+  "CMakeFiles/sac_util.dir/table.cc.o"
+  "CMakeFiles/sac_util.dir/table.cc.o.d"
+  "libsac_util.a"
+  "libsac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/livermore.cc" "src/workloads/CMakeFiles/sac_workloads.dir/livermore.cc.o" "gcc" "src/workloads/CMakeFiles/sac_workloads.dir/livermore.cc.o.d"
+  "/root/repo/src/workloads/nas_slalom.cc" "src/workloads/CMakeFiles/sac_workloads.dir/nas_slalom.cc.o" "gcc" "src/workloads/CMakeFiles/sac_workloads.dir/nas_slalom.cc.o.d"
+  "/root/repo/src/workloads/perfect_proxies.cc" "src/workloads/CMakeFiles/sac_workloads.dir/perfect_proxies.cc.o" "gcc" "src/workloads/CMakeFiles/sac_workloads.dir/perfect_proxies.cc.o.d"
+  "/root/repo/src/workloads/primitives.cc" "src/workloads/CMakeFiles/sac_workloads.dir/primitives.cc.o" "gcc" "src/workloads/CMakeFiles/sac_workloads.dir/primitives.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/sac_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/sac_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locality/CMakeFiles/sac_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopnest/CMakeFiles/sac_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_workloads.dir/livermore.cc.o"
+  "CMakeFiles/sac_workloads.dir/livermore.cc.o.d"
+  "CMakeFiles/sac_workloads.dir/nas_slalom.cc.o"
+  "CMakeFiles/sac_workloads.dir/nas_slalom.cc.o.d"
+  "CMakeFiles/sac_workloads.dir/perfect_proxies.cc.o"
+  "CMakeFiles/sac_workloads.dir/perfect_proxies.cc.o.d"
+  "CMakeFiles/sac_workloads.dir/primitives.cc.o"
+  "CMakeFiles/sac_workloads.dir/primitives.cc.o.d"
+  "CMakeFiles/sac_workloads.dir/workloads.cc.o"
+  "CMakeFiles/sac_workloads.dir/workloads.cc.o.d"
+  "libsac_workloads.a"
+  "libsac_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

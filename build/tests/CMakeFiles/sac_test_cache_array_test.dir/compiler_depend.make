@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sac_test_cache_array_test.
+# This may be replaced when dependencies are built.

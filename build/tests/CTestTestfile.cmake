@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sac_test_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_loopnest_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_locality_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_cache_array_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_benchmark_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_args_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_tag_transform_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_conditional_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_stream_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_column_assoc_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_profile_tagger_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_array_breakdown_test[1]_include.cmake")
