@@ -21,8 +21,9 @@
 #include "src/trace/timing_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Design ablations",

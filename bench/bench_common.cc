@@ -1,13 +1,23 @@
 #include "bench_common.hh"
 
+#include <cstdlib>
 #include <iostream>
 
 #include "src/harness/experiment.hh"
+#include "src/util/args.hh"
+#include "src/util/thread_pool.hh"
 
 namespace sac {
 namespace bench {
 
 namespace {
+
+unsigned &
+jobsSetting()
+{
+    static unsigned value = util::ThreadPool::defaultThreads();
+    return value;
+}
 
 harness::Runner &
 runner()
@@ -24,6 +34,29 @@ workloadOf(const std::string &name)
 }
 
 } // namespace
+
+void
+initBench(int argc, const char *const *argv)
+{
+    util::Args args;
+    if (!args.parse(argc, argv)) {
+        std::cerr << "bad command line: " << args.error() << "\n";
+        std::exit(2);
+    }
+    const auto jobs_arg = args.getInt("jobs", 0);
+    if (!jobs_arg || *jobs_arg < 0) {
+        std::cerr << "--jobs expects a non-negative integer\n";
+        std::exit(2);
+    }
+    if (*jobs_arg > 0)
+        jobsSetting() = static_cast<unsigned>(*jobs_arg);
+}
+
+unsigned
+jobs()
+{
+    return jobsSetting();
+}
 
 double
 amatOf(const sim::RunStats &s)
@@ -60,7 +93,8 @@ suiteTable(const std::vector<core::Config> &configs,
            const Metric &metric, int decimals)
 {
     harness::Metric m{"metric", metric, decimals};
-    return runner().matrix(harness::paperWorkloads(), configs, m);
+    return runner().runMatrix(harness::paperWorkloads(), configs, m,
+                              jobs());
 }
 
 void

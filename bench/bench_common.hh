@@ -24,6 +24,17 @@ namespace bench {
 /** A metric extracted from a simulation run. */
 using Metric = std::function<double(const sim::RunStats &)>;
 
+/**
+ * Parse the shared bench command line; call first in every main().
+ * Recognized flags: `--jobs N` (worker threads for matrix sweeps;
+ * default: all hardware threads, `--jobs 1` forces the serial path).
+ * Tables are byte-identical at any job count.
+ */
+void initBench(int argc, const char *const *argv);
+
+/** Worker-thread count configured by initBench() (or the default). */
+unsigned jobs();
+
 /** The AMAT metric (the paper's main y-axis). */
 double amatOf(const sim::RunStats &s);
 

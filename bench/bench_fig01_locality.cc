@@ -13,8 +13,9 @@
 #include "src/analysis/stream_profiler.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
     using analysis::ReuseBucket;
     using analysis::VectorBucket;

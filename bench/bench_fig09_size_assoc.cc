@@ -11,8 +11,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Figure 9",

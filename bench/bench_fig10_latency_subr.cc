@@ -12,8 +12,9 @@
 #include "src/util/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Figure 10",

@@ -15,8 +15,9 @@
 #include "src/locality/profile_tagger.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Tag-quality headroom (extends Figure 10a)",

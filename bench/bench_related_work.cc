@@ -14,8 +14,9 @@
 #include "src/core/stream_buffer.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Section 5 related work",

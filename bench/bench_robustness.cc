@@ -14,8 +14,9 @@
 #include "src/analysis/tag_transform.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    sac::bench::initBench(argc, argv);
     using namespace sac;
 
     bench::printBanner("Tag-robustness study",

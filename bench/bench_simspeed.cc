@@ -10,6 +10,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/harness/experiment.hh"
 #include "src/workloads/workloads.hh"
 
 namespace {
@@ -91,6 +92,57 @@ BM_SimulateNoClassifier(benchmark::State &state)
     simulateConfig(state, cfg);
 }
 BENCHMARK(BM_SimulateNoClassifier);
+
+/**
+ * Full-matrix sweep through harness::Runner::runMatrix at a given
+ * worker count (Arg). Traces are pre-generated so the benchmark
+ * isolates the sweep executor itself; a fresh Runner per iteration
+ * keeps every cell uncached.
+ */
+const std::vector<trace::Trace> &
+sweepTraces()
+{
+    static const std::vector<trace::Trace> traces = [] {
+        std::vector<trace::Trace> out;
+        for (int i = 0; i < 4; ++i) {
+            auto t = workloads::makeTaggedTrace(
+                workloads::buildMv(180), 0x7ac3ull + i);
+            t.setName("MV" + std::to_string(i));
+            out.push_back(std::move(t));
+        }
+        return out;
+    }();
+    return traces;
+}
+
+void
+BM_MatrixSweep(benchmark::State &state)
+{
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    const auto &traces = sweepTraces();
+    std::vector<harness::Workload> ws;
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        ws.push_back({traces[i].name(),
+                      [&traces, i] { return traces[i]; }});
+    const std::vector<core::Config> cfgs{
+        core::standardConfig(), core::softTemporalOnlyConfig(),
+        core::softSpatialOnlyConfig(), core::softConfig()};
+    for (auto _ : state) {
+        harness::Runner r;
+        const auto table =
+            r.runMatrix(ws, cfgs, harness::amatMetric(), jobs);
+        benchmark::DoNotOptimize(table.rows());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * traces.front().size() * ws.size() *
+        cfgs.size()));
+}
+BENCHMARK(BM_MatrixSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

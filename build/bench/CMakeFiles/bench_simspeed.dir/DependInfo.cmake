@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sac_harness.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/sac_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/sac_core.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/sac_analysis.dir/DependInfo.cmake"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/miss_classifier.cc" "src/sim/CMakeFiles/sac_sim.dir/miss_classifier.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/miss_classifier.cc.o.d"
+  "/root/repo/src/sim/reference_model.cc" "src/sim/CMakeFiles/sac_sim.dir/reference_model.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/reference_model.cc.o.d"
   "/root/repo/src/sim/run_stats.cc" "src/sim/CMakeFiles/sac_sim.dir/run_stats.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/run_stats.cc.o.d"
   "/root/repo/src/sim/write_buffer.cc" "src/sim/CMakeFiles/sac_sim.dir/write_buffer.cc.o" "gcc" "src/sim/CMakeFiles/sac_sim.dir/write_buffer.cc.o.d"
   )
@@ -16,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/sac_sim.dir/miss_classifier.cc.o"
   "CMakeFiles/sac_sim.dir/miss_classifier.cc.o.d"
+  "CMakeFiles/sac_sim.dir/reference_model.cc.o"
+  "CMakeFiles/sac_sim.dir/reference_model.cc.o.d"
   "CMakeFiles/sac_sim.dir/run_stats.cc.o"
   "CMakeFiles/sac_sim.dir/run_stats.cc.o.d"
   "CMakeFiles/sac_sim.dir/write_buffer.cc.o"

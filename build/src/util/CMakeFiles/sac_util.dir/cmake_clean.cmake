@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sac_util.dir/stats.cc.o.d"
   "CMakeFiles/sac_util.dir/table.cc.o"
   "CMakeFiles/sac_util.dir/table.cc.o.d"
+  "CMakeFiles/sac_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sac_util.dir/thread_pool.cc.o.d"
   "libsac_util.a"
   "libsac_util.pdb"
 )

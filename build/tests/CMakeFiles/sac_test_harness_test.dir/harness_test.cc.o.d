@@ -298,6 +298,8 @@ tests/CMakeFiles/sac_test_harness_test.dir/harness_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/util/../../src/harness/experiment.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/../../src/core/config.hh \
  /root/repo/src/util/../../src/sim/timing.hh \
  /root/repo/src/util/../../src/util/types.hh \

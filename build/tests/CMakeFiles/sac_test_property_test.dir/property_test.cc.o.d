@@ -306,6 +306,10 @@ tests/CMakeFiles/sac_test_property_test.dir/property_test.cc.o: \
  /root/repo/src/util/../../src/sim/write_buffer.hh \
  /root/repo/src/util/../../src/trace/trace.hh \
  /root/repo/src/util/../../src/trace/record.hh \
+ /root/repo/src/util/../../src/harness/experiment.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/../../src/util/table.hh \
  /root/repo/src/util/../../src/util/rng.hh \
  /root/repo/src/util/../../src/workloads/workloads.hh \
  /root/repo/src/util/../../src/locality/analyzer.hh \

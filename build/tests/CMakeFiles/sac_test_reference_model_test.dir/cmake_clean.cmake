@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sac_test_reference_model_test.dir/reference_model_test.cc.o"
+  "CMakeFiles/sac_test_reference_model_test.dir/reference_model_test.cc.o.d"
+  "sac_test_reference_model_test"
+  "sac_test_reference_model_test.pdb"
+  "sac_test_reference_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sac_test_reference_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/sac_test_thread_pool_test.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/sac_test_thread_pool_test.dir/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sac_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/sac_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopnest/CMakeFiles/sac_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sac_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/sac_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

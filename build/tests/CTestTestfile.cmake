@@ -26,3 +26,5 @@ include("/root/repo/build/tests/sac_test_stream_buffer_test[1]_include.cmake")
 include("/root/repo/build/tests/sac_test_column_assoc_test[1]_include.cmake")
 include("/root/repo/build/tests/sac_test_profile_tagger_test[1]_include.cmake")
 include("/root/repo/build/tests/sac_test_array_breakdown_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/sac_test_reference_model_test[1]_include.cmake")

@@ -1,9 +1,39 @@
 #include "src/core/config.hh"
 
+#include <sstream>
+
 #include "src/util/logging.hh"
 
 namespace sac {
 namespace core {
+
+std::string
+Config::cacheKey() const
+{
+    std::ostringstream os;
+    os << "cs=" << cacheSizeBytes << ";ls=" << lineBytes
+       << ";as=" << assoc << ";aux=" << auxLines
+       << ";auxa=" << auxAssoc << ";vict=" << auxReceivesVictims
+       << ";bb=" << bounceBack << ";vl=" << virtualLines
+       << ";vlb=" << virtualLineBytes
+       << ";vvl=" << variableVirtualLines
+       << ";vcc=" << virtualLineCoherenceCheck
+       << ";tb=" << temporalBits
+       << ";rtb=" << resetTemporalBitOnBounce
+       << ";pnt=" << preferNonTemporalReplacement
+       << ";byp=" << static_cast<int>(bypass) << ";pf=" << prefetch
+       << ";pfs=" << prefetchSpatialOnly
+       << ";pfm=" << maxPrefetchedInAux << ";pfd=" << prefetchDegree
+       << ";lat=" << timing.memoryLatency
+       << ";bus=" << timing.busBytesPerCycle
+       << ";mht=" << timing.mainHitTime
+       << ";aht=" << timing.auxHitTime
+       << ";swl=" << timing.swapLockCycles
+       << ";dtc=" << timing.dirtyTransferCycles
+       << ";pfx=" << timing.prefetchHitExtraStall
+       << ";wb=" << writeBufferEntries << ";cls=" << classifyMisses;
+    return os.str();
+}
 
 void
 Config::validate() const

@@ -127,6 +127,14 @@ struct Config
         return virtualLines ? virtualLineBytes / lineBytes : 1;
     }
 
+    /**
+     * Canonical serialization of every simulation-relevant field
+     * (everything except the display name). Two configurations have
+     * equal keys iff they simulate identically, so caches keyed on it
+     * cannot alias two different setups that share a label.
+     */
+    std::string cacheKey() const;
+
     /** Sanity-check the configuration; fatal() on invalid setups. */
     void validate() const;
 };

@@ -9,9 +9,12 @@
 #ifndef SAC_HARNESS_EXPERIMENT_HH
 #define SAC_HARNESS_EXPERIMENT_HH
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,39 +51,76 @@ struct Workload
 /**
  * Runs (workload, config) pairs, caching each generated trace and
  * each simulation result so sweeps sharing points are free.
+ *
+ * Thread safety: traceOf() and run() may be called concurrently from
+ * any number of threads. Each trace is generated exactly once (a
+ * per-workload once-latch blocks concurrent requesters until the
+ * first generation finishes) and each (workload, config) cell is
+ * simulated exactly once; results are keyed on the canonical
+ * serialized configuration (core::Config::cacheKey()), never on the
+ * display name, so two configs sharing a label cannot alias.
  */
 class Runner
 {
   public:
     Runner() = default;
 
-    /** The trace of @p w, generated on first use. */
+    /** The trace of @p w, generated on first use. Thread-safe. */
     const trace::Trace &traceOf(const Workload &w);
 
-    /** The statistics of @p w under @p cfg, simulated on first use. */
+    /**
+     * The statistics of @p w under @p cfg, simulated on first use.
+     * Thread-safe.
+     */
     const sim::RunStats &run(const Workload &w,
                              const core::Config &cfg);
 
     /**
      * Build the classic figure table: one row per workload, one
-     * column per configuration, cells = metric.
+     * column per configuration, cells = metric. Serial reference
+     * path.
      */
     util::Table matrix(const std::vector<Workload> &workloads,
                        const std::vector<core::Config> &configs,
                        const Metric &metric);
 
+    /**
+     * Parallel sweep executor: simulate every uncached (workload,
+     * config) cell on @p jobs worker threads, then render the table.
+     * The result is byte-identical to matrix() — cells are rendered
+     * serially in workload x config order after the sweep completes —
+     * and the caches end in the same state. @p jobs <= 1 degenerates
+     * to the serial path.
+     */
+    util::Table runMatrix(const std::vector<Workload> &workloads,
+                          const std::vector<core::Config> &configs,
+                          const Metric &metric, unsigned jobs);
+
     /** Number of simulations actually executed (not served cached). */
-    std::size_t runsExecuted() const { return runsExecuted_; }
+    std::size_t runsExecuted() const { return runsExecuted_.load(); }
 
     /** Number of traces actually generated. */
-    std::size_t tracesGenerated() const { return tracesGenerated_; }
+    std::size_t tracesGenerated() const
+    {
+        return tracesGenerated_.load();
+    }
 
   private:
-    std::map<std::string, trace::Trace> traces_;
-    std::map<std::pair<std::string, std::string>, sim::RunStats>
+    /** A once-latched cache slot: built exactly once, then immutable. */
+    template <typename T> struct Slot
+    {
+        std::once_flag once;
+        T value;
+    };
+
+    std::mutex mutex_; //!< guards the two slot maps (not the slots)
+    std::map<std::string, std::unique_ptr<Slot<trace::Trace>>>
+        traces_;
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<Slot<sim::RunStats>>>
         results_;
-    std::size_t runsExecuted_ = 0;
-    std::size_t tracesGenerated_ = 0;
+    std::atomic<std::size_t> runsExecuted_{0};
+    std::atomic<std::size_t> tracesGenerated_{0};
 };
 
 /** The nine paper benchmarks as harness workloads. */

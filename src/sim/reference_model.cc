@@ -1,0 +1,336 @@
+#include "src/sim/reference_model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace sim {
+
+ReferenceCounts
+countsOf(const RunStats &s)
+{
+    ReferenceCounts c;
+    c.accesses = s.accesses;
+    c.reads = s.reads;
+    c.writes = s.writes;
+    c.mainHits = s.mainHits;
+    c.auxHits = s.auxHits;
+    c.misses = s.misses;
+    c.swaps = s.swaps;
+    c.bounces = s.bounces;
+    c.bouncesCancelled = s.bouncesCancelled;
+    c.bouncesAborted = s.bouncesAborted;
+    c.coherenceInvalidations = s.coherenceInvalidations;
+    c.virtualLineFills = s.virtualLineFills;
+    c.extraLinesFetched = s.extraLinesFetched;
+    c.linesFetched = s.linesFetched;
+    c.bytesFetched = s.bytesFetched;
+    c.bytesWrittenBack = s.bytesWrittenBack;
+    return c;
+}
+
+std::string
+describeDivergence(const ReferenceCounts &expected,
+                   const ReferenceCounts &got)
+{
+    std::ostringstream os;
+    const auto field = [&](const char *name, std::uint64_t e,
+                           std::uint64_t g) {
+        if (e != g)
+            os << name << ": reference=" << e << " simulator=" << g
+               << "\n";
+    };
+    field("accesses", expected.accesses, got.accesses);
+    field("reads", expected.reads, got.reads);
+    field("writes", expected.writes, got.writes);
+    field("mainHits", expected.mainHits, got.mainHits);
+    field("auxHits", expected.auxHits, got.auxHits);
+    field("misses", expected.misses, got.misses);
+    field("swaps", expected.swaps, got.swaps);
+    field("bounces", expected.bounces, got.bounces);
+    field("bouncesCancelled", expected.bouncesCancelled,
+          got.bouncesCancelled);
+    field("bouncesAborted", expected.bouncesAborted,
+          got.bouncesAborted);
+    field("coherenceInvalidations", expected.coherenceInvalidations,
+          got.coherenceInvalidations);
+    field("virtualLineFills", expected.virtualLineFills,
+          got.virtualLineFills);
+    field("extraLinesFetched", expected.extraLinesFetched,
+          got.extraLinesFetched);
+    field("linesFetched", expected.linesFetched, got.linesFetched);
+    field("bytesFetched", expected.bytesFetched, got.bytesFetched);
+    field("bytesWrittenBack", expected.bytesWrittenBack,
+          got.bytesWrittenBack);
+    return os.str();
+}
+
+bool
+ReferenceModel::supports(const core::Config &cfg)
+{
+    return cfg.assoc == 1 && cfg.bypass == core::BypassMode::None &&
+           !cfg.prefetch && (cfg.auxLines == 0 || cfg.auxAssoc == 0);
+}
+
+ReferenceModel::ReferenceModel(const core::Config &cfg) : cfg_(cfg)
+{
+    SAC_ASSERT(supports(cfg_),
+               "configuration outside the reference model's scope");
+    numSets_ = cfg_.cacheSizeBytes / cfg_.lineBytes;
+    SAC_ASSERT(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0,
+               "set count must be a power of two");
+    lineShift_ = 0;
+    while ((1u << lineShift_) < cfg_.lineBytes)
+        ++lineShift_;
+    main_.assign(numSets_, Line{});
+    aux_.reserve(cfg_.auxLines);
+}
+
+Addr
+ReferenceModel::lineOf(Addr byte_addr) const
+{
+    return byte_addr >> lineShift_;
+}
+
+std::uint64_t
+ReferenceModel::setOf(Addr line_addr) const
+{
+    return line_addr & (numSets_ - 1);
+}
+
+bool
+ReferenceModel::mainContains(Addr line_addr) const
+{
+    const Line &l = main_[setOf(line_addr)];
+    return l.valid && l.lineAddr == line_addr;
+}
+
+bool
+ReferenceModel::auxContains(Addr line_addr) const
+{
+    return std::any_of(aux_.begin(), aux_.end(), [&](const Line &l) {
+        return l.valid && l.lineAddr == line_addr;
+    });
+}
+
+void
+ReferenceModel::run(const trace::Trace &t)
+{
+    for (const auto &rec : t)
+        access(rec);
+}
+
+void
+ReferenceModel::access(const trace::Record &rec)
+{
+    ++counts_.accesses;
+    if (rec.isRead())
+        ++counts_.reads;
+    else
+        ++counts_.writes;
+
+    const Addr line = lineOf(rec.addr);
+
+    // Main cache lookup.
+    if (mainContains(line)) {
+        Line &l = main_[setOf(line)];
+        if (rec.isWrite())
+            l.dirty = true;
+        if (cfg_.temporalBits && rec.temporal)
+            l.temporal = true;
+        ++counts_.mainHits;
+        return;
+    }
+
+    // Aux cache lookup: a hit swaps the aux line with the resident
+    // main line of its home set.
+    const auto aux_it =
+        std::find_if(aux_.begin(), aux_.end(), [&](const Line &l) {
+            return l.valid && l.lineAddr == line;
+        });
+    if (aux_it != aux_.end()) {
+        ++counts_.auxHits;
+        ++counts_.swaps;
+        Line incoming = *aux_it;
+        aux_.erase(aux_it);
+
+        Line &slot = main_[setOf(line)];
+        const Line displaced = slot;
+        slot = incoming;
+        if (rec.isWrite())
+            slot.dirty = true;
+        if (cfg_.temporalBits && rec.temporal)
+            slot.temporal = true;
+
+        // The displaced main line takes the vacated aux slot and
+        // becomes most recently used.
+        if (displaced.valid)
+            aux_.push_back(displaced);
+        return;
+    }
+
+    handleMiss(rec, line);
+}
+
+void
+ReferenceModel::handleMiss(const trace::Record &rec, Addr line)
+{
+    ++counts_.misses;
+
+    // Lines of the (virtual) block to fetch, skipping lines that the
+    // coherence check finds already resident.
+    std::vector<Addr> fetch_lines;
+    if (cfg_.virtualLines && rec.spatial) {
+        std::uint32_t n = cfg_.linesPerVirtualLine();
+        if (cfg_.variableVirtualLines) {
+            const std::uint32_t wanted =
+                1u << std::min<std::uint32_t>(rec.spatialLevel, 8);
+            n = std::min(n, wanted);
+        }
+        const Addr block = line & ~static_cast<Addr>(n - 1);
+        for (Addr l = block; l < block + n; ++l) {
+            if (cfg_.virtualLineCoherenceCheck && mainContains(l) &&
+                l != line) {
+                continue;
+            }
+            fetch_lines.push_back(l);
+        }
+    } else {
+        fetch_lines.push_back(line);
+    }
+
+    const auto n_fetched =
+        static_cast<std::uint64_t>(fetch_lines.size());
+    counts_.linesFetched += n_fetched;
+    counts_.bytesFetched += n_fetched * cfg_.lineBytes;
+    counts_.extraLinesFetched += n_fetched - 1;
+    if (n_fetched > 1)
+        ++counts_.virtualLineFills;
+
+    std::vector<std::uint64_t> fill_sets;
+    fill_sets.reserve(fetch_lines.size());
+    for (const Addr l : fetch_lines) {
+        // A sibling line already held by the aux cache invalidates
+        // its slot of the fill instead of duplicating the line.
+        if (l != line && auxContains(l)) {
+            ++counts_.coherenceInvalidations;
+            continue;
+        }
+        // A bounce-back triggered by an earlier fill of this miss can
+        // have re-installed the line already.
+        if (l != line && mainContains(l))
+            continue;
+        const std::uint64_t set = installIntoMain(l, fill_sets);
+        if (l == line) {
+            Line &m = main_[set];
+            if (rec.isWrite())
+                m.dirty = true;
+            if (cfg_.temporalBits && rec.temporal)
+                m.temporal = true;
+        }
+    }
+
+    // The simulator drains the write buffer after every demand miss.
+    wbufOccupancy_ = 0;
+}
+
+std::uint64_t
+ReferenceModel::installIntoMain(Addr line_addr,
+                                std::vector<std::uint64_t> &fill_sets)
+{
+    const std::uint64_t set = setOf(line_addr);
+    const Line victim = main_[set];
+
+    // Register the slot before handling the victim so a bounce-back
+    // triggered by this very fill treats it as a miss target.
+    fill_sets.push_back(set);
+
+    main_[set] = Line{line_addr, true, false, false};
+
+    if (victim.valid) {
+        if (cfg_.auxLines > 0 && cfg_.auxReceivesVictims)
+            victimToAux(victim, fill_sets);
+        else if (victim.dirty)
+            pushWriteback();
+    }
+    return set;
+}
+
+void
+ReferenceModel::victimToAux(const Line &victim,
+                            const std::vector<std::uint64_t> &fill_sets)
+{
+    Line evicted;
+    if (aux_.size() >= cfg_.auxLines) {
+        evicted = aux_.front(); // least recently used
+        aux_.erase(aux_.begin());
+    }
+    aux_.push_back(victim); // most recently used
+
+    if (!evicted.valid)
+        return;
+    if (cfg_.bounceBack && evicted.temporal)
+        bounceBack(evicted, fill_sets);
+    else if (evicted.dirty)
+        pushWriteback();
+}
+
+void
+ReferenceModel::bounceBack(const Line &victim,
+                           const std::vector<std::uint64_t> &fill_sets)
+{
+    const std::uint64_t set = setOf(victim.lineAddr);
+
+    // A bounce aimed at a slot the in-flight miss fills is cancelled.
+    if (std::find(fill_sets.begin(), fill_sets.end(), set) !=
+        fill_sets.end()) {
+        ++counts_.bouncesCancelled;
+        if (victim.dirty)
+            pushWriteback();
+        return;
+    }
+
+    Line &resident = main_[set];
+    if (resident.valid && resident.dirty &&
+        wbufOccupancy_ >= cfg_.writeBufferEntries) {
+        // Bouncing onto a dirty line with a full write buffer is
+        // aborted; the victim still needs writing back.
+        ++counts_.bouncesAborted;
+        if (victim.dirty)
+            pushWriteback();
+        return;
+    }
+
+    if (resident.valid && resident.dirty)
+        pushWriteback();
+
+    resident = victim;
+    if (cfg_.resetTemporalBitOnBounce)
+        resident.temporal = false;
+    ++counts_.bounces;
+}
+
+void
+ReferenceModel::pushWriteback()
+{
+    // The bounded buffer forces a drain of its oldest entry when a
+    // push finds it full; every entry is eventually drained, so the
+    // writeback traffic is simply counted at push time.
+    if (wbufOccupancy_ >= cfg_.writeBufferEntries)
+        --wbufOccupancy_;
+    ++wbufOccupancy_;
+    counts_.bytesWrittenBack += cfg_.lineBytes;
+}
+
+ReferenceCounts
+referenceCounts(const trace::Trace &t, const core::Config &cfg)
+{
+    ReferenceModel model(cfg);
+    model.run(t);
+    return model.counts();
+}
+
+} // namespace sim
+} // namespace sac

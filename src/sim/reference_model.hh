@@ -1,0 +1,129 @@
+/**
+ * @file
+ * An independent reference model of the software-assisted cache: a
+ * deliberately naive, single-threaded, timing-free replay of a trace
+ * through a textbook implementation of the paper's direct-mapped main
+ * cache with victim / bounce-back aux cache and virtual-line fills.
+ *
+ * It shares no code with core::SoftwareAssistedCache — the main cache
+ * is a plain array of lines, the aux cache an explicit LRU list, the
+ * write buffer a counter — and exists solely as a differential oracle:
+ * the functional counters (hits, misses, traffic) it produces must
+ * match the simulator's exactly on any supported configuration, which
+ * is what makes results from the parallel sweep executor trustworthy.
+ */
+
+#ifndef SAC_SIM_REFERENCE_MODEL_HH
+#define SAC_SIM_REFERENCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.hh"
+#include "src/sim/run_stats.hh"
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace sim {
+
+/**
+ * The functional (timing-free) counters both models must agree on.
+ */
+struct ReferenceCounts
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t mainHits = 0;
+    std::uint64_t auxHits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t bounces = 0;
+    std::uint64_t bouncesCancelled = 0;
+    std::uint64_t bouncesAborted = 0;
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t virtualLineFills = 0;
+    std::uint64_t extraLinesFetched = 0;
+    std::uint64_t linesFetched = 0;
+    std::uint64_t bytesFetched = 0;
+    std::uint64_t bytesWrittenBack = 0;
+
+    bool operator==(const ReferenceCounts &) const = default;
+};
+
+/** Project a simulator result onto the comparable counters. */
+ReferenceCounts countsOf(const RunStats &s);
+
+/**
+ * Human-readable field-by-field divergence report; empty when
+ * @p expected == @p got.
+ */
+std::string describeDivergence(const ReferenceCounts &expected,
+                               const ReferenceCounts &got);
+
+/**
+ * The naive reference cache model. Supported configurations are
+ * direct-mapped main caches without bypassing or prefetching and with
+ * a fully-associative aux cache (or none); supports() reports
+ * eligibility, constructing an unsupported configuration is fatal.
+ */
+class ReferenceModel
+{
+  public:
+    explicit ReferenceModel(const core::Config &cfg);
+
+    /** Can this configuration be replayed by the reference model? */
+    static bool supports(const core::Config &cfg);
+
+    /** Replay one reference. */
+    void access(const trace::Record &rec);
+
+    /** Replay a whole trace (appends to the current state). */
+    void run(const trace::Trace &t);
+
+    /** Counters accumulated so far. */
+    const ReferenceCounts &counts() const { return counts_; }
+
+  private:
+    /** One cache line; the obvious representation. */
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool temporal = false;
+    };
+
+    Addr lineOf(Addr byte_addr) const;
+    std::uint64_t setOf(Addr line_addr) const;
+    bool mainContains(Addr line_addr) const;
+    bool auxContains(Addr line_addr) const;
+
+    void handleMiss(const trace::Record &rec, Addr line);
+    /** Install one fetched line; returns its set index. */
+    std::uint64_t installIntoMain(Addr line_addr,
+                                  std::vector<std::uint64_t> &fill_sets);
+    void victimToAux(const Line &victim,
+                     const std::vector<std::uint64_t> &fill_sets);
+    void bounceBack(const Line &victim,
+                    const std::vector<std::uint64_t> &fill_sets);
+    void pushWriteback();
+
+    core::Config cfg_;
+    std::uint64_t numSets_;
+    std::uint32_t lineShift_;
+    std::vector<Line> main_;  //!< one line per set (direct-mapped)
+    std::vector<Line> aux_;   //!< LRU order: front oldest, back newest
+    std::uint32_t wbufOccupancy_ = 0;
+    ReferenceCounts counts_;
+};
+
+/** Replay @p t under @p cfg and return the reference counters. */
+ReferenceCounts referenceCounts(const trace::Trace &t,
+                                const core::Config &cfg);
+
+} // namespace sim
+} // namespace sac
+
+#endif // SAC_SIM_REFERENCE_MODEL_HH

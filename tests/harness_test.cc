@@ -53,7 +53,7 @@ TEST(HarnessRunner, TracesAreGeneratedOnce)
     EXPECT_EQ(r.tracesGenerated(), 1u);
 }
 
-TEST(HarnessRunner, ResultsAreCachedPerConfigName)
+TEST(HarnessRunner, ResultsAreCachedPerConfig)
 {
     Runner r;
     const auto w = tinyWorkload();
@@ -61,6 +61,45 @@ TEST(HarnessRunner, ResultsAreCachedPerConfigName)
     r.run(w, core::standardConfig());
     r.run(w, core::softConfig());
     EXPECT_EQ(r.runsExecuted(), 2u);
+}
+
+TEST(HarnessRunner, SameLabelDifferentConfigDoesNotAlias)
+{
+    // Results are keyed on the canonical serialized config, so two
+    // configurations sharing a display name get separate cells.
+    Runner r;
+    const auto w = tinyWorkload();
+    auto small = core::standardConfig();
+    auto large = core::standardConfig();
+    large.cacheSizeBytes = 64 * 1024;
+    ASSERT_EQ(small.name, large.name);
+    ASSERT_NE(small.cacheKey(), large.cacheKey());
+    const auto &s = r.run(w, small);
+    const auto &l = r.run(w, large);
+    EXPECT_EQ(r.runsExecuted(), 2u);
+    EXPECT_GT(s.misses, l.misses);
+}
+
+TEST(ConfigCacheKey, IgnoresNameAndCoversEveryKnob)
+{
+    auto a = core::softConfig();
+    auto b = core::softConfig();
+    b.name = "renamed";
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+
+    // Any simulation-relevant field must change the key.
+    auto c = a;
+    c.virtualLineBytes = 128;
+    EXPECT_NE(a.cacheKey(), c.cacheKey());
+    auto d = a;
+    d.timing.memoryLatency = 35;
+    EXPECT_NE(a.cacheKey(), d.cacheKey());
+    auto e = a;
+    e.resetTemporalBitOnBounce = false;
+    EXPECT_NE(a.cacheKey(), e.cacheKey());
+    auto f = a;
+    f.writeBufferEntries = 4;
+    EXPECT_NE(a.cacheKey(), f.cacheKey());
 }
 
 TEST(HarnessRunner, MatrixShapeAndContents)

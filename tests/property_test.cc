@@ -11,6 +11,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/harness/experiment.hh"
 #include "src/util/rng.hh"
 #include "src/workloads/workloads.hh"
 
@@ -265,5 +266,99 @@ TEST_P(WriteRatioSweep, WritebackOnlyWithWrites)
 
 INSTANTIATE_TEST_SUITE_P(WriteRatios, WriteRatioSweep,
                          testing::Values(0, 10, 50, 100));
+
+/** The paper-config sweep the figure benches run. */
+std::vector<Config>
+paperSweepConfigs()
+{
+    return {core::standardConfig(), core::softTemporalOnlyConfig(),
+            core::softSpatialOnlyConfig(), core::softConfig()};
+}
+
+/**
+ * Parallel-vs-serial equivalence on the full paperWorkloads() x
+ * paper-config sweep: runMatrix must render a byte-identical table
+ * (compared as CSV) and execute exactly the same number of
+ * simulations and trace generations as the serial path.
+ */
+TEST(ParallelSweep, MatrixAndRunMatrixAreByteIdentical)
+{
+    const auto workloads = harness::paperWorkloads();
+    const auto configs = paperSweepConfigs();
+    const auto metric = harness::amatMetric();
+
+    harness::Runner serial;
+    const auto serial_table = serial.matrix(workloads, configs, metric);
+
+    harness::Runner parallel;
+    const auto parallel_table =
+        parallel.runMatrix(workloads, configs, metric, 4);
+
+    EXPECT_EQ(harness::toCsv(serial_table),
+              harness::toCsv(parallel_table));
+    EXPECT_EQ(serial.runsExecuted(), parallel.runsExecuted());
+    EXPECT_EQ(serial.tracesGenerated(), parallel.tracesGenerated());
+    EXPECT_EQ(parallel.runsExecuted(),
+              workloads.size() * configs.size());
+    EXPECT_EQ(parallel.tracesGenerated(), workloads.size());
+
+    // A second parallel sweep over the same cells is fully cached.
+    const auto again =
+        parallel.runMatrix(workloads, configs, metric, 4);
+    EXPECT_EQ(harness::toCsv(again), harness::toCsv(parallel_table));
+    EXPECT_EQ(parallel.runsExecuted(),
+              workloads.size() * configs.size());
+}
+
+/** jobs=1 takes the serial path and still renders the same bytes. */
+TEST(ParallelSweep, SingleJobDegeneratesToSerial)
+{
+    const auto workloads = harness::paperWorkloads();
+    const std::vector<Config> configs{core::standardConfig(),
+                                      core::softConfig()};
+    const auto metric = harness::missRatioMetric();
+
+    harness::Runner serial;
+    harness::Runner one_job;
+    EXPECT_EQ(
+        harness::toCsv(serial.matrix(workloads, configs, metric)),
+        harness::toCsv(
+            one_job.runMatrix(workloads, configs, metric, 1)));
+}
+
+/**
+ * Thread-count independence: every jobs value renders the same bytes
+ * on randomized synthetic workloads, including more jobs than cells.
+ */
+TEST(ParallelSweep, JobCountDoesNotChangeBytes)
+{
+    std::vector<harness::Workload> ws;
+    for (int i = 0; i < 3; ++i) {
+        ws.push_back({"rng" + std::to_string(i), [i] {
+                          auto t = randomTrace(
+                              static_cast<std::uint64_t>(i) + 100,
+                              4000);
+                          t.setName("rng" + std::to_string(i));
+                          return t;
+                      }});
+    }
+    const std::vector<Config> configs{
+        core::standardConfig(), core::victimConfig(),
+        core::softConfig(), core::variableSoftConfig()};
+    const auto metric = harness::wordsPerAccessMetric();
+
+    harness::Runner serial;
+    const auto expected =
+        harness::toCsv(serial.matrix(ws, configs, metric));
+    for (const unsigned jobs : {2u, 3u, 8u, 32u}) {
+        harness::Runner r;
+        EXPECT_EQ(harness::toCsv(
+                      r.runMatrix(ws, configs, metric, jobs)),
+                  expected)
+            << "jobs=" << jobs;
+        EXPECT_EQ(r.runsExecuted(), ws.size() * configs.size());
+        EXPECT_EQ(r.tracesGenerated(), ws.size());
+    }
+}
 
 } // namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Differential tests: core::SoftwareAssistedCache against the naive
+ * sim::ReferenceModel oracle on seeded randomized traces. Any
+ * divergence fails with the seed (and the per-counter diff) so the
+ * exact trace can be replayed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.hh"
+#include "src/core/soft_cache.hh"
+#include "src/sim/reference_model.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace {
+
+using namespace sac;
+using core::Config;
+
+/** The oracle-eligible configurations the differential sweep covers. */
+std::vector<Config>
+oracleConfigs()
+{
+    std::vector<Config> out{
+        core::standardConfig(),
+        core::victimConfig(),
+        core::softConfig(),
+        core::softTemporalOnlyConfig(),
+        core::softSpatialOnlyConfig(),
+        core::softConfig(128),
+        core::variableSoftConfig(),
+    };
+    // Ablations of the bounce-back details the oracle also models.
+    Config no_reset = core::softConfig();
+    no_reset.name = "Soft. no-reset";
+    no_reset.resetTemporalBitOnBounce = false;
+    out.push_back(no_reset);
+    Config no_cc = core::softConfig();
+    no_cc.name = "Soft. no-coherence";
+    no_cc.virtualLineCoherenceCheck = false;
+    out.push_back(no_cc);
+    Config tiny_wb = core::softConfig();
+    tiny_wb.name = "Soft. wb=1";
+    tiny_wb.writeBufferEntries = 1;
+    out.push_back(tiny_wb);
+    Config big_aux = core::softConfig();
+    big_aux.name = "Soft. aux=32";
+    big_aux.auxLines = 32;
+    out.push_back(big_aux);
+    return out;
+}
+
+/**
+ * A raw seeded address stream mixing strided streams, a tagged hot
+ * set, pointer-chasing-style scatter and aligned block runs.
+ */
+trace::Trace
+rngTrace(std::uint64_t seed, std::size_t n)
+{
+    util::Rng rng(seed);
+    trace::Trace t("rng");
+    Addr stream = 0x100000 + rng.nextBelow(1 << 12) * 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace::Record r;
+        const auto kind = rng.nextBelow(12);
+        if (kind < 4) {
+            stream += 8;
+            r.addr = stream;
+            r.spatial = true;
+            r.spatialLevel =
+                static_cast<std::uint8_t>(1 + rng.nextBelow(3));
+        } else if (kind < 7) {
+            r.addr = 0x200000 + rng.nextBelow(700) * 8;
+            r.temporal = true;
+        } else if (kind < 9) {
+            // Conflict traffic: far apart but same set.
+            r.addr = 0x400000 + rng.nextBelow(4) * 0x2000 +
+                     rng.nextBelow(16) * 8;
+            r.temporal = rng.nextBool(0.5);
+        } else {
+            r.addr = 0x300000 + rng.nextBelow(1 << 16) * 8;
+        }
+        r.ref = static_cast<RefId>(kind);
+        r.delta = static_cast<std::uint16_t>(1 + rng.nextBelow(6));
+        r.type = rng.nextBool(0.3) ? trace::AccessType::Write
+                                   : trace::AccessType::Read;
+        t.push(r);
+    }
+    return t;
+}
+
+/** Run one trace through both models; report divergence with @p label. */
+void
+expectAgreement(const trace::Trace &t, const Config &cfg,
+                const std::string &label)
+{
+    ASSERT_TRUE(sim::ReferenceModel::supports(cfg)) << label;
+    const auto expected = sim::referenceCounts(t, cfg);
+    const auto got = sim::countsOf(core::simulateTrace(t, cfg));
+    EXPECT_EQ(expected, got)
+        << "divergence on " << label << " config='" << cfg.name
+        << "' (replay with this seed)\n"
+        << sim::describeDivergence(expected, got);
+}
+
+TEST(ReferenceModelOracle, SupportsExactlyTheModeledSubset)
+{
+    for (const auto &cfg : oracleConfigs())
+        EXPECT_TRUE(sim::ReferenceModel::supports(cfg)) << cfg.name;
+    EXPECT_FALSE(sim::ReferenceModel::supports(core::twoWayConfig()));
+    EXPECT_FALSE(
+        sim::ReferenceModel::supports(core::bypassConfig(false)));
+    EXPECT_FALSE(
+        sim::ReferenceModel::supports(core::softPrefetchConfig()));
+    Config set_assoc_aux = core::softConfig();
+    set_assoc_aux.auxAssoc = 4;
+    EXPECT_FALSE(sim::ReferenceModel::supports(set_assoc_aux));
+}
+
+/**
+ * The bulk differential sweep: 1100 seeded RNG traces, each replayed
+ * under one oracle-eligible configuration (round-robin), must agree
+ * exactly on every functional counter.
+ */
+TEST(ReferenceModelOracle, RandomRngTracesAgree)
+{
+    const auto configs = oracleConfigs();
+    for (std::uint64_t seed = 1; seed <= 1100; ++seed) {
+        const auto &cfg = configs[seed % configs.size()];
+        const auto t = rngTrace(seed, 2500);
+        expectAgreement(t, cfg, "rngTrace seed=" +
+                                    std::to_string(seed));
+        if (HasFailure())
+            break; // one seed is enough to replay
+    }
+}
+
+/**
+ * Loop-nest traces: the generator + locality-analyzer pipeline with
+ * varying timing seeds, against every oracle-eligible configuration.
+ */
+TEST(ReferenceModelOracle, LoopNestTracesAgree)
+{
+    const auto configs = oracleConfigs();
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const auto mv = workloads::makeTaggedTrace(
+            workloads::buildMv(48 + 7 * (seed % 5)), seed);
+        const auto liv = workloads::makeTaggedTrace(
+            workloads::buildLiv(workloads::Scale{0.05}), seed);
+        const auto spmv = workloads::makeTaggedTrace(
+            workloads::buildSpMv(160, 12, seed), seed);
+        for (const auto &cfg : configs) {
+            const auto label = "loopnest seed=" + std::to_string(seed);
+            expectAgreement(mv, cfg, label + " MV");
+            expectAgreement(liv, cfg, label + " LIV");
+            expectAgreement(spmv, cfg, label + " SpMV");
+            if (HasFailure())
+                return;
+        }
+    }
+}
+
+/** Degenerate shapes: empty trace, single record, pure writes. */
+TEST(ReferenceModelOracle, EdgeTracesAgree)
+{
+    const auto configs = oracleConfigs();
+    trace::Trace empty("empty");
+    for (const auto &cfg : configs)
+        expectAgreement(empty, cfg, "empty");
+
+    trace::Trace one("one");
+    trace::Record r;
+    r.addr = 0x1234;
+    r.spatial = true;
+    one.push(r);
+    for (const auto &cfg : configs)
+        expectAgreement(one, cfg, "single");
+
+    util::Rng rng(42);
+    trace::Trace writes("writes");
+    for (int i = 0; i < 5000; ++i) {
+        trace::Record w;
+        w.addr = 0x100000 + rng.nextBelow(2048) * 8;
+        w.type = trace::AccessType::Write;
+        w.temporal = rng.nextBool(0.5);
+        w.spatial = rng.nextBool(0.5);
+        w.spatialLevel = w.spatial ? 1 : 0;
+        writes.push(w);
+    }
+    for (const auto &cfg : configs)
+        expectAgreement(writes, cfg, "all-writes seed=42");
+}
+
+} // namespace

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build + test sweep across sanitizer modes.
+#
+# Usage:
+#   tools/check.sh              # plain, address (ASan+UBSan), thread (TSan)
+#   tools/check.sh plain        # one mode only
+#   tools/check.sh thread 'ThreadPool*:ParallelSweep*'   # mode + ctest -R filter
+#
+# Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
+# (empty for plain) and runs ctest. The script stops at the first
+# failing mode.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+modes=("${1:-}")
+if [[ -z "${modes[0]}" ]]; then
+    modes=(plain address thread)
+fi
+filter="${2:-}"
+
+for mode in "${modes[@]}"; do
+    case "$mode" in
+      plain)   sanitize="" ;;
+      address) sanitize="address" ;;
+      thread)  sanitize="thread" ;;
+      *) echo "unknown mode '$mode' (plain|address|thread)" >&2; exit 2 ;;
+    esac
+    build_dir="build-check-${mode}"
+    echo "=== [${mode}] configure + build (${build_dir}) ==="
+    cmake -B "${build_dir}" -S . -DSAC_SANITIZE="${sanitize}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "${build_dir}" -j "$(nproc)"
+    echo "=== [${mode}] ctest ==="
+    ctest_args=(--test-dir "${build_dir}" --output-on-failure -j "$(nproc)")
+    if [[ -n "${filter}" ]]; then
+        ctest_args+=(-R "${filter}")
+    fi
+    ctest "${ctest_args[@]}"
+    echo "=== [${mode}] OK ==="
+done
