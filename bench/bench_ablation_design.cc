@@ -164,15 +164,18 @@ main(int argc, char **argv)
                 workloads::buildMv(), rate.dist);
             const auto row = table.addRow();
             table.set(row, 0, rate.label);
+            const std::string cell = std::string("MV-issue-rate-") +
+                                     rate.label;
             table.setNumber(
                 row, 1,
-                core::simulateTrace(t, core::standardConfig()).amat());
+                bench::runCell(t, core::standardConfig(), cell)
+                    .amat());
             table.setNumber(
                 row, 2,
-                core::simulateTrace(t, core::softConfig()).amat());
+                bench::runCell(t, core::softConfig(), cell).amat());
             table.setNumber(
                 row, 3,
-                core::simulateTrace(t, core::softPrefetchConfig())
+                bench::runCell(t, core::softPrefetchConfig(), cell)
                     .amat());
         }
         table.print(std::cout);

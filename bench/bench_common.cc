@@ -1,7 +1,10 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <set>
+#include <utility>
 
 #include "src/harness/experiment.hh"
 #include "src/util/args.hh"
@@ -17,6 +20,21 @@ jobsSetting()
 {
     static unsigned value = util::ThreadPool::defaultThreads();
     return value;
+}
+
+std::string &
+emitDirSetting()
+{
+    static std::string value;
+    return value;
+}
+
+/** Cells already written this process, keyed (workload, cacheKey). */
+std::set<std::pair<std::string, std::string>> &
+emittedCells()
+{
+    static std::set<std::pair<std::string, std::string>> cells;
+    return cells;
 }
 
 harness::Runner &
@@ -50,12 +68,61 @@ initBench(int argc, const char *const *argv)
     }
     if (*jobs_arg > 0)
         jobsSetting() = static_cast<unsigned>(*jobs_arg);
+    if (args.has("emit-json")) {
+        const std::string dir = args.getString("emit-json");
+        // A bare --emit-json (no following value) parses as the
+        // boolean "true"; there is no directory to write to.
+        if (dir.empty() || dir == "true") {
+            std::cerr << "--emit-json expects a directory\n";
+            std::exit(2);
+        }
+        emitDirSetting() = dir;
+    }
 }
 
 unsigned
 jobs()
 {
     return jobsSetting();
+}
+
+const std::string &
+emitJsonDir()
+{
+    return emitDirSetting();
+}
+
+void
+emitCellManifest(const std::string &workload, const core::Config &cfg,
+                 const sim::RunStats &stats, double sim_seconds)
+{
+    const std::string &dir = emitDirSetting();
+    if (dir.empty())
+        return;
+    if (!emittedCells().emplace(workload, cfg.cacheKey()).second)
+        return;
+    if (harness::writeCellManifest(dir, workload, cfg, stats,
+                                   sim_seconds)
+            .empty()) {
+        std::cerr << "failed to write run manifest under '" << dir
+                  << "'\n";
+        std::exit(1);
+    }
+}
+
+sim::RunStats
+runCell(const trace::Trace &t, const core::Config &cfg,
+        const std::string &workload)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::RunStats stats = core::simulateTrace(t, cfg);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::string &name = workload.empty() ? t.name() : workload;
+    emitCellManifest(name, cfg, stats, seconds);
+    return stats;
 }
 
 double
@@ -85,7 +152,9 @@ benchmarkTrace(const std::string &name)
 const sim::RunStats &
 cachedRun(const std::string &bench_name, const core::Config &cfg)
 {
-    return runner().run(workloadOf(bench_name), cfg);
+    const auto &cell = runner().cell(workloadOf(bench_name), cfg);
+    emitCellManifest(bench_name, cfg, cell.stats, cell.simSeconds);
+    return cell.stats;
 }
 
 util::Table
@@ -93,8 +162,39 @@ suiteTable(const std::vector<core::Config> &configs,
            const Metric &metric, int decimals)
 {
     harness::Metric m{"metric", metric, decimals};
-    return runner().runMatrix(harness::paperWorkloads(), configs, m,
-                              jobs());
+    const auto workloads = harness::paperWorkloads();
+    runner().warmup(workloads);
+    util::Table table =
+        runner().runMatrix(workloads, configs, m, jobs());
+    if (!emitJsonDir().empty()) {
+        // One manifest per sweep cell, plus one aggregate per
+        // configuration folding the whole suite with RunStats::+=.
+        const auto sweep = runner().lastSweep();
+        util::Json phases = runner().phases().toJson();
+        phases.set("sweep_jobs",
+                   static_cast<std::uint64_t>(sweep.jobs));
+        phases.set("worker_utilization", sweep.utilization());
+        for (const auto &cfg : configs) {
+            sim::RunStats suite_total;
+            double suite_seconds = 0.0;
+            for (const auto &w : workloads) {
+                const auto &cell = runner().cell(w, cfg);
+                emitCellManifest(w.name, cfg, cell.stats,
+                                 cell.simSeconds);
+                suite_total += cell.stats;
+                suite_seconds += cell.simSeconds;
+            }
+            if (emittedCells()
+                    .emplace("suite-total", cfg.cacheKey())
+                    .second) {
+                harness::writeCellManifest(emitJsonDir(),
+                                           "suite-total", cfg,
+                                           suite_total, suite_seconds,
+                                           &phases);
+            }
+        }
+    }
+    return table;
 }
 
 void

@@ -27,13 +27,37 @@ using Metric = std::function<double(const sim::RunStats &)>;
 /**
  * Parse the shared bench command line; call first in every main().
  * Recognized flags: `--jobs N` (worker threads for matrix sweeps;
- * default: all hardware threads, `--jobs 1` forces the serial path).
- * Tables are byte-identical at any job count.
+ * default: all hardware threads, `--jobs 1` forces the serial path)
+ * and `--emit-json DIR` (write one telemetry run manifest per sweep
+ * cell under DIR; see DESIGN.md §6). Tables are byte-identical at
+ * any job count.
  */
 void initBench(int argc, const char *const *argv);
 
 /** Worker-thread count configured by initBench() (or the default). */
 unsigned jobs();
+
+/** Manifest output directory of --emit-json; empty = no emission. */
+const std::string &emitJsonDir();
+
+/**
+ * Write the run manifest of one sweep cell under emitJsonDir() (a
+ * no-op without --emit-json; cells are deduplicated on (workload,
+ * cacheKey) so repeated cached runs emit once).
+ */
+void emitCellManifest(const std::string &workload,
+                      const core::Config &cfg,
+                      const sim::RunStats &stats,
+                      double sim_seconds = 0.0);
+
+/**
+ * Simulate @p t under @p cfg and emit the cell's manifest when
+ * --emit-json is active: the hook for benches that build ad-hoc
+ * traces instead of going through the registered suite. @p workload
+ * names the manifest (falls back to the trace name).
+ */
+sim::RunStats runCell(const trace::Trace &t, const core::Config &cfg,
+                      const std::string &workload = "");
 
 /** The AMAT metric (the paper's main y-axis). */
 double amatOf(const sim::RunStats &s);

@@ -26,9 +26,10 @@ main(int argc, char **argv)
     util::Table ta({"Subroutine", "Stand.", "Soft.", "Improvement"});
     for (const auto &b : workloads::kernelOnlyBenchmarks()) {
         const auto t = workloads::makeTaggedTrace(b.build());
+        const std::string cell = b.name + "-kernel";
         const auto stand =
-            core::simulateTrace(t, core::standardConfig());
-        const auto soft = core::simulateTrace(t, core::softConfig());
+            bench::runCell(t, core::standardConfig(), cell);
+        const auto soft = bench::runCell(t, core::softConfig(), cell);
         const auto row = ta.addRow();
         ta.set(row, 0, b.name);
         ta.setNumber(row, 1, stand.amat());

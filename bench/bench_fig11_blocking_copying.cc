@@ -31,11 +31,14 @@ main(int argc, char **argv)
             workloads::buildBlockedMv(n, b));
         const auto row = ta.addRow();
         ta.set(row, 0, std::to_string(b));
+        const std::string cell =
+            "BlockedMV-b" + std::to_string(b);
         ta.setNumber(row, 1,
-                     core::simulateTrace(t, core::standardConfig())
+                     bench::runCell(t, core::standardConfig(), cell)
                          .amat());
-        ta.setNumber(row, 2,
-                     core::simulateTrace(t, core::softConfig()).amat());
+        ta.setNumber(
+            row, 2,
+            bench::runCell(t, core::softConfig(), cell).amat());
     }
     ta.print(std::cout);
 
@@ -52,18 +55,27 @@ main(int argc, char **argv)
             workloads::buildCopiedMm(mm_n, ld, mm_block, true));
         const auto row = tb.addRow();
         tb.set(row, 0, std::to_string(ld));
+        const std::string plain_cell =
+            "CopiedMM-nocopy-ld" + std::to_string(ld);
+        const std::string copied_cell =
+            "CopiedMM-copy-ld" + std::to_string(ld);
         tb.setNumber(
             row, 1,
-            core::simulateTrace(plain, core::standardConfig()).amat());
+            bench::runCell(plain, core::standardConfig(), plain_cell)
+                .amat());
         tb.setNumber(
             row, 2,
-            core::simulateTrace(copied, core::standardConfig()).amat());
-        tb.setNumber(row, 3,
-                     core::simulateTrace(plain, core::softConfig())
-                         .amat());
-        tb.setNumber(row, 4,
-                     core::simulateTrace(copied, core::softConfig())
-                         .amat());
+            bench::runCell(copied, core::standardConfig(),
+                           copied_cell)
+                .amat());
+        tb.setNumber(
+            row, 3,
+            bench::runCell(plain, core::softConfig(), plain_cell)
+                .amat());
+        tb.setNumber(
+            row, 4,
+            bench::runCell(copied, core::softConfig(), copied_cell)
+                .amat());
     }
     tb.print(std::cout);
 

@@ -33,15 +33,16 @@ main(int argc, char **argv)
         const double stand =
             bench::cachedRun(b.name, core::standardConfig()).amat();
         const double none =
-            core::simulateTrace(analysis::stripAllTags(t),
-                                core::softConfig())
+            bench::runCell(analysis::stripAllTags(t),
+                           core::softConfig(), b.name + "-notags")
                 .amat();
         const double compiler =
             bench::cachedRun(b.name, core::softConfig()).amat();
-        const double profile = core::simulateTrace(
-                                   locality::retagFromProfile(t),
-                                   core::softConfig())
-                                   .amat();
+        const double profile =
+            bench::runCell(locality::retagFromProfile(t),
+                           core::softConfig(),
+                           b.name + "-profiletags")
+                .amat();
         const auto row = table.addRow();
         table.set(row, 0, b.name);
         table.setNumber(row, 1, stand);

@@ -33,20 +33,23 @@ main(int argc, char **argv)
     for (const auto &b : workloads::paperBenchmarks()) {
         const auto &t = bench::benchmarkTrace(b.name);
         const double stand =
-            core::simulateTrace(t, core::standardConfig()).amat();
+            bench::cachedRun(b.name, core::standardConfig()).amat();
         const auto soft_cfg = core::softConfig();
-        auto amat_of = [&](const trace::Trace &tr) {
-            return core::simulateTrace(tr, soft_cfg).amat();
+        auto amat_of = [&](const trace::Trace &tr,
+                           const std::string &variant) {
+            return bench::runCell(tr, soft_cfg,
+                                  b.name + "-" + variant)
+                .amat();
         };
         const double variants[] = {
-            amat_of(t),
-            amat_of(analysis::stripTemporalTags(t)),
-            amat_of(analysis::stripSpatialTags(t)),
-            amat_of(analysis::stripAllTags(t)),
-            amat_of(analysis::corruptTags(t, 0.10)),
-            amat_of(analysis::corruptTags(t, 0.25)),
-            amat_of(analysis::corruptTags(t, 0.50)),
-            amat_of(analysis::corruptTags(t, 1.00)),
+            amat_of(t, "tags"),
+            amat_of(analysis::stripTemporalTags(t), "notemp"),
+            amat_of(analysis::stripSpatialTags(t), "nospat"),
+            amat_of(analysis::stripAllTags(t), "notags"),
+            amat_of(analysis::corruptTags(t, 0.10), "flip10"),
+            amat_of(analysis::corruptTags(t, 0.25), "flip25"),
+            amat_of(analysis::corruptTags(t, 0.50), "flip50"),
+            amat_of(analysis::corruptTags(t, 1.00), "flip100"),
         };
         const auto row = table.addRow();
         table.set(row, 0, b.name);

@@ -8,6 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
 #include "src/harness/experiment.hh"
@@ -146,4 +152,54 @@ BENCHMARK(BM_MatrixSweep)
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects
+ * flags it does not know, so the shared --emit-json flag is stripped
+ * before Initialize. With --emit-json set, one manifest per timed
+ * simulator configuration is written after the benchmarks run.
+ */
+int
+main(int argc, char **argv)
+{
+    std::string emit_dir;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--emit-json") {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << "--emit-json requires a directory\n";
+                return 2;
+            }
+            emit_dir = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!emit_dir.empty()) {
+        for (const auto &cfg :
+             {core::standardConfig(), core::softConfig(),
+              core::softPrefetchConfig()}) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto stats = core::simulateTrace(mvTrace(), cfg);
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (harness::writeCellManifest(emit_dir, "MV-simspeed",
+                                           cfg, stats, secs)
+                    .empty()) {
+                std::cerr << "failed to write manifest under "
+                          << emit_dir << '\n';
+                return 1;
+            }
+        }
+    }
+    return 0;
+}

@@ -35,6 +35,50 @@ Config::cacheKey() const
     return os.str();
 }
 
+util::Json
+Config::toJson() const
+{
+    util::Json j = util::Json::object();
+    j.set("name", name);
+    j.set("cache_size_bytes", cacheSizeBytes);
+    j.set("line_bytes", static_cast<std::uint64_t>(lineBytes));
+    j.set("assoc", static_cast<std::uint64_t>(assoc));
+    j.set("aux_lines", static_cast<std::uint64_t>(auxLines));
+    j.set("aux_assoc", static_cast<std::uint64_t>(auxAssoc));
+    j.set("aux_receives_victims", auxReceivesVictims);
+    j.set("bounce_back", bounceBack);
+    j.set("virtual_lines", virtualLines);
+    j.set("virtual_line_bytes",
+          static_cast<std::uint64_t>(virtualLineBytes));
+    j.set("variable_virtual_lines", variableVirtualLines);
+    j.set("virtual_line_coherence_check", virtualLineCoherenceCheck);
+    j.set("temporal_bits", temporalBits);
+    j.set("reset_temporal_bit_on_bounce", resetTemporalBitOnBounce);
+    j.set("prefer_non_temporal_replacement",
+          preferNonTemporalReplacement);
+    j.set("bypass", static_cast<std::int64_t>(bypass));
+    j.set("prefetch", prefetch);
+    j.set("prefetch_spatial_only", prefetchSpatialOnly);
+    j.set("max_prefetched_in_aux",
+          static_cast<std::uint64_t>(maxPrefetchedInAux));
+    j.set("prefetch_degree",
+          static_cast<std::uint64_t>(prefetchDegree));
+    util::Json t = util::Json::object();
+    t.set("memory_latency", timing.memoryLatency);
+    t.set("bus_bytes_per_cycle",
+          static_cast<std::uint64_t>(timing.busBytesPerCycle));
+    t.set("main_hit_time", timing.mainHitTime);
+    t.set("aux_hit_time", timing.auxHitTime);
+    t.set("swap_lock_cycles", timing.swapLockCycles);
+    t.set("dirty_transfer_cycles", timing.dirtyTransferCycles);
+    t.set("prefetch_hit_extra_stall", timing.prefetchHitExtraStall);
+    j.set("timing", std::move(t));
+    j.set("write_buffer_entries",
+          static_cast<std::uint64_t>(writeBufferEntries));
+    j.set("classify_misses", classifyMisses);
+    return j;
+}
+
 void
 Config::validate() const
 {

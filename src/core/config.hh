@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/sim/timing.hh"
+#include "src/util/json.hh"
 
 namespace sac {
 namespace core {
@@ -134,6 +135,12 @@ struct Config
      * cannot alias two different setups that share a label.
      */
     std::string cacheKey() const;
+
+    /**
+     * Every field (including the display name and timing block) as a
+     * JSON object, for run manifests. Field names mirror the struct.
+     */
+    util::Json toJson() const;
 
     /** Sanity-check the configuration; fatal() on invalid setups. */
     void validate() const;

@@ -7,6 +7,8 @@
 namespace sac {
 namespace core {
 
+using telemetry::EventKind;
+
 SoftwareAssistedCache::SoftwareAssistedCache(Config cfg)
     : cfg_(std::move(cfg)),
       main_((cfg_.validate(), cfg_.cacheSizeBytes), cfg_.lineBytes,
@@ -49,6 +51,8 @@ SoftwareAssistedCache::access(const trace::Record &rec)
         ++stats_.reads;
     else
         ++stats_.writes;
+    SAC_TRACE_EVENT(tracer_, EventKind::Access, now_, rec.addr,
+                    rec.isWrite());
 
     Cycle start = std::max(now_, cacheFreeAt_);
     const Addr line = main_.lineAddrOf(rec.addr);
@@ -101,6 +105,7 @@ SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
     applyTemporalTag(l, rec.temporal, cfg_.temporalBits);
     l.prefetched = false;
     ++stats_.mainHits;
+    SAC_TRACE_EVENT(tracer_, EventKind::MainHit, start, rec.addr, 0);
     classify(rec.addr, false);
     const Cycle completion = start + cfg_.timing.mainHitTime;
     complete(completion, completion);
@@ -118,6 +123,9 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
 
     ++stats_.auxHits;
     ++stats_.swaps;
+    SAC_TRACE_EVENT(tracer_, EventKind::AuxHit, start, rec.addr,
+                    was_prefetched);
+    SAC_TRACE_EVENT(tracer_, EventKind::Swap, start, rec.addr, 0);
     if (was_prefetched) {
         ++stats_.auxPrefetchHits;
         ++stats_.prefetchesUseful;
@@ -171,6 +179,8 @@ SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
     const bool buffer_hit =
         cfg_.bypass == BypassMode::NonTemporalBuffered && rec.isRead() &&
         bypassBufferValid_ && bypassBufferLine_ == line;
+    SAC_TRACE_EVENT(tracer_, EventKind::Bypass, start, rec.addr,
+                    buffer_hit);
     classify(rec.addr, !buffer_hit);
 
     if (rec.isWrite()) {
@@ -259,6 +269,8 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
     stats_.extraLinesFetched += n_fetched - 1;
     if (n_fetched > 1)
         ++stats_.virtualLineFills;
+    SAC_TRACE_EVENT(tracer_, EventKind::Miss, start, rec.addr,
+                    n_fetched);
 
     // Install the fetched lines; victim transfers and bounce-backs
     // proceed while the miss is outstanding and only lengthen the
@@ -280,6 +292,8 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
         // it again would duplicate it.
         if (l != line && main_.contains(l))
             continue;
+        SAC_TRACE_EVENT(tracer_, EventKind::Fill, start,
+                        l * cfg_.lineBytes, l == line);
         const FillTarget target =
             insertIntoMain(l, transfer_cost, fill_targets);
         if (l == line) {
@@ -346,6 +360,9 @@ SoftwareAssistedCache::insertIntoMain(
     main_.touch(set, way);
 
     if (victim.valid) {
+        SAC_TRACE_EVENT(tracer_, EventKind::Evict, now_,
+                        victim.lineAddr * cfg_.lineBytes,
+                        victim.dirty);
         if (aux_ && cfg_.auxReceivesVictims) {
             victimToAux(victim, transfer_cost, fill_targets);
         } else if (victim.dirty) {
@@ -395,6 +412,8 @@ SoftwareAssistedCache::bounceBack(
     for (const auto &t : fill_targets) {
         if (t.set == set && t.way == way) {
             ++stats_.bouncesCancelled;
+            SAC_TRACE_EVENT(tracer_, EventKind::BounceCancelled, now_,
+                            victim.lineAddr * cfg_.lineBytes, 0);
             if (victim.dirty)
                 pushWriteback(cfg_.lineBytes, transfer_cost);
             return;
@@ -406,6 +425,8 @@ SoftwareAssistedCache::bounceBack(
         // Bouncing onto a dirty line with a full write buffer is
         // aborted (Section 2.2); the victim still needs writing back.
         ++stats_.bouncesAborted;
+        SAC_TRACE_EVENT(tracer_, EventKind::BounceAborted, now_,
+                        victim.lineAddr * cfg_.lineBytes, 0);
         if (victim.dirty)
             pushWriteback(cfg_.lineBytes, transfer_cost);
         return;
@@ -423,6 +444,8 @@ SoftwareAssistedCache::bounceBack(
     main_.touch(set, way);
     transfer_cost += cfg_.timing.dirtyTransferCycles;
     ++stats_.bounces;
+    SAC_TRACE_EVENT(tracer_, EventKind::Bounce, now_,
+                    victim.lineAddr * cfg_.lineBytes, 0);
 }
 
 void
@@ -439,6 +462,7 @@ SoftwareAssistedCache::pushWriteback(std::uint32_t bytes,
         busFreeAt_ += cfg_.timing.transferCycles(drained);
     }
     writeBuffer_.push(bytes);
+    SAC_TRACE_EVENT(tracer_, EventKind::Writeback, now_, 0, bytes);
 }
 
 void
@@ -491,6 +515,8 @@ SoftwareAssistedCache::issuePrefetch(Addr pf_line)
     pending_.valid = true;
     busFreeAt_ = pending_.readyAt;
     ++stats_.prefetchesIssued;
+    SAC_TRACE_EVENT(tracer_, EventKind::Prefetch, now_,
+                    pf_line * cfg_.lineBytes, degree);
     stats_.bytesFetched +=
         static_cast<std::uint64_t>(degree) * cfg_.lineBytes;
     stats_.linesFetched += degree;
@@ -529,6 +555,8 @@ SoftwareAssistedCache::installPendingPrefetch()
         cache::LineState *slot = aux_->find(l);
         SAC_ASSERT(slot, "freshly installed prefetch line vanished");
         slot->prefetched = true;
+        SAC_TRACE_EVENT(tracer_, EventKind::PrefetchInstall, now_,
+                        l * cfg_.lineBytes, 0);
 
         if (aux_victim.valid) {
             Cycle hidden = 0; // off the critical path

@@ -31,6 +31,7 @@
 #include "src/sim/miss_classifier.hh"
 #include "src/sim/run_stats.hh"
 #include "src/sim/write_buffer.hh"
+#include "src/telemetry/event_trace.hh"
 #include "src/trace/trace.hh"
 
 namespace sac {
@@ -60,6 +61,14 @@ class SoftwareAssistedCache
 
     /** The active configuration. */
     const Config &config() const { return cfg_; }
+
+    /**
+     * Attach an event tracer: access/fill/swap/bounce/evict/prefetch
+     * events are recorded into @p t with cycle stamps. Pass nullptr
+     * to detach. The recording sites only exist when the build has
+     * SAC_TRACE_EVENTS=ON; attaching is otherwise a no-op.
+     */
+    void attachTracer(telemetry::EventTracer *t) { tracer_ = t; }
 
     // --- Introspection (used by tests) ---------------------------
 
@@ -185,6 +194,9 @@ class SoftwareAssistedCache
     };
     PendingPrefetch pending_;
     bool finished_ = false;
+
+    /** Event sink; null = tracing off (the common, fast case). */
+    telemetry::EventTracer *tracer_ = nullptr;
 };
 
 /** Simulate @p t under @p cfg and return the statistics. */

@@ -1,9 +1,13 @@
 #include "src/harness/experiment.hh"
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <sstream>
 
+#include "src/telemetry/counter_registry.hh"
+#include "src/telemetry/manifest.hh"
 #include "src/util/thread_pool.hh"
 #include "src/workloads/workloads.hh"
 
@@ -60,8 +64,39 @@ Runner::traceOf(const Workload &w)
         slot = entry.get(); // stable: the map holds pointers
     }
     std::call_once(slot->once, [&] {
+        const telemetry::ScopedPhase phase(phases_, "trace-gen");
         slot->value = w.build();
         tracesGenerated_.fetch_add(1);
+    });
+    return slot->value;
+}
+
+void
+Runner::warmup(const std::vector<Workload> &workloads)
+{
+    const telemetry::ScopedPhase phase(phases_, "warmup");
+    for (const auto &w : workloads)
+        traceOf(w);
+}
+
+const Runner::CellResult &
+Runner::cell(const Workload &w, const core::Config &cfg)
+{
+    const auto key = std::make_pair(w.name, cfg.cacheKey());
+    Slot<CellResult> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = results_[key];
+        if (!entry)
+            entry = std::make_unique<Slot<CellResult>>();
+        slot = entry.get();
+    }
+    std::call_once(slot->once, [&] {
+        const trace::Trace &t = traceOf(w);
+        const telemetry::ScopedPhase phase(phases_, "sim");
+        slot->value.stats = core::simulateTrace(t, cfg);
+        slot->value.simSeconds = phase.elapsed();
+        runsExecuted_.fetch_add(1);
     });
     return slot->value;
 }
@@ -69,20 +104,14 @@ Runner::traceOf(const Workload &w)
 const sim::RunStats &
 Runner::run(const Workload &w, const core::Config &cfg)
 {
-    const auto key = std::make_pair(w.name, cfg.cacheKey());
-    Slot<sim::RunStats> *slot = nullptr;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto &entry = results_[key];
-        if (!entry)
-            entry = std::make_unique<Slot<sim::RunStats>>();
-        slot = entry.get();
-    }
-    std::call_once(slot->once, [&] {
-        slot->value = core::simulateTrace(traceOf(w), cfg);
-        runsExecuted_.fetch_add(1);
-    });
-    return slot->value;
+    return cell(w, cfg).stats;
+}
+
+Runner::SweepTiming
+Runner::lastSweep() const
+{
+    std::lock_guard<std::mutex> lock(sweepMutex_);
+    return lastSweep_;
 }
 
 util::Table
@@ -111,25 +140,60 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
                   const std::vector<core::Config> &configs,
                   const Metric &metric, unsigned jobs)
 {
-    if (jobs > 1 && workloads.size() * configs.size() > 1) {
+    const std::size_t n_cells = workloads.size() * configs.size();
+    const auto sweep_start = std::chrono::steady_clock::now();
+    // Per-worker busy time: summed wall time of the cell tasks
+    // (nanoseconds so workers can accumulate without a double CAS).
+    std::atomic<std::uint64_t> busy_ns{0};
+    const auto timed_cell = [this, &busy_ns](const Workload &w,
+                                             const core::Config &cfg) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run(w, cfg);
+        busy_ns.fetch_add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+    };
+
+    if (jobs > 1 && n_cells > 1) {
         // Simulate every cell concurrently. run() latches each trace
         // and each result exactly once, so racing cells block on the
         // first producer instead of duplicating work. The futures
         // re-raise any exception a cell threw.
         util::ThreadPool pool(jobs);
         std::vector<std::future<void>> cells;
-        cells.reserve(workloads.size() * configs.size());
+        cells.reserve(n_cells);
         for (const auto &w : workloads) {
             for (const auto &cfg : configs) {
-                cells.push_back(
-                    pool.submit([this, &w, &cfg] { run(w, cfg); }));
+                cells.push_back(pool.submit(
+                    [&timed_cell, &w, &cfg] { timed_cell(w, cfg); }));
             }
         }
         for (auto &cell : cells)
             cell.get();
+    } else {
+        for (const auto &w : workloads) {
+            for (const auto &cfg : configs)
+                timed_cell(w, cfg);
+        }
     }
+
+    const double sweep_wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count();
+    phases_.add("sweep", sweep_wall);
+    {
+        std::lock_guard<std::mutex> lock(sweepMutex_);
+        lastSweep_.wallSeconds = sweep_wall;
+        lastSweep_.busySeconds =
+            static_cast<double>(busy_ns.load()) * 1e-9;
+        lastSweep_.jobs = std::max(1u, jobs);
+    }
+
     // Render serially from the (now warm) cache: ordering, rounding
     // and therefore bytes are identical to the serial path.
+    const telemetry::ScopedPhase render(phases_, "report");
     return matrix(workloads, configs, metric);
 }
 
@@ -185,6 +249,41 @@ toCsv(const util::Table &table)
         os << '\n';
     }
     return os.str();
+}
+
+std::string
+writeCellManifest(const std::string &dir, const std::string &workload,
+                  const core::Config &cfg,
+                  const sim::RunStats &stats, double sim_seconds,
+                  const util::Json *extra_timing)
+{
+    telemetry::Manifest m;
+    m.workload = workload;
+    m.configName = cfg.name;
+    m.cacheKey = cfg.cacheKey();
+    m.config = cfg.toJson();
+
+    telemetry::CounterRegistry reg;
+    stats.registerInto(reg);
+    m.counters = reg.toJson();
+
+    m.metrics = util::Json::object();
+    m.metrics.set("amat", stats.amat());
+    m.metrics.set("miss_ratio", stats.missRatio());
+    m.metrics.set("hit_ratio", stats.hitRatio());
+    m.metrics.set("main_hit_share", stats.mainHitShare());
+    m.metrics.set("aux_hit_share", stats.auxHitShare());
+    m.metrics.set("words_per_access",
+                  stats.wordsFetchedPerAccess());
+    m.metrics.set("total_access_cycles", stats.totalAccessCycles);
+
+    m.timing = util::Json::object();
+    if (sim_seconds > 0.0)
+        m.timing.set("sim_seconds", sim_seconds);
+    if (extra_timing && extra_timing->type() == util::Json::Type::Object)
+        m.timing.set("phases", *extra_timing);
+
+    return telemetry::writeManifestFile(dir, m);
 }
 
 bool

@@ -20,6 +20,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/telemetry/phase_timer.hh"
 #include "src/trace/trace.hh"
 #include "src/util/table.hh"
 
@@ -63,10 +64,41 @@ struct Workload
 class Runner
 {
   public:
+    /** One simulated sweep cell: statistics plus its wall-clock cost. */
+    struct CellResult
+    {
+        sim::RunStats stats;
+        double simSeconds = 0.0; //!< wall seconds of simulateTrace()
+    };
+
+    /** Wall-clock account of the last runMatrix() sweep. */
+    struct SweepTiming
+    {
+        double wallSeconds = 0.0; //!< sweep wall time
+        double busySeconds = 0.0; //!< summed per-worker cell time
+        unsigned jobs = 1;        //!< workers used
+
+        /** Fraction of worker-seconds spent in cells (0..1). */
+        double
+        utilization() const
+        {
+            return jobs > 0 && wallSeconds > 0.0
+                       ? busySeconds /
+                             (static_cast<double>(jobs) * wallSeconds)
+                       : 0.0;
+        }
+    };
+
     Runner() = default;
 
     /** The trace of @p w, generated on first use. Thread-safe. */
     const trace::Trace &traceOf(const Workload &w);
+
+    /**
+     * Pre-generate every trace of @p workloads (the "warmup" phase),
+     * so subsequent sweeps measure simulation alone.
+     */
+    void warmup(const std::vector<Workload> &workloads);
 
     /**
      * The statistics of @p w under @p cfg, simulated on first use.
@@ -74,6 +106,10 @@ class Runner
      */
     const sim::RunStats &run(const Workload &w,
                              const core::Config &cfg);
+
+    /** Like run(), including the cell's wall-clock cost. */
+    const CellResult &cell(const Workload &w,
+                           const core::Config &cfg);
 
     /**
      * Build the classic figure table: one row per workload, one
@@ -105,6 +141,17 @@ class Runner
         return tracesGenerated_.load();
     }
 
+    /**
+     * Wall-clock phase account of this runner: "trace-gen" (workload
+     * builds), "warmup" (warmup() calls), "sim" (simulateTrace
+     * cells), "sweep" (runMatrix execution) and "report" (table
+     * rendering). Phase adds are thread-safe.
+     */
+    const telemetry::PhaseTimer &phases() const { return phases_; }
+
+    /** Timing of the most recent runMatrix() sweep. */
+    SweepTiming lastSweep() const;
+
   private:
     /** A once-latched cache slot: built exactly once, then immutable. */
     template <typename T> struct Slot
@@ -117,14 +164,32 @@ class Runner
     std::map<std::string, std::unique_ptr<Slot<trace::Trace>>>
         traces_;
     std::map<std::pair<std::string, std::string>,
-             std::unique_ptr<Slot<sim::RunStats>>>
+             std::unique_ptr<Slot<CellResult>>>
         results_;
     std::atomic<std::size_t> runsExecuted_{0};
     std::atomic<std::size_t> tracesGenerated_{0};
+    telemetry::PhaseTimer phases_;
+    mutable std::mutex sweepMutex_; //!< guards lastSweep_
+    SweepTiming lastSweep_;
 };
 
 /** The nine paper benchmarks as harness workloads. */
 std::vector<Workload> paperWorkloads();
+
+/**
+ * Write one telemetry run manifest for a sweep cell: the full
+ * configuration, its cache key, every RunStats counter, the derived
+ * paper metrics, and timing. Returns the written path ("" on I/O
+ * failure). @p sim_seconds <= 0 omits the per-cell cost; members of
+ * @p extra_timing (an object), when given, are merged into the
+ * manifest's timing section (e.g. phase totals and utilization).
+ */
+std::string writeCellManifest(const std::string &dir,
+                              const std::string &workload,
+                              const core::Config &cfg,
+                              const sim::RunStats &stats,
+                              double sim_seconds = 0.0,
+                              const util::Json *extra_timing = nullptr);
 
 /** Render a table as RFC-4180-style CSV (quoted where needed). */
 std::string toCsv(const util::Table &table);

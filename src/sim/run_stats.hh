@@ -10,10 +10,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "src/util/types.hh"
 
 namespace sac {
+
+namespace telemetry {
+class CounterRegistry;
+}
+
 namespace sim {
 
 /** All counters accumulated during one trace simulation. */
@@ -79,7 +85,32 @@ struct RunStats
 
     /** Print a human-readable summary. */
     void print(std::ostream &os) const;
+
+    /**
+     * Merge the counters of another run: every event count and the
+     * cycle total accumulate; the completion cycle is the maximum
+     * (runs are independent, not concatenated). Used by the sweep
+     * aggregation path to fold per-cell stats into suite totals.
+     */
+    RunStats &operator+=(const RunStats &o);
+
+    /**
+     * Register every counter into @p reg under dotted telemetry
+     * names ("cache.main.hits", "bounce.aborted", ...) prefixed by
+     * @p prefix, with descriptions, and set the registered values
+     * from this run. The same names always map to the same fields,
+     * so registry totals and legacy fields agree exactly (tested by
+     * telemetry_test).
+     */
+    void registerInto(telemetry::CounterRegistry &reg,
+                      const std::string &prefix = "") const;
 };
+
+/** Stream the print() summary. */
+std::ostream &operator<<(std::ostream &os, const RunStats &s);
+
+/** Component-wise sum (operator+= on a copy). */
+RunStats operator+(RunStats a, const RunStats &b);
 
 } // namespace sim
 } // namespace sac

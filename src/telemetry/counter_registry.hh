@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Named hierarchical statistics registry in the gem5 stats style:
+ * every counter carries a dotted path ("cache.main.hits"), a
+ * description, and serializes uniformly to JSON (nested by path
+ * segment) and CSV. sim::RunStats registers its fields here so run
+ * manifests and tools observe one schema instead of ad-hoc printing.
+ *
+ * Naming convention: lower_snake_case segments joined by dots,
+ * subsystem first ("bounce.aborted", "traffic.bytes_fetched"). A path
+ * must not be both a leaf counter and a group prefix of another
+ * counter; registration enforces this.
+ */
+
+#ifndef SAC_TELEMETRY_COUNTER_REGISTRY_HH
+#define SAC_TELEMETRY_COUNTER_REGISTRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/util/json.hh"
+
+namespace sac {
+namespace telemetry {
+
+/** One named event counter. */
+struct Counter
+{
+    std::string name; //!< dotted path, e.g. "cache.main.hits"
+    std::string desc; //!< one-line human description
+    std::uint64_t value = 0;
+
+    Counter &operator+=(std::uint64_t n)
+    {
+        value += n;
+        return *this;
+    }
+    Counter &operator++()
+    {
+        ++value;
+        return *this;
+    }
+};
+
+/** A histogram with power-of-two buckets: bucket i counts [2^i, 2^(i+1)). */
+struct Histogram
+{
+    std::string name;
+    std::string desc;
+    std::vector<std::uint64_t> buckets; //!< log2 buckets, grown on demand
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+
+    /** Record one sample of magnitude @p v (v = 0 lands in bucket 0). */
+    void sample(std::uint64_t v);
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+};
+
+/**
+ * Registry of named counters and histograms. Registration returns a
+ * stable reference (entries are never removed); re-registering a name
+ * returns the existing entry so independent components can share a
+ * counter. Lookup and serialization respect registration order, which
+ * keeps emitted documents byte-stable.
+ *
+ * Not thread-safe: each simulation owns its registry (matching the
+ * one-RunStats-per-run design); merge across runs with merge().
+ */
+class CounterRegistry
+{
+  public:
+    /** Register (or fetch) counter @p name. Panics on group/leaf clash. */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+
+    /** Register (or fetch) histogram @p name. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc = "");
+
+    /** Lookup; nullptr when @p name was never registered. */
+    const Counter *find(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Value of counter @p name; 0 when absent. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Sum of every counter whose name starts with @p prefix. */
+    std::uint64_t total(const std::string &prefix) const;
+
+    /** All counters in registration order. */
+    const std::deque<Counter> &counters() const { return counters_; }
+
+    /** All histograms in registration order. */
+    const std::deque<Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Add every counter/histogram of @p other into this registry. */
+    void merge(const CounterRegistry &other);
+
+    /**
+     * Counters as a JSON object nested by dotted-path segment:
+     * {"cache": {"main": {"hits": 12}}}. Histograms appear under
+     * their path as {"buckets": [...], "samples": n, "mean": x}.
+     */
+    util::Json toJson() const;
+
+    /**
+     * Flat JSON object ("cache.main.hits": 12), for diff-friendly
+     * machine consumption in manifests.
+     */
+    util::Json toFlatJson() const;
+
+    /** CSV with header "name,value,description", one counter per row. */
+    std::string toCsv() const;
+
+  private:
+    // Deques: registration hands out references that must survive
+    // later registrations.
+    std::deque<Counter> counters_;
+    std::deque<Histogram> histograms_;
+};
+
+} // namespace telemetry
+} // namespace sac
+
+#endif // SAC_TELEMETRY_COUNTER_REGISTRY_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine-readable run manifests: one JSON document per (workload,
+ * configuration) sweep cell recording everything needed to reproduce
+ * and diff the run — the full configuration, its canonical cache key,
+ * the git revision of the binary, every registered counter, and
+ * wall-clock timing. The bench binaries write these under a directory
+ * given by --emit-json; BENCH_*.json perf trajectories are rebuilt
+ * from them.
+ */
+
+#ifndef SAC_TELEMETRY_MANIFEST_HH
+#define SAC_TELEMETRY_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.hh"
+
+namespace sac {
+namespace telemetry {
+
+/** Manifest schema identifier; bump when the layout changes. */
+inline constexpr const char *manifestSchema = "sac-run-manifest-v1";
+
+/** All components of one sweep-cell manifest. */
+struct Manifest
+{
+    std::string workload;   //!< workload / benchmark name
+    std::string configName; //!< display name of the configuration
+    std::string cacheKey;   //!< core::Config::cacheKey()
+    util::Json config = util::Json::object();   //!< full Config
+    util::Json counters = util::Json::object(); //!< registry snapshot
+    util::Json metrics = util::Json::object();  //!< derived metrics
+    util::Json timing = util::Json::object();   //!< wall-clock phases
+};
+
+/** `git describe` of the built tree ("unknown" outside a checkout). */
+std::string gitDescribe();
+
+/** FNV-1a 64-bit hash (stable across platforms, used in filenames). */
+std::uint64_t fnv1a(const std::string &s);
+
+/**
+ * Canonical manifest filename: the sanitized workload name plus a
+ * 16-hex-digit FNV-1a hash of the cache key, so two cells collide
+ * iff they simulate identically.
+ */
+std::string manifestFileName(const std::string &workload,
+                             const std::string &cache_key);
+
+/** Assemble the full manifest document (schema + git + components). */
+util::Json manifestJson(const Manifest &m);
+
+/**
+ * Write @p m into directory @p dir (created if missing) under
+ * manifestFileName(). Returns the written path, or an empty string on
+ * I/O failure.
+ */
+std::string writeManifestFile(const std::string &dir,
+                              const Manifest &m);
+
+} // namespace telemetry
+} // namespace sac
+
+#endif // SAC_TELEMETRY_MANIFEST_HH

@@ -1,0 +1,65 @@
+#include "src/telemetry/phase_timer.hh"
+
+namespace sac {
+namespace telemetry {
+
+PhaseTimer::Phase &
+PhaseTimer::lockedPhase(const std::string &name)
+{
+    for (auto &p : phases_) {
+        if (p.name == name)
+            return p;
+    }
+    phases_.push_back(Phase{name, 0.0, 0});
+    return phases_.back();
+}
+
+void
+PhaseTimer::add(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Phase &p = lockedPhase(name);
+    p.seconds += seconds;
+    ++p.invocations;
+}
+
+void
+PhaseTimer::count(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++lockedPhase(name).invocations;
+}
+
+double
+PhaseTimer::seconds(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &p : phases_) {
+        if (p.name == name)
+            return p.seconds;
+    }
+    return 0.0;
+}
+
+std::vector<PhaseTimer::Phase>
+PhaseTimer::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phases_;
+}
+
+util::Json
+PhaseTimer::toJson() const
+{
+    util::Json root = util::Json::object();
+    for (const auto &p : phases()) {
+        util::Json entry = util::Json::object();
+        entry.set("seconds", p.seconds);
+        entry.set("invocations", p.invocations);
+        root.set(p.name, std::move(entry));
+    }
+    return root;
+}
+
+} // namespace telemetry
+} // namespace sac

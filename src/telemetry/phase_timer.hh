@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Wall-clock phase accounting for the experiment pipeline: how long a
+ * run spent generating traces, warming caches, simulating and
+ * rendering reports, plus worker utilization of parallel sweeps.
+ * Phases are named free-form; the harness uses "trace-gen", "warmup",
+ * "sim" and "report".
+ */
+
+#ifndef SAC_TELEMETRY_PHASE_TIMER_HH
+#define SAC_TELEMETRY_PHASE_TIMER_HH
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.hh"
+
+namespace sac {
+namespace telemetry {
+
+/**
+ * Accumulates wall-clock seconds per named phase. add() is
+ * thread-safe, so parallel sweep workers can report their per-cell
+ * durations concurrently; phase order follows first use.
+ */
+class PhaseTimer
+{
+  public:
+    /** Add @p seconds to phase @p name. Thread-safe. */
+    void add(const std::string &name, double seconds);
+
+    /** Increment the invocation count of @p name without time. */
+    void count(const std::string &name);
+
+    /** Accumulated seconds of @p name (0 when never reported). */
+    double seconds(const std::string &name) const;
+
+    /** All phases in first-use order: (name, seconds, invocations). */
+    struct Phase
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t invocations = 0;
+    };
+    std::vector<Phase> phases() const;
+
+    /** {"trace-gen": {"seconds": s, "invocations": n}, ...}. */
+    util::Json toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Phase> phases_;
+
+    Phase &lockedPhase(const std::string &name);
+};
+
+/**
+ * RAII phase measurement: adds the scope's wall-clock duration to
+ * @p timer under @p name on destruction.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseTimer &timer, std::string name)
+        : timer_(timer), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    /** Seconds elapsed since construction. */
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    ~ScopedPhase() { timer_.add(name_, elapsed()); }
+
+  private:
+    PhaseTimer &timer_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace telemetry
+} // namespace sac
+
+#endif // SAC_TELEMETRY_PHASE_TIMER_HH

@@ -1,0 +1,217 @@
+#include "src/util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace util {
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    SAC_ASSERT(type_ == Type::Object, "Json::set() on a non-object");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    SAC_ASSERT(type_ == Type::Array, "Json::push() on a non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Object)
+        return members_.size();
+    if (type_ == Type::Array)
+        return elements_.size();
+    return 0;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+Json *
+Json::find(const std::string &key)
+{
+    return const_cast<Json *>(
+        static_cast<const Json *>(this)->find(key));
+}
+
+std::string
+Json::quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trippable decimal for @p v (JSON has no NaN/Inf). */
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shorter representation when it round-trips.
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    return back == v ? shorter : buf;
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent) *
+            static_cast<std::size_t>(depth),
+        ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Int:
+        os << int_;
+        break;
+      case Type::Uint:
+        os << uint_;
+        break;
+      case Type::Double:
+        os << formatDouble(double_);
+        break;
+      case Type::String:
+        os << quote(string_);
+        break;
+      case Type::Array:
+        if (elements_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            os << pad;
+            elements_[i].writeIndented(os, indent, depth + 1);
+            if (i + 1 < elements_.size())
+                os << ',';
+            os << nl;
+        }
+        os << close_pad << ']';
+        break;
+      case Type::Object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            os << pad << quote(members_[i].first) << ':'
+               << (indent > 0 ? " " : "");
+            members_[i].second.writeIndented(os, indent, depth + 1);
+            if (i + 1 < members_.size())
+                os << ',';
+            os << nl;
+        }
+        os << close_pad << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+} // namespace util
+} // namespace sac

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal ordered JSON document builder used by the telemetry layer
+ * (counter serialization, run manifests, Chrome trace exports). Only
+ * writing is supported; object members keep insertion order so every
+ * emitted document is byte-stable across runs.
+ */
+
+#ifndef SAC_UTIL_JSON_HH
+#define SAC_UTIL_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sac {
+namespace util {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    /** The JSON value kinds. */
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool v) : type_(Type::Bool), bool_(v) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Json(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(const char *v) : type_(Type::String), string_(v) {}
+    Json(std::string v) : type_(Type::String), string_(std::move(v)) {}
+
+    /** An empty JSON object ({}). */
+    static Json object();
+
+    /** An empty JSON array ([]). */
+    static Json array();
+
+    Type type() const { return type_; }
+
+    /**
+     * Add (or overwrite) member @p key of an object. Calling set() on
+     * a non-object is a programming error (panics).
+     */
+    Json &set(const std::string &key, Json value);
+
+    /** Append @p value to an array; panics on non-arrays. */
+    Json &push(Json value);
+
+    /** Number of members (object) or elements (array). */
+    std::size_t size() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    Json *find(const std::string &key);
+
+    /** Serialize with @p indent spaces per level (0 = compact). */
+    std::string dump(int indent = 2) const;
+
+    /** Serialize into @p os (same format as dump()). */
+    void write(std::ostream &os, int indent = 2) const;
+
+    /** Escape @p s as a quoted JSON string literal. */
+    static std::string quote(const std::string &s);
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace util
+} // namespace sac
+
+#endif // SAC_UTIL_JSON_HH

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Build + test sweep across sanitizer modes.
+# Build + test sweep across sanitizer modes, plus repo hygiene lints.
 #
 # Usage:
 #   tools/check.sh              # plain, address (ASan+UBSan), thread (TSan)
 #   tools/check.sh plain        # one mode only
+#   tools/check.sh --quick      # lint + plain mode only (no sanitizer rebuilds)
 #   tools/check.sh thread 'ThreadPool*:ParallelSweep*'   # mode + ctest -R filter
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
@@ -13,18 +14,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-modes=("${1:-}")
-if [[ -z "${modes[0]}" ]]; then
-    modes=(plain address thread)
+# Tracked-artifact lint: build outputs must never be committed. This
+# catches re-additions of what .gitignore is meant to keep out.
+tracked_artifacts="$(git ls-files | grep -E '^build[^/]*/|\.o$' || true)"
+if [[ -n "${tracked_artifacts}" ]]; then
+    echo "error: build artifacts are tracked by git:" >&2
+    echo "${tracked_artifacts}" | head -20 >&2
+    echo "(run: git rm -r --cached <path> and commit)" >&2
+    exit 1
 fi
-filter="${2:-}"
+
+if [[ "${1:-}" == "--quick" ]]; then
+    modes=(plain)
+    filter="${2:-}"
+else
+    modes=("${1:-}")
+    if [[ -z "${modes[0]}" ]]; then
+        modes=(plain address thread)
+    fi
+    filter="${2:-}"
+fi
 
 for mode in "${modes[@]}"; do
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="
