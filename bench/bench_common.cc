@@ -63,7 +63,16 @@ initBench(int argc, const char *const *argv)
     }
     const auto jobs_arg = args.getInt("jobs", 0);
     if (!jobs_arg || *jobs_arg < 0) {
-        std::cerr << "--jobs expects a non-negative integer\n";
+        std::cerr << "--jobs expects a non-negative integer";
+        if (!jobs_arg && args.valueWasSeparateToken("jobs")) {
+            // A trailing bare --jobs swallows the next positional
+            // (e.g. a benchmark filter) as its value; name the token
+            // so the mistake is obvious.
+            std::cerr << " (got '" << args.getString("jobs")
+                      << "' — did a bare --jobs consume a positional?"
+                         " use --jobs=N)";
+        }
+        std::cerr << "\n";
         std::exit(2);
     }
     if (*jobs_arg > 0)

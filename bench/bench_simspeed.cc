@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/check/auditor.hh"
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
 #include "src/harness/experiment.hh"
@@ -89,6 +90,32 @@ BM_SimulateSoftPrefetch(benchmark::State &state)
     simulateConfig(state, core::softPrefetchConfig());
 }
 BENCHMARK(BM_SimulateSoftPrefetch);
+
+/**
+ * Same workload as BM_SimulateSoft but with a check::Auditor
+ * attached. With SAC_AUDIT=OFF the hook is compiled out and this must
+ * time identically to BM_SimulateSoft; with SAC_AUDIT=ON it measures
+ * the full per-access invariant sweep.
+ */
+void
+BM_SimulateSoftAudited(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    const core::Config cfg = core::softConfig();
+    for (auto _ : state) {
+        core::SoftwareAssistedCache sim(cfg);
+        check::Auditor auditor(check::Auditor::OnViolation::Panic);
+        sim.attachAuditor(&auditor);
+        sim.run(t);
+        benchmark::DoNotOptimize(sim.stats().totalAccessCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * t.size()));
+    state.SetLabel(check::Auditor::hooksCompiledIn()
+                       ? "audit-on"
+                       : "audit-compiled-out");
+}
+BENCHMARK(BM_SimulateSoftAudited);
 
 void
 BM_SimulateNoClassifier(benchmark::State &state)

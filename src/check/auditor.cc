@@ -1,0 +1,232 @@
+#include "src/check/auditor.hh"
+
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace check {
+
+namespace {
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+Auditor::Auditor(OnViolation mode) : mode_(mode) {}
+
+void
+Auditor::report(const char *kind, Cycle cycle, Addr addr,
+                const std::string &message)
+{
+    ++counters_.counter(std::string("audit.violation.") + kind,
+                        "structural invariant violations");
+    if (mode_ == OnViolation::Panic) {
+        util::panic("audit violation '", kind, "' at cycle ", cycle,
+                    " addr ", hexAddr(addr), ": ", message);
+    }
+    violations_.push_back({kind, message, cycle, addr});
+}
+
+void
+Auditor::auditArrays(const cache::CacheArray &main,
+                     const cache::CacheArray *aux,
+                     const core::Config &cfg, Cycle cycle)
+{
+    const auto audit_one = [&](const cache::CacheArray &arr,
+                               const char *which) {
+        for (std::uint32_t set = 0; set < arr.numSets(); ++set) {
+            for (std::uint32_t way = 0; way < arr.assoc(); ++way) {
+                const cache::LineState &l = arr.line(set, way);
+                if (!l.valid)
+                    continue;
+                if (arr.setIndexOf(l.lineAddr) != set) {
+                    report("set_mismatch", cycle, l.lineAddr,
+                           util::detail::format(
+                               which, " line ", hexAddr(l.lineAddr),
+                               " sits in set ", set, " but maps to set ",
+                               arr.setIndexOf(l.lineAddr)));
+                }
+                if (!cfg.temporalBits && l.temporal) {
+                    report("temporal_without_tags", cycle, l.lineAddr,
+                           util::detail::format(
+                               which, " line ", hexAddr(l.lineAddr),
+                               " has a temporal bit but the config has "
+                               "temporalBits off"));
+                }
+                if (!cfg.prefetch && l.prefetched) {
+                    report("prefetched_without_prefetch", cycle,
+                           l.lineAddr,
+                           util::detail::format(
+                               which, " line ", hexAddr(l.lineAddr),
+                               " is marked prefetched but the config "
+                               "has prefetch off"));
+                }
+                for (std::uint32_t other = way + 1; other < arr.assoc();
+                     ++other) {
+                    const cache::LineState &o = arr.line(set, other);
+                    if (!o.valid)
+                        continue;
+                    if (o.lineAddr == l.lineAddr) {
+                        report("duplicate_way", cycle, l.lineAddr,
+                               util::detail::format(
+                                   which, " set ", set, " holds line ",
+                                   hexAddr(l.lineAddr), " in ways ", way,
+                                   " and ", other));
+                    }
+                    if (o.lruStamp == l.lruStamp) {
+                        report("lru_stamp_clash", cycle, l.lineAddr,
+                               util::detail::format(
+                                   which, " set ", set, " ways ", way,
+                                   " and ", other,
+                                   " share LRU stamp ", l.lruStamp));
+                    }
+                }
+            }
+        }
+    };
+
+    audit_one(main, "main");
+    if (aux != nullptr) {
+        audit_one(*aux, "aux");
+        if (aux->validCount() > cfg.auxLines) {
+            report("aux_overflow", cycle, 0,
+                   util::detail::format("aux cache holds ",
+                                        aux->validCount(),
+                                        " valid lines, capacity ",
+                                        cfg.auxLines));
+        }
+        // The flagship bounce-back invariant: a physical line lives in
+        // the main cache or the aux cache, never both (a swap moves,
+        // it does not copy).
+        for (std::uint32_t set = 0; set < aux->numSets(); ++set) {
+            for (std::uint32_t way = 0; way < aux->assoc(); ++way) {
+                const cache::LineState &l = aux->line(set, way);
+                if (l.valid && main.contains(l.lineAddr)) {
+                    report("duplicate_line", cycle, l.lineAddr,
+                           util::detail::format(
+                               "line ", hexAddr(l.lineAddr),
+                               " is resident in both the main and the "
+                               "aux cache"));
+                }
+            }
+        }
+    }
+}
+
+void
+Auditor::auditStats(const sim::RunStats &stats, const core::Config &cfg,
+                    Cycle cycle)
+{
+    const std::uint64_t served = stats.mainHits + stats.auxHits +
+                                 stats.misses + stats.bypasses +
+                                 stats.bypassBufferHits;
+    if (served != stats.accesses) {
+        report("access_accounting", cycle, 0,
+               util::detail::format(
+                   "hits+misses+bypasses = ", served, " but accesses = ",
+                   stats.accesses));
+    }
+    if (stats.reads + stats.writes != stats.accesses) {
+        report("access_accounting", cycle, 0,
+               util::detail::format("reads+writes = ",
+                                    stats.reads + stats.writes,
+                                    " but accesses = ", stats.accesses));
+    }
+    if (cfg.classifyMisses) {
+        const std::uint64_t classified = stats.compulsoryMisses +
+                                         stats.capacityMisses +
+                                         stats.conflictMisses;
+        if (classified != stats.misses) {
+            report("miss_class_accounting", cycle, 0,
+                   util::detail::format("miss classes sum to ",
+                                        classified, " but misses = ",
+                                        stats.misses));
+        }
+    }
+
+    // Traffic conservation: every fetched byte belongs to a fetched
+    // physical line. Unbuffered non-temporal bypasses fetch partial
+    // lines, so only a lower bound holds there.
+    const std::uint64_t line_bytes =
+        stats.linesFetched * cfg.lineBytes;
+    const bool partial_fetches = cfg.bypass == core::BypassMode::NonTemporal;
+    if (partial_fetches ? stats.bytesFetched < line_bytes
+                        : stats.bytesFetched != line_bytes) {
+        report("traffic_mismatch", cycle, 0,
+               util::detail::format(
+                   "bytes_fetched = ", stats.bytesFetched, " but ",
+                   stats.linesFetched, " fetched lines account for ",
+                   line_bytes, " bytes"));
+    }
+    // Writebacks drain whole lines unless bypassed writes enqueue
+    // partial (write-through) entries.
+    if (cfg.bypass == core::BypassMode::None &&
+        stats.bytesWrittenBack % cfg.lineBytes != 0) {
+        report("traffic_mismatch", cycle, 0,
+               util::detail::format("bytes_written_back = ",
+                                    stats.bytesWrittenBack,
+                                    " is not a whole number of ",
+                                    cfg.lineBytes, "-byte lines"));
+    }
+}
+
+void
+Auditor::auditNow(const core::SoftwareAssistedCache &cache)
+{
+    const core::Config &cfg = cache.config();
+    const Cycle cycle = cache.now();
+
+    auditArrays(cache.mainArray(), cache.auxArray(), cfg, cycle);
+    auditStats(cache.stats(), cfg, cycle);
+
+    if (cache.writeBufferOccupancy() > cfg.writeBufferEntries) {
+        report("write_buffer_overflow", cycle, 0,
+               util::detail::format("write buffer holds ",
+                                    cache.writeBufferOccupancy(),
+                                    " entries, capacity ",
+                                    cfg.writeBufferEntries));
+    }
+}
+
+void
+Auditor::afterAccess(const core::SoftwareAssistedCache &cache,
+                     const trace::Record &rec)
+{
+    ++audited_;
+    auditNow(cache);
+
+    const sim::RunStats &stats = cache.stats();
+    const Cycle cycle = cache.now();
+    if (stats.accesses != lastAccesses_ + 1) {
+        report("access_counter_skip", cycle, rec.addr,
+               util::detail::format("access counter moved ",
+                                    lastAccesses_, " -> ",
+                                    stats.accesses,
+                                    " across one access"));
+    }
+    if (stats.completionCycle < lastCompletion_) {
+        report("clock_regression", cycle, rec.addr,
+               util::detail::format("completion cycle moved backwards ",
+                                    lastCompletion_, " -> ",
+                                    stats.completionCycle));
+    }
+    if (cache.busFreeAt() < lastBusFree_) {
+        report("clock_regression", cycle, rec.addr,
+               util::detail::format("bus-free cycle moved backwards ",
+                                    lastBusFree_, " -> ",
+                                    cache.busFreeAt()));
+    }
+    lastAccesses_ = stats.accesses;
+    lastCompletion_ = stats.completionCycle;
+    lastBusFree_ = cache.busFreeAt();
+}
+
+} // namespace check
+} // namespace sac

@@ -1,0 +1,122 @@
+#include "src/check/shrinker.hh"
+
+#include <filesystem>
+#include <sstream>
+
+#include "src/trace/trace_io.hh"
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace check {
+
+namespace {
+
+/** Copy of @p t without the records in [begin, end). */
+trace::Trace
+without(const trace::Trace &t, std::size_t begin, std::size_t end)
+{
+    trace::Trace out(t.name());
+    out.reserve(t.size() - (end - begin));
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i < begin || i >= end)
+            out.push(t[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+Shrinker::Result
+Shrinker::minimize(const trace::Trace &failing,
+                   const Predicate &still_fails) const
+{
+    Result res;
+    res.originalSize = failing.size();
+    res.trace = failing;
+    SAC_ASSERT(still_fails(failing),
+               "minimize() needs a failing input trace");
+
+    const auto probe = [&](const trace::Trace &candidate) {
+        ++res.probes;
+        return still_fails(candidate);
+    };
+    const auto budget_left = [&] {
+        if (res.probes < maxProbes_)
+            return true;
+        res.budgetExhausted = true;
+        return false;
+    };
+
+    // Phase 1: chunk bisection. Try dropping aligned chunks, halving
+    // the chunk size whenever a full pass removes nothing.
+    std::size_t chunk = res.trace.size() / 2;
+    while (chunk >= 1 && budget_left()) {
+        bool removed = false;
+        std::size_t start = 0;
+        while (start < res.trace.size() && budget_left()) {
+            const std::size_t end =
+                std::min(start + chunk, res.trace.size());
+            trace::Trace candidate = without(res.trace, start, end);
+            if (candidate.size() < res.trace.size() &&
+                probe(candidate)) {
+                res.trace = std::move(candidate);
+                removed = true;
+                // The records after `start` shifted down; retry the
+                // same position.
+            } else {
+                start = end;
+            }
+        }
+        if (!removed)
+            chunk /= 2;
+        else
+            chunk = std::min(chunk, res.trace.size() / 2);
+        if (chunk == 0)
+            break;
+    }
+
+    // Phase 2: per-record drop sweep to a fixed point.
+    bool progress = true;
+    while (progress && budget_left()) {
+        progress = false;
+        for (std::size_t i = res.trace.size(); i-- > 0;) {
+            if (!budget_left())
+                break;
+            if (res.trace.size() == 1)
+                break;
+            trace::Trace candidate = without(res.trace, i, i + 1);
+            if (probe(candidate)) {
+                res.trace = std::move(candidate);
+                progress = true;
+            }
+        }
+    }
+    return res;
+}
+
+std::optional<Repro>
+writeRepro(const trace::Trace &t, std::uint64_t case_seed,
+           const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return std::nullopt;
+
+    std::ostringstream seed;
+    seed << "0x" << std::hex << case_seed;
+
+    const std::string path =
+        dir + "/fuzz-repro-" + seed.str() + ".sactrace";
+    if (!trace::writeTraceFile(t, path))
+        return std::nullopt;
+
+    Repro r;
+    r.path = path;
+    r.command = "build/examples/fuzz_replay --case " + seed.str() +
+                " --trace " + path;
+    return r;
+}
+
+} // namespace check
+} // namespace sac

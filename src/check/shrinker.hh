@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trace minimizer for fuzz failures: given a failing trace and a
+ * predicate ("does this trace still fail?"), greedily shrink it to a
+ * minimal reproduction — chunk bisection first (halving granularity,
+ * ddmin style), then a per-record drop sweep to a fixed point — under
+ * a bounded probe budget. The repro is written as a trace file via
+ * trace::writeTraceFile together with the one-line fuzz_replay
+ * command that replays it.
+ */
+
+#ifndef SAC_CHECK_SHRINKER_HH
+#define SAC_CHECK_SHRINKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/trace/trace.hh"
+
+namespace sac {
+namespace check {
+
+/** Greedy ddmin-style trace minimizer. */
+class Shrinker
+{
+  public:
+    /** Returns true when the candidate trace still fails. */
+    using Predicate = std::function<bool(const trace::Trace &)>;
+
+    /** Result of one minimization. */
+    struct Result
+    {
+        trace::Trace trace;          //!< the minimized repro
+        std::size_t originalSize = 0;
+        std::size_t probes = 0;      //!< predicate evaluations spent
+        bool budgetExhausted = false;
+    };
+
+    explicit Shrinker(std::size_t max_probes = 2000)
+        : maxProbes_(max_probes)
+    {
+    }
+
+    /**
+     * Minimize @p failing while @p still_fails holds. The input must
+     * itself fail; the returned trace always fails.
+     */
+    Result minimize(const trace::Trace &failing,
+                    const Predicate &still_fails) const;
+
+  private:
+    std::size_t maxProbes_;
+};
+
+/** A written reproduction: the trace file plus its replay command. */
+struct Repro
+{
+    std::string path;
+    std::string command; //!< one-line fuzz_replay invocation
+};
+
+/**
+ * Write @p t under @p dir (created if missing) as
+ * fuzz-repro-<seed>.sactrace and compose the replay command line.
+ * Returns nullopt when the file cannot be written.
+ */
+std::optional<Repro> writeRepro(const trace::Trace &t,
+                                std::uint64_t case_seed,
+                                const std::string &dir);
+
+} // namespace check
+} // namespace sac
+
+#endif // SAC_CHECK_SHRINKER_HH

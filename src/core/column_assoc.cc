@@ -110,7 +110,7 @@ ColumnAssocCache::access(const trace::Record &rec)
     // (clobbering its occupant), the new line fills the primary set.
     ++stats_.misses;
     if (classifier_) {
-        switch (classifier_->access(rec.addr, true)) {
+        switch (classifier_->access(rec.addr, true).value()) {
           case sim::MissClass::Compulsory:
             ++stats_.compulsoryMisses;
             break;

@@ -39,7 +39,7 @@ SoftwareAssistedCache::run(const trace::Trace &t)
 }
 
 void
-SoftwareAssistedCache::access(const trace::Record &rec)
+SoftwareAssistedCache::accessImpl(const trace::Record &rec)
 {
     SAC_ASSERT(!finished_, "access() after finish()");
     // Blocking processor: the reference issues rec.delta cycles of
@@ -573,10 +573,10 @@ SoftwareAssistedCache::classify(Addr addr, bool was_miss)
 {
     if (!classifier_)
         return;
-    const sim::MissClass cls = classifier_->access(addr, was_miss);
-    if (!was_miss)
-        return;
-    switch (cls) {
+    const auto cls = classifier_->access(addr, was_miss);
+    if (!cls)
+        return; // hit: the shadow LRU was updated, nothing to count
+    switch (*cls) {
       case sim::MissClass::Compulsory:
         ++stats_.compulsoryMisses;
         break;

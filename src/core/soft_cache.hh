@@ -34,8 +34,33 @@
 #include "src/telemetry/event_trace.hh"
 #include "src/trace/trace.hh"
 
+// CMake defines this via the SAC_AUDIT option; standalone compilations
+// get the audit hooks by default (mirrors SAC_TRACE_EVENTS_ENABLED).
+#ifndef SAC_AUDIT_ENABLED
+#define SAC_AUDIT_ENABLED 1
+#endif
+
 namespace sac {
 namespace core {
+
+class SoftwareAssistedCache;
+
+/**
+ * Post-access audit hook. When the build has SAC_AUDIT=ON the
+ * simulator calls an attached auditor after every completed access so
+ * it can re-derive structural invariants from the exposed state.
+ * Implemented by check::Auditor; the abstract interface lives here so
+ * src/core never depends on src/check.
+ */
+class AccessAuditor
+{
+  public:
+    virtual ~AccessAuditor() = default;
+
+    /** Called after every access when audit hooks are compiled in. */
+    virtual void afterAccess(const SoftwareAssistedCache &cache,
+                             const trace::Record &rec) = 0;
+};
 
 /** Trace-driven simulator of one cache organization. */
 class SoftwareAssistedCache
@@ -45,7 +70,14 @@ class SoftwareAssistedCache
     explicit SoftwareAssistedCache(Config cfg);
 
     /** Simulate one reference. References must arrive in issue order. */
-    void access(const trace::Record &rec);
+    void access(const trace::Record &rec)
+    {
+        accessImpl(rec);
+#if SAC_AUDIT_ENABLED
+        if (auditor_)
+            auditor_->afterAccess(*this, rec);
+#endif
+    }
 
     /** Simulate a whole trace (appends to the current state). */
     void run(const trace::Trace &t);
@@ -70,7 +102,32 @@ class SoftwareAssistedCache
      */
     void attachTracer(telemetry::EventTracer *t) { tracer_ = t; }
 
-    // --- Introspection (used by tests) ---------------------------
+    /**
+     * Attach a structural invariant auditor, invoked after every
+     * access. Pass nullptr to detach. The call site only exists when
+     * the build has SAC_AUDIT=ON; attaching is otherwise a no-op.
+     */
+    void attachAuditor(AccessAuditor *a) { auditor_ = a; }
+
+    /** Were the SAC_AUDIT hooks compiled into this build? */
+    static constexpr bool auditHooksCompiledIn()
+    {
+        return SAC_AUDIT_ENABLED != 0;
+    }
+
+    // --- Introspection (used by tests and check::Auditor) --------
+
+    /** The main cache array (read-only). */
+    const cache::CacheArray &mainArray() const { return main_; }
+
+    /** The aux cache array, or nullptr when the config has none. */
+    const cache::CacheArray *auxArray() const
+    {
+        return aux_ ? &*aux_ : nullptr;
+    }
+
+    /** The write buffer (read-only). */
+    const sim::WriteBuffer &writeBuffer() const { return writeBuffer_; }
 
     /** Is the line containing @p addr resident in the main cache? */
     bool mainContains(Addr addr) const;
@@ -106,6 +163,9 @@ class SoftwareAssistedCache
         std::uint32_t set;
         std::uint32_t way;
     };
+
+    /** The actual per-reference simulation (see access()). */
+    void accessImpl(const trace::Record &rec);
 
     /** Serve a hit in the main cache. */
     void handleMainHit(const trace::Record &rec, std::uint32_t way,
@@ -197,6 +257,9 @@ class SoftwareAssistedCache
 
     /** Event sink; null = tracing off (the common, fast case). */
     telemetry::EventTracer *tracer_ = nullptr;
+
+    /** Invariant auditor; null = auditing off (the common case). */
+    AccessAuditor *auditor_ = nullptr;
 };
 
 /** Simulate @p t under @p cfg and return the statistics. */

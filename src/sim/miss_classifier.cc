@@ -17,7 +17,7 @@ MissClassifier::MissClassifier(std::uint32_t capacity_lines,
         ++shift_;
 }
 
-MissClass
+std::optional<MissClass>
 MissClassifier::access(Addr byte_addr, bool was_miss)
 {
     const Addr line = lineOf(byte_addr);
@@ -39,7 +39,7 @@ MissClassifier::access(Addr byte_addr, bool was_miss)
     }
 
     if (!was_miss)
-        return MissClass::Conflict; // unused by callers on hits
+        return std::nullopt; // hits have no miss class
 
     if (first_touch)
         return MissClass::Compulsory;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -39,9 +40,11 @@ class MissClassifier
 
     /**
      * Record an access to @p byte_addr and, when @p was_miss, return
-     * its class. Must be called for every demand access in order.
+     * its class; a hit updates the shadow LRU and returns nullopt so
+     * it can never be mistaken for a classified miss. Must be called
+     * for every demand access in order.
      */
-    MissClass access(Addr byte_addr, bool was_miss);
+    std::optional<MissClass> access(Addr byte_addr, bool was_miss);
 
     /** Number of distinct lines ever touched. */
     std::size_t touchedLines() const { return seen_.size(); }

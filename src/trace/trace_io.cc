@@ -1,8 +1,10 @@
 #include "src/trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 namespace sac {
@@ -12,6 +14,30 @@ namespace {
 
 constexpr std::uint32_t traceMagic = 0x53414354; // "SACT"
 constexpr std::uint32_t traceVersion = 2;
+
+/** On-disk bytes of one packed record, matching writeTrace(): addr,
+    ref, delta, size, type, tags, spatialLevel. */
+constexpr std::uint64_t recordDiskBytes =
+    sizeof(Addr) + sizeof(RefId) + sizeof(std::uint16_t) +
+    4 * sizeof(std::uint8_t);
+
+/**
+ * Bytes left in @p is from the current position, or nullopt when the
+ * stream is not seekable.
+ */
+std::optional<std::uint64_t>
+remainingBytes(std::istream &is)
+{
+    const auto here = is.tellg();
+    if (here == std::istream::pos_type(-1))
+        return std::nullopt;
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1) || end < here)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(end - here);
+}
 
 template <typename T>
 void
@@ -78,8 +104,22 @@ readTrace(std::istream &is, Trace &out)
     if (!readScalar(is, count))
         return false;
 
+    // A corrupt header can carry an absurd count; bound it by the
+    // bytes actually left in the stream so a 16-byte file cannot
+    // demand a multi-GB reservation before the first record parses.
+    std::uint64_t reservation = count;
+    if (const auto remaining = remainingBytes(is)) {
+        if (count > *remaining / recordDiskBytes)
+            return false;
+    } else {
+        // Unseekable stream: cap the up-front reservation and let
+        // push() grow as records actually arrive (truncation is then
+        // caught by the per-record reads below).
+        reservation = std::min<std::uint64_t>(count, 1u << 16);
+    }
+
     Trace t(name);
-    t.reserve(count);
+    t.reserve(reservation);
     for (std::uint64_t i = 0; i < count; ++i) {
         Record r;
         std::uint8_t type = 0, tags = 0;

@@ -1,5 +1,6 @@
 #include "src/util/args.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace sac {
@@ -9,6 +10,7 @@ bool
 Args::parse(int argc, const char *const *argv, bool skip_first)
 {
     options_.clear();
+    separateValueKeys_.clear();
     positionals_.clear();
     error_.clear();
 
@@ -42,6 +44,7 @@ Args::parse(int argc, const char *const *argv, bool skip_first)
         if (i + 1 < argc &&
             std::string(argv[i + 1]).rfind("--", 0) != 0) {
             options_[body] = argv[++i];
+            separateValueKeys_.insert(body);
         } else {
             options_[body] = "true";
         }
@@ -69,9 +72,12 @@ Args::getInt(const std::string &key, std::int64_t fallback) const
     const auto it = options_.find(key);
     if (it == options_.end())
         return fallback;
+    errno = 0;
     char *end = nullptr;
     const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    // An out-of-range value saturates to LLONG_MIN/MAX with ERANGE;
+    // treat it as malformed rather than silently clamping.
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
         return std::nullopt;
     return static_cast<std::int64_t>(v);
 }
@@ -88,6 +94,12 @@ Args::getBool(const std::string &key, bool fallback) const
     if (v == "false" || v == "0" || v == "no")
         return false;
     return fallback;
+}
+
+bool
+Args::valueWasSeparateToken(const std::string &key) const
+{
+    return separateValueKeys_.count(key) > 0;
 }
 
 std::vector<std::string>

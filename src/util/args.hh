@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,8 +68,18 @@ class Args
     /** All option keys seen (for unknown-option checking). */
     std::vector<std::string> keys() const;
 
+    /**
+     * Did --key take its value from the *following* argv token
+     * (`--key value` rather than `--key=value`)? When a typed
+     * accessor then rejects that value, the token was plausibly a
+     * positional that a bare `--key` swallowed; callers use this to
+     * report that mistake precisely instead of a generic parse error.
+     */
+    bool valueWasSeparateToken(const std::string &key) const;
+
   private:
     std::map<std::string, std::string> options_;
+    std::set<std::string> separateValueKeys_;
     std::vector<std::string> positionals_;
     std::string error_;
 };

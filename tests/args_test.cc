@@ -127,6 +127,54 @@ TEST(ArgsTest, EmptyOptionNameIsAnError)
     EXPECT_TRUE(args2.positionals().empty());
 }
 
+TEST(ArgsTest, OverflowingIntegerReturnsNullopt)
+{
+    // 20 digits: past INT64_MAX; strtoll would saturate with ERANGE.
+    const auto a = parsed({"--tlat", "99999999999999999999"});
+    EXPECT_FALSE(a.getInt("tlat", 0).has_value());
+
+    const auto b = parsed({"--off=-99999999999999999999"});
+    EXPECT_FALSE(b.getInt("off", 0).has_value());
+
+    // The extremes themselves still parse.
+    const auto c = parsed({"--max=9223372036854775807",
+                           "--min=-9223372036854775808"});
+    EXPECT_EQ(c.getInt("max", 0).value(), INT64_MAX);
+    EXPECT_EQ(c.getInt("min", 0).value(), INT64_MIN);
+}
+
+TEST(ArgsTest, TrailingBareKeyIsNotAnInteger)
+{
+    // A trailing bare `--tlat` parses as the boolean "true"; a typed
+    // accessor must reject it so callers can report the error.
+    const auto a = parsed({"--tlat"});
+    EXPECT_TRUE(a.has("tlat"));
+    EXPECT_FALSE(a.getInt("tlat", 0).has_value());
+    EXPECT_FALSE(a.valueWasSeparateToken("tlat"));
+}
+
+TEST(ArgsTest, SwallowedPositionalIsReportable)
+{
+    // `--tlat gen`: the bare option consumes the positional "gen" as
+    // its value. getInt rejects it, and valueWasSeparateToken lets
+    // the caller say *why* in its error message.
+    const auto a = parsed({"--tlat", "gen"});
+    EXPECT_FALSE(a.getInt("tlat", 0).has_value());
+    EXPECT_TRUE(a.valueWasSeparateToken("tlat"));
+    EXPECT_TRUE(a.positionals().empty());
+
+    // The `=` form is never a swallowed positional.
+    const auto b = parsed({"--tlat=30"});
+    EXPECT_EQ(b.getInt("tlat", 0).value(), 30);
+    EXPECT_FALSE(b.valueWasSeparateToken("tlat"));
+
+    // A legitimate space-separated value is flagged too — the flag
+    // only matters when the typed accessor rejects the value.
+    const auto c = parsed({"--tlat", "30"});
+    EXPECT_EQ(c.getInt("tlat", 0).value(), 30);
+    EXPECT_TRUE(c.valueWasSeparateToken("tlat"));
+}
+
 TEST(ArgsTest, ReparseResetsState)
 {
     sac::util::Args args;

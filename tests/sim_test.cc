@@ -104,6 +104,25 @@ TEST(WriteBufferTest, PopWhenEmptyPanics)
     EXPECT_DEATH(wb.pop(), "empty write buffer");
 }
 
+TEST(WriteBufferTest, WrapAroundAtFullOccupancy)
+{
+    // Advance head_ to the last slot, then fill the whole ring so the
+    // occupied region wraps past the end of the backing array.
+    WriteBuffer wb(64);
+    for (int i = 0; i < 63; ++i) {
+        wb.push(1);
+        wb.pop();
+    }
+    for (std::uint32_t i = 0; i < 64; ++i)
+        wb.push(i + 1);
+    EXPECT_TRUE(wb.full());
+    EXPECT_EQ(wb.occupancy(), 64u);
+    // FIFO order must survive the wraparound.
+    for (std::uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(wb.pop(), i + 1);
+    EXPECT_TRUE(wb.empty());
+}
+
 TEST(MissClassifierTest, FirstTouchIsCompulsory)
 {
     MissClassifier mc(4, 32);
@@ -151,6 +170,16 @@ TEST(MissClassifierTest, HitsUpdateShadowRecency)
     mc.access(64, true); // evicts 32 from the shadow
     EXPECT_EQ(mc.access(0, true), MissClass::Conflict);
     EXPECT_EQ(mc.access(32, true), MissClass::Capacity);
+}
+
+TEST(MissClassifierTest, HitsAreNeverClassified)
+{
+    MissClassifier mc(4, 32);
+    EXPECT_EQ(mc.access(0, true), MissClass::Compulsory);
+    // A hit updates the shadow LRU but must produce no miss class;
+    // counting it would inflate the conflict bucket.
+    EXPECT_EQ(mc.access(0, false), std::nullopt);
+    EXPECT_EQ(mc.access(32, false), std::nullopt);
 }
 
 TEST(RunStatsTest, DerivedMetrics)

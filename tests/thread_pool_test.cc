@@ -140,6 +140,37 @@ TEST(ThreadPool, TasksActuallyRunOnMultipleThreads)
     EXPECT_LE(ids.size(), 4u);
 }
 
+TEST(ThreadPool, WaitRacesWithConcurrentSubmit)
+{
+    // wait() promises only that tasks submitted *so far* have
+    // completed; calling it while another thread keeps submitting
+    // must neither crash, deadlock, nor miss tasks. Run under TSan
+    // via tools/check.sh thread.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    constexpr int n = 2000;
+
+    std::thread producer([&] {
+        for (int i = 0; i < n; ++i) {
+            pool.submit([&done] { done.fetch_add(1); });
+            if (i % 64 == 0)
+                std::this_thread::yield();
+        }
+    });
+
+    // Hammer wait() while the producer is still feeding the queue.
+    for (int i = 0; i < 50; ++i) {
+        pool.wait();
+        std::this_thread::yield();
+    }
+
+    producer.join();
+    pool.wait(); // now every submit happened-before this wait
+    EXPECT_EQ(done.load(), n);
+    EXPECT_EQ(pool.tasksSubmitted(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(pool.tasksCompleted(), static_cast<std::uint64_t>(n));
+}
+
 TEST(ThreadPool, RepeatedConstructionShutsDownCleanly)
 {
     for (int round = 0; round < 20; ++round) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "src/trace/record.hh"
@@ -172,6 +173,68 @@ TEST(TraceIoTest, RejectsBadAccessType)
     // The access-type byte sits before the tag and spatial-level
     // bytes at the end of the record.
     data[data.size() - 3] = 9;
+    std::stringstream bad(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(bad, back));
+}
+
+TEST(TraceIoTest, RejectsBadVersion)
+{
+    Trace t("x");
+    t.push(makeRecord(0));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    data[4] = 99; // version field follows the 4-byte magic
+    std::stringstream bad(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(bad, back));
+}
+
+TEST(TraceIoTest, RejectsTruncatedHeader)
+{
+    Trace t("x");
+    t.push(makeRecord(0));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    // Cut inside the 8-byte record count (magic 4 + version 4 +
+    // name_len 4 + name 1 + 3 bytes of count).
+    data.resize(16);
+    std::stringstream cut(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(cut, back));
+}
+
+TEST(TraceIoTest, RejectsAbsurdRecordCount)
+{
+    // A corrupt header claiming 2^60 records over a few real bytes
+    // must fail cleanly instead of reserving petabytes.
+    Trace t("x");
+    t.push(makeRecord(0));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    const std::uint64_t absurd = 1ull << 60;
+    // The count sits after magic(4) + version(4) + name_len(4) +
+    // name(1).
+    std::memcpy(data.data() + 13, &absurd, sizeof(absurd));
+    std::stringstream bad(data);
+    Trace back;
+    EXPECT_FALSE(sac::trace::readTrace(bad, back));
+}
+
+TEST(TraceIoTest, CountMustMatchRemainingBytesExactly)
+{
+    // Even count = real + 1 must fail: the stream cannot hold it.
+    Trace t("x");
+    for (int i = 0; i < 4; ++i)
+        t.push(makeRecord(static_cast<sac::Addr>(i) * 8));
+    std::stringstream ss;
+    ASSERT_TRUE(sac::trace::writeTrace(t, ss));
+    std::string data = ss.str();
+    const std::uint64_t plus_one = t.size() + 1;
+    std::memcpy(data.data() + 13, &plus_one, sizeof(plus_one));
     std::stringstream bad(data);
     Trace back;
     EXPECT_FALSE(sac::trace::readTrace(bad, back));

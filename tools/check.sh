@@ -6,10 +6,17 @@
 #   tools/check.sh plain        # one mode only
 #   tools/check.sh --quick      # lint + plain mode only (no sanitizer rebuilds)
 #   tools/check.sh thread 'ThreadPool*:ParallelSweep*'   # mode + ctest -R filter
+#   tools/check.sh --fuzz-seconds 60   # add a time-boxed fuzz soak (plain leg)
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
 # failing mode.
+#
+# Fuzzing: every leg builds with -DSAC_AUDIT=ON so the structural
+# invariant auditor runs inside the differential fuzz sweep. The
+# address (ASan+UBSan) leg additionally replays the fixed-seed fuzz
+# budget through examples/fuzz_replay; --fuzz-seconds N appends a
+# randomized soak of N seconds to the plain leg.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +30,24 @@ if [[ -n "${tracked_artifacts}" ]]; then
     echo "(run: git rm -r --cached <path> and commit)" >&2
     exit 1
 fi
+
+fuzz_seconds=0
+args=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --fuzz-seconds)
+        [[ $# -ge 2 ]] || { echo "--fuzz-seconds needs a value" >&2; exit 2; }
+        fuzz_seconds="$2"
+        shift 2 ;;
+      --fuzz-seconds=*)
+        fuzz_seconds="${1#*=}"
+        shift ;;
+      *)
+        args+=("$1")
+        shift ;;
+    esac
+done
+set -- "${args[@]+"${args[@]}"}"
 
 if [[ "${1:-}" == "--quick" ]]; then
     modes=(plain)
@@ -44,7 +69,10 @@ for mode in "${modes[@]}"; do
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="
+    # SAC_AUDIT is passed explicitly: stale build-check-* caches would
+    # otherwise keep whatever default they were first configured with.
     cmake -B "${build_dir}" -S . -DSAC_SANITIZE="${sanitize}" \
+        -DSAC_AUDIT=ON \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "$(nproc)"
     echo "=== [${mode}] ctest ==="
@@ -53,5 +81,13 @@ for mode in "${modes[@]}"; do
         ctest_args+=(-R "${filter}")
     fi
     ctest "${ctest_args[@]}"
+    if [[ "$mode" == "address" ]]; then
+        echo "=== [${mode}] fixed-seed fuzz budget ==="
+        "${build_dir}/examples/fuzz_replay" --cases 5000
+    fi
+    if [[ "$mode" == "plain" && "${fuzz_seconds}" -gt 0 ]]; then
+        echo "=== [${mode}] fuzz soak (${fuzz_seconds}s) ==="
+        "${build_dir}/examples/fuzz_replay" --seconds "${fuzz_seconds}"
+    fi
     echo "=== [${mode}] OK ==="
 done
