@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "src/harness/experiment.hh"
-#include "src/util/args.hh"
 #include "src/util/thread_pool.hh"
 
 namespace sac {
@@ -15,17 +14,15 @@ namespace bench {
 
 namespace {
 
-unsigned &
-jobsSetting()
+harness::BenchOptions &
+optionsSetting()
 {
-    static unsigned value = util::ThreadPool::defaultThreads();
-    return value;
-}
-
-std::string &
-emitDirSetting()
-{
-    static std::string value;
+    // Benches that skip initBench() still get a sensible job count.
+    static harness::BenchOptions value = [] {
+        harness::BenchOptions o;
+        o.jobs = util::ThreadPool::defaultThreads();
+        return o;
+    }();
     return value;
 }
 
@@ -47,8 +44,14 @@ runner()
 harness::Workload
 workloadOf(const std::string &name)
 {
+    const std::uint64_t seed = options().traceSeed;
     return {name,
-            [name] { return workloads::makeBenchmarkTrace(name); }};
+            [name, seed] {
+                return workloads::makeBenchmarkTrace(name, seed);
+            },
+            [name, seed](const trace::RecordSink &sink) {
+                workloads::streamBenchmarkTrace(name, sink, seed);
+            }};
 }
 
 } // namespace
@@ -56,56 +59,32 @@ workloadOf(const std::string &name)
 void
 initBench(int argc, const char *const *argv)
 {
-    util::Args args;
-    if (!args.parse(argc, argv)) {
-        std::cerr << "bad command line: " << args.error() << "\n";
-        std::exit(2);
-    }
-    const auto jobs_arg = args.getInt("jobs", 0);
-    if (!jobs_arg || *jobs_arg < 0) {
-        std::cerr << "--jobs expects a non-negative integer";
-        if (!jobs_arg && args.valueWasSeparateToken("jobs")) {
-            // A trailing bare --jobs swallows the next positional
-            // (e.g. a benchmark filter) as its value; name the token
-            // so the mistake is obvious.
-            std::cerr << " (got '" << args.getString("jobs")
-                      << "' — did a bare --jobs consume a positional?"
-                         " use --jobs=N)";
-        }
-        std::cerr << "\n";
-        std::exit(2);
-    }
-    if (*jobs_arg > 0)
-        jobsSetting() = static_cast<unsigned>(*jobs_arg);
-    if (args.has("emit-json")) {
-        const std::string dir = args.getString("emit-json");
-        // A bare --emit-json (no following value) parses as the
-        // boolean "true"; there is no directory to write to.
-        if (dir.empty() || dir == "true") {
-            std::cerr << "--emit-json expects a directory\n";
-            std::exit(2);
-        }
-        emitDirSetting() = dir;
-    }
+    optionsSetting() = harness::BenchOptions::parse(argc, argv);
+}
+
+const harness::BenchOptions &
+options()
+{
+    return optionsSetting();
 }
 
 unsigned
 jobs()
 {
-    return jobsSetting();
+    return options().jobs;
 }
 
 const std::string &
 emitJsonDir()
 {
-    return emitDirSetting();
+    return options().emitJsonDir;
 }
 
 void
 emitCellManifest(const std::string &workload, const core::Config &cfg,
                  const sim::RunStats &stats, double sim_seconds)
 {
-    const std::string &dir = emitDirSetting();
+    const std::string &dir = emitJsonDir();
     if (dir.empty())
         return;
     if (!emittedCells().emplace(workload, cfg.cacheKey()).second)
@@ -164,6 +143,16 @@ cachedRun(const std::string &bench_name, const core::Config &cfg)
     const auto &cell = runner().cell(workloadOf(bench_name), cfg);
     emitCellManifest(bench_name, cfg, cell.stats, cell.simSeconds);
     return cell.stats;
+}
+
+std::vector<core::Config>
+presetConfigs(const std::vector<std::string> &keys)
+{
+    std::vector<core::Config> out;
+    out.reserve(keys.size());
+    for (const auto &key : keys)
+        out.push_back(core::presets().get(key));
+    return out;
 }
 
 util::Table

@@ -15,6 +15,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/harness/bench_options.hh"
 #include "src/util/table.hh"
 #include "src/workloads/workloads.hh"
 
@@ -26,13 +27,19 @@ using Metric = std::function<double(const sim::RunStats &)>;
 
 /**
  * Parse the shared bench command line; call first in every main().
- * Recognized flags: `--jobs N` (worker threads for matrix sweeps;
- * default: all hardware threads, `--jobs 1` forces the serial path)
- * and `--emit-json DIR` (write one telemetry run manifest per sweep
- * cell under DIR; see DESIGN.md §6). Tables are byte-identical at
- * any job count.
+ * Recognized flags (see harness::BenchOptions): `--jobs N` (worker
+ * threads for matrix sweeps; default: all hardware threads, `--jobs
+ * 1` forces the serial path), `--emit-json DIR` (write one telemetry
+ * run manifest per sweep cell under DIR; see DESIGN.md §6),
+ * `--preset NAME` (a core::presets() configuration), `--trace-seed
+ * N` (timing seed of the generated traces) and `--trace-chunk N`
+ * (records per chunk in streamed replay). Tables are byte-identical
+ * at any job count.
  */
 void initBench(int argc, const char *const *argv);
+
+/** All shared options configured by initBench() (or defaults). */
+const harness::BenchOptions &options();
 
 /** Worker-thread count configured by initBench() (or the default). */
 unsigned jobs();
@@ -77,6 +84,13 @@ const trace::Trace &benchmarkTrace(const std::string &name);
 /** Cached simulation: one run per (benchmark, config-name) pair. */
 const sim::RunStats &cachedRun(const std::string &bench_name,
                                const core::Config &cfg);
+
+/**
+ * Resolve registry preset keys into configurations, in order — the
+ * replacement for the per-bench hand-maintained config lists.
+ */
+std::vector<core::Config>
+presetConfigs(const std::vector<std::string> &keys);
 
 /**
  * Build the classic paper table: one row per benchmark of the main

@@ -20,15 +20,15 @@ main(int argc, char **argv)
                        "Bypassing (3a) and victim caches (3b), AMAT");
 
     std::cout << "\nFigure 3a: efficiency of bypassing (AMAT)\n\n";
-    bench::suiteTable({core::standardConfig(), core::bypassConfig(false),
-                       core::bypassConfig(true)},
-                      bench::amatOf)
+    bench::suiteTable(
+        bench::presetConfigs({"standard", "bypass", "bypass-buffer"}),
+        bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nFigure 3b: efficiency of victim caches (AMAT)\n\n";
-    bench::suiteTable({core::standardConfig(), core::victimConfig(),
-                       core::softConfig()},
-                      bench::amatOf)
+    bench::suiteTable(
+        bench::presetConfigs({"standard", "victim", "soft"}),
+        bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nPaper shape check: raw bypassing is far worse than "

@@ -22,17 +22,16 @@ main(int argc, char **argv)
 
     std::cout << "\nFigure 6a: performance of software control "
                  "(AMAT)\n\n";
-    bench::suiteTable({core::standardConfig(),
-                       core::softTemporalOnlyConfig(),
-                       core::softSpatialOnlyConfig(),
-                       core::softConfig()},
+    bench::suiteTable(bench::presetConfigs({"standard", "soft-temporal",
+                                            "soft-spatial", "soft"}),
                       bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nFigure 6b: repartition of cache hits (Soft.)\n\n";
     util::Table table({"Benchmark", "Main cache", "Bounce-back"});
+    const auto soft = core::presets().get("soft");
     for (const auto &b : workloads::paperBenchmarks()) {
-        const auto &s = bench::cachedRun(b.name, core::softConfig());
+        const auto &s = bench::cachedRun(b.name, soft);
         const auto row = table.addRow();
         table.set(row, 0, b.name);
         table.setNumber(row, 1, s.mainHitShare(), 3);

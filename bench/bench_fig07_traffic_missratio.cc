@@ -19,9 +19,8 @@ main(int argc, char **argv)
     bench::printBanner("Figure 7", "Memory traffic (7a) and miss "
                                    "ratio (7b)");
 
-    const std::vector<core::Config> configs{
-        core::standardConfig(), core::softTemporalOnlyConfig(),
-        core::softSpatialOnlyConfig(), core::softConfig()};
+    const auto configs = bench::presetConfigs(
+        {"standard", "soft-temporal", "soft-spatial", "soft"});
 
     std::cout << "\nFigure 7a: words fetched / number of references\n\n";
     bench::suiteTable(configs, bench::wordsOf).print(std::cout);

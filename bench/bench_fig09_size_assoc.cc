@@ -63,10 +63,10 @@ main(int argc, char **argv)
 
     std::cout << "\nFigure 9b: software control for set-associative "
                  "caches (AMAT)\n\n";
-    bench::suiteTable({core::twoWayConfig(), core::twoWayVictimConfig(),
-                       core::softTwoWayConfig(),
-                       core::simplifiedSoftTwoWayConfig()},
-                      bench::amatOf)
+    bench::suiteTable(
+        bench::presetConfigs({"2way", "2way-victim", "soft-2way",
+                              "simplified-soft-2way"}),
+        bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nPaper shape check: larger caches still benefit, "

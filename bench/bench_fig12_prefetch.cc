@@ -18,10 +18,10 @@ main(int argc, char **argv)
     bench::printBanner("Figure 12", "Prefetching (AMAT)");
     std::cout << '\n';
 
-    bench::suiteTable({core::standardConfig(),
-                       core::standardPrefetchConfig(),
-                       core::softConfig(), core::softPrefetchConfig()},
-                      bench::amatOf)
+    bench::suiteTable(
+        bench::presetConfigs({"standard", "standard-prefetch", "soft",
+                              "soft-prefetch"}),
+        bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nPaper shape check: prefetching hides compulsory "

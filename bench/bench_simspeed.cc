@@ -1,9 +1,15 @@
 /**
  * @file
  * Simulator throughput benchmarks (google-benchmark): trace
- * generation speed and simulation speed per configuration. These are
+ * generation speed, simulation speed per configuration, the
+ * feature-specialized fast path against the forced-general path, and
+ * the streaming engine against materialize-then-replay. These are
  * engineering benchmarks of the reproduction itself, not paper
  * figures.
+ *
+ * The perf leg of tools/check.sh runs this binary with a JSON
+ * reporter and diffs items_per_second against the committed
+ * BENCH_simspeed.json baseline (tools/perf_compare.py).
  */
 
 #include <benchmark/benchmark.h>
@@ -17,12 +23,15 @@
 #include "src/check/auditor.hh"
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/harness/bench_options.hh"
 #include "src/harness/experiment.hh"
+#include "src/trace/trace_source.hh"
 #include "src/workloads/workloads.hh"
 
 namespace {
 
 using namespace sac;
+using core::DispatchMode;
 
 const trace::Trace &
 mvTrace()
@@ -59,37 +68,69 @@ BM_LocalityAnalysis(benchmark::State &state)
 BENCHMARK(BM_LocalityAnalysis);
 
 void
-simulateConfig(benchmark::State &state, const core::Config &cfg)
+simulateConfig(benchmark::State &state, const core::Config &cfg,
+               DispatchMode dispatch = DispatchMode::Auto)
 {
     const auto &t = mvTrace();
+    core::SoftwareAssistedCache probe(cfg, dispatch);
+    state.SetLabel(toString(probe.featureSet()));
     for (auto _ : state) {
-        const auto s = core::simulateTrace(t, cfg);
+        const auto s = core::simulateTrace(t, cfg, dispatch);
         benchmark::DoNotOptimize(s.totalAccessCycles);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * t.size()));
 }
 
+// Fast-path / general-path pairs: the same configuration replayed
+// through the auto-selected specialized access path and through
+// dispatch forced to the fully-general path (the engine of PR 3).
+// perf_compare.py asserts on the within-run ratio of each pair.
+
 void
 BM_SimulateStandard(benchmark::State &state)
 {
-    simulateConfig(state, core::standardConfig());
+    simulateConfig(state, core::presets().get("standard"));
 }
 BENCHMARK(BM_SimulateStandard);
 
 void
+BM_SimulateStandardGeneral(benchmark::State &state)
+{
+    simulateConfig(state, core::presets().get("standard"),
+                   DispatchMode::General);
+}
+BENCHMARK(BM_SimulateStandardGeneral);
+
+void
 BM_SimulateSoft(benchmark::State &state)
 {
-    simulateConfig(state, core::softConfig());
+    simulateConfig(state, core::presets().get("soft"));
 }
 BENCHMARK(BM_SimulateSoft);
 
 void
+BM_SimulateSoftGeneral(benchmark::State &state)
+{
+    simulateConfig(state, core::presets().get("soft"),
+                   DispatchMode::General);
+}
+BENCHMARK(BM_SimulateSoftGeneral);
+
+void
 BM_SimulateSoftPrefetch(benchmark::State &state)
 {
-    simulateConfig(state, core::softPrefetchConfig());
+    simulateConfig(state, core::presets().get("soft-prefetch"));
 }
 BENCHMARK(BM_SimulateSoftPrefetch);
+
+void
+BM_SimulateSoftPrefetchGeneral(benchmark::State &state)
+{
+    simulateConfig(state, core::presets().get("soft-prefetch"),
+                   DispatchMode::General);
+}
+BENCHMARK(BM_SimulateSoftPrefetchGeneral);
 
 /**
  * Same workload as BM_SimulateSoft but with a check::Auditor
@@ -101,7 +142,7 @@ void
 BM_SimulateSoftAudited(benchmark::State &state)
 {
     const auto &t = mvTrace();
-    const core::Config cfg = core::softConfig();
+    const core::Config cfg = core::presets().get("soft");
     for (auto _ : state) {
         core::SoftwareAssistedCache sim(cfg);
         check::Auditor auditor(check::Auditor::OnViolation::Panic);
@@ -120,11 +161,63 @@ BENCHMARK(BM_SimulateSoftAudited);
 void
 BM_SimulateNoClassifier(benchmark::State &state)
 {
-    auto cfg = core::softConfig();
+    auto cfg = core::presets().get("soft");
     cfg.classifyMisses = false;
     simulateConfig(state, cfg);
 }
 BENCHMARK(BM_SimulateNoClassifier);
+
+// Streaming vs. materialized: end-to-end "generate the MV trace and
+// replay it under Soft." — first as the classic materialize-then-
+// simulate sequence, then through the streaming engine, where
+// generation runs on a producer thread and overlaps simulation while
+// memory stays bounded by the chunk queue.
+
+void
+BM_GenerateThenSimulateMaterialized(benchmark::State &state)
+{
+    const core::Config cfg = core::presets().get("soft");
+    std::int64_t records = 0;
+    for (auto _ : state) {
+        const auto t = workloads::makeBenchmarkTrace("MV");
+        const auto s = core::simulateTrace(t, cfg);
+        benchmark::DoNotOptimize(s.totalAccessCycles);
+        records = static_cast<std::int64_t>(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_GenerateThenSimulateMaterialized)->UseRealTime();
+
+void
+BM_GenerateThenSimulateStreamed(benchmark::State &state)
+{
+    const core::Config cfg = core::presets().get("soft");
+    std::int64_t records = 0;
+    for (auto _ : state) {
+        const auto src = workloads::benchmarkTraceSource("MV");
+        const auto s = core::simulateSource(*src, cfg);
+        benchmark::DoNotOptimize(s.totalAccessCycles);
+        records = static_cast<std::int64_t>(s.accesses);
+    }
+    state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_GenerateThenSimulateStreamed)->UseRealTime();
+
+/** In-memory chunked replay: the streaming loop's pure overhead. */
+void
+BM_ReplayStreamedMemory(benchmark::State &state)
+{
+    const core::Config cfg = core::presets().get("soft");
+    const auto &t = mvTrace();
+    for (auto _ : state) {
+        trace::MemoryTraceSource src(t);
+        const auto s = core::simulateSource(src, cfg);
+        benchmark::DoNotOptimize(s.totalAccessCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_ReplayStreamedMemory);
 
 /**
  * Full-matrix sweep through harness::Runner::runMatrix at a given
@@ -148,6 +241,17 @@ sweepTraces()
     return traces;
 }
 
+const std::vector<core::Config> &
+sweepConfigs()
+{
+    static const std::vector<core::Config> cfgs = {
+        core::presets().get("standard"),
+        core::presets().get("soft-temporal"),
+        core::presets().get("soft-spatial"),
+        core::presets().get("soft")};
+    return cfgs;
+}
+
 void
 BM_MatrixSweep(benchmark::State &state)
 {
@@ -156,21 +260,50 @@ BM_MatrixSweep(benchmark::State &state)
     std::vector<harness::Workload> ws;
     for (std::size_t i = 0; i < traces.size(); ++i)
         ws.push_back({traces[i].name(),
-                      [&traces, i] { return traces[i]; }});
-    const std::vector<core::Config> cfgs{
-        core::standardConfig(), core::softTemporalOnlyConfig(),
-        core::softSpatialOnlyConfig(), core::softConfig()};
+                      [&traces, i] { return traces[i]; }, nullptr});
     for (auto _ : state) {
         harness::Runner r;
-        const auto table =
-            r.runMatrix(ws, cfgs, harness::amatMetric(), jobs);
+        const auto table = r.runMatrix(ws, sweepConfigs(),
+                                       harness::amatMetric(), jobs);
         benchmark::DoNotOptimize(table.rows());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * traces.front().size() * ws.size() *
-        cfgs.size()));
+        sweepConfigs().size()));
 }
 BENCHMARK(BM_MatrixSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Streamed one-pass sweep (Runner::runStreamed): one workload under
+ * every sweep configuration without materializing the trace, at a
+ * given worker count (Arg).
+ */
+void
+BM_StreamedSweep(benchmark::State &state)
+{
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    const harness::Workload w{
+        "MV", [] { return workloads::makeBenchmarkTrace("MV"); },
+        [](const trace::RecordSink &sink) {
+            workloads::streamBenchmarkTrace("MV", sink);
+        }};
+    std::int64_t records = 0;
+    for (auto _ : state) {
+        harness::Runner r;
+        const auto stats = r.runStreamed(w, sweepConfigs(), jobs);
+        benchmark::DoNotOptimize(stats.size());
+        records = static_cast<std::int64_t>(stats.front().accesses);
+    }
+    state.SetItemsProcessed(state.iterations() * records *
+                            static_cast<std::int64_t>(
+                                sweepConfigs().size()));
+}
+BENCHMARK(BM_StreamedSweep)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
@@ -181,49 +314,50 @@ BENCHMARK(BM_MatrixSweep)
 
 /**
  * Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects
- * flags it does not know, so the shared --emit-json flag is stripped
- * before Initialize. With --emit-json set, one manifest per timed
+ * flags it does not know, so the command line is split first —
+ * --benchmark_* flags go to benchmark::Initialize, everything else to
+ * the shared harness::BenchOptions parser (--emit-json, --jobs,
+ * --preset, ...). With --emit-json set, one manifest per timed
  * simulator configuration is written after the benchmarks run.
  */
 int
 main(int argc, char **argv)
 {
-    std::string emit_dir;
-    std::vector<char *> args;
-    for (int i = 0; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--emit-json") {
-            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
-                std::cerr << "--emit-json requires a directory\n";
-                return 2;
-            }
-            emit_dir = argv[++i];
-            continue;
-        }
-        args.push_back(argv[i]);
+    std::vector<char *> bench_args{argv[0]};
+    std::vector<const char *> opt_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]).rfind("--benchmark", 0) == 0)
+            bench_args.push_back(argv[i]);
+        else
+            opt_args.push_back(argv[i]);
     }
-    int bench_argc = static_cast<int>(args.size());
-    benchmark::Initialize(&bench_argc, args.data());
+    const auto opts = harness::BenchOptions::parse(
+        static_cast<int>(opt_args.size()), opt_args.data());
+
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,
-                                               args.data()))
+                                               bench_args.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    if (!emit_dir.empty()) {
-        for (const auto &cfg :
-             {core::standardConfig(), core::softConfig(),
-              core::softPrefetchConfig()}) {
+    if (!opts.emitJsonDir.empty()) {
+        for (const auto &key :
+             {"standard", "soft", "soft-prefetch"}) {
+            const core::Config cfg = core::presets().get(key);
             const auto t0 = std::chrono::steady_clock::now();
             const auto stats = core::simulateTrace(mvTrace(), cfg);
             const double secs =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-            if (harness::writeCellManifest(emit_dir, "MV-simspeed",
-                                           cfg, stats, secs)
+            if (harness::writeCellManifest(opts.emitJsonDir,
+                                           "MV-simspeed", cfg, stats,
+                                           secs)
                     .empty()) {
                 std::cerr << "failed to write manifest under "
-                          << emit_dir << '\n';
+                          << opts.emitJsonDir << '\n';
                 return 1;
             }
         }

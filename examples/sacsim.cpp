@@ -18,6 +18,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/harness/bench_options.hh"
 #include "src/harness/experiment.hh"
 #include "src/util/args.hh"
 #include "src/util/stats.hh"
@@ -35,8 +36,12 @@ usage()
         "sacsim — software-assisted cache simulator (HPCA 1995)\n\n"
         "  --benchmark=<name>    MDG BDN DYF TRF NAS Slalom LIV MV "
         "SpMV (required)\n"
-        "  --preset=<p>          standard | victim | soft | "
-        "soft-prefetch | variable\n"
+        "  --preset=<p>          a registry preset:\n";
+    for (const auto &p : core::presets().all()) {
+        std::cout << "                          " << p.key << " — "
+                  << p.description << "\n";
+    }
+    std::cout <<
         "  --cache-kb=<n>        main cache size in KB (default 8)\n"
         "  --line=<n>            physical line bytes (default 32)\n"
         "  --assoc=<n>           main associativity (default 1)\n"
@@ -58,24 +63,15 @@ usage()
 }
 
 std::optional<core::Config>
-buildConfig(const util::Args &args)
+buildConfig(const util::Args &args,
+            const harness::BenchOptions &opts)
 {
-    core::Config cfg;
-    const std::string preset = args.getString("preset", "standard");
-    if (preset == "standard")
-        cfg = core::standardConfig();
-    else if (preset == "victim")
-        cfg = core::victimConfig();
-    else if (preset == "soft")
-        cfg = core::softConfig();
-    else if (preset == "soft-prefetch")
-        cfg = core::softPrefetchConfig();
-    else if (preset == "variable")
-        cfg = core::variableSoftConfig();
-    else {
-        std::cerr << "unknown preset: " << preset << "\n";
-        return std::nullopt;
-    }
+    // --preset resolves through the registry (BenchOptions already
+    // rejected unknown names); the remaining flags override fields.
+    core::Config cfg =
+        opts.preset ? *opts.preset : core::standardConfig();
+    const std::string preset =
+        opts.preset ? opts.presetName : "standard";
 
     auto geti = [&](const char *key, std::int64_t fallback)
         -> std::optional<std::int64_t> {
@@ -156,12 +152,14 @@ main(int argc, char **argv)
         return args.has("help") ? 0 : 2;
     }
 
-    const auto cfg = buildConfig(args);
+    const auto opts = harness::BenchOptions::parse(args);
+    const auto cfg = buildConfig(args, opts);
     if (!cfg)
         return 2;
 
     const std::string bench = args.getString("benchmark");
-    const auto seed = args.getInt("seed", 0x7ac3);
+    const auto seed = args.getInt(
+        "seed", static_cast<std::int64_t>(opts.traceSeed));
     if (!seed) {
         std::cerr << "bad --seed\n";
         return 2;

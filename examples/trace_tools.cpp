@@ -36,33 +36,15 @@ using namespace sac;
 core::Config
 configByName(const std::string &name)
 {
-    if (name == "standard")
-        return core::standardConfig();
-    if (name == "victim")
-        return core::victimConfig();
-    if (name == "soft")
-        return core::softConfig();
-    if (name == "soft-temporal")
-        return core::softTemporalOnlyConfig();
-    if (name == "soft-spatial")
-        return core::softSpatialOnlyConfig();
+    // Historical aliases kept for script compatibility; everything
+    // else resolves straight through the preset registry.
     if (name == "soft-variable")
-        return core::variableSoftConfig();
-    if (name == "bypass")
-        return core::bypassConfig(false);
-    if (name == "bypass-buffer")
-        return core::bypassConfig(true);
-    if (name == "2way")
-        return core::twoWayConfig();
-    if (name == "soft-2way")
-        return core::softTwoWayConfig();
+        return core::presets().get("variable");
     if (name == "simplified-2way")
-        return core::simplifiedSoftTwoWayConfig();
+        return core::presets().get("simplified-soft-2way");
     if (name == "prefetch")
-        return core::standardPrefetchConfig();
-    if (name == "soft-prefetch")
-        return core::softPrefetchConfig();
-    util::fatal("unknown configuration: ", name);
+        return core::presets().get("standard-prefetch");
+    return core::presets().get(name);
 }
 
 int

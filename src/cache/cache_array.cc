@@ -1,5 +1,7 @@
 #include "src/cache/cache_array.hh"
 
+#include <algorithm>
+
 #include "src/util/logging.hh"
 
 namespace sac {
@@ -38,7 +40,10 @@ CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t line_bytes,
         size_bytes / (static_cast<std::uint64_t>(line_bytes) * assoc);
     SAC_ASSERT(isPowerOfTwo(sets), "set count must be a power of 2");
     sets_ = static_cast<std::uint32_t>(sets);
-    lines_.assign(static_cast<std::size_t>(sets_) * assoc_, LineState{});
+    const std::size_t n = static_cast<std::size_t>(sets_) * assoc_;
+    tags_.assign(n, invalidTag);
+    flags_.assign(n, 0);
+    stamps_.assign(n, 0);
 }
 
 std::uint64_t
@@ -47,62 +52,115 @@ CacheArray::sizeBytes() const
     return static_cast<std::uint64_t>(sets_) * assoc_ * lineBytes_;
 }
 
-std::optional<std::uint32_t>
-CacheArray::findWay(Addr line_addr) const
+std::size_t
+CacheArray::flatIndex(std::uint32_t set, std::uint32_t way) const
 {
-    const std::uint32_t set = setIndexOf(line_addr);
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        const LineState &l = line(set, w);
-        if (l.valid && l.lineAddr == line_addr)
-            return w;
-    }
-    return std::nullopt;
+    SAC_ASSERT(set < sets_ && way < assoc_, "set/way out of range");
+    return static_cast<std::size_t>(set) * assoc_ + way;
 }
 
-LineState &
+void
+CacheArray::setFlag(std::size_t idx, std::uint8_t bit, bool v)
+{
+    if (v)
+        flags_[idx] |= bit;
+    else
+        flags_[idx] &= static_cast<std::uint8_t>(~bit);
+}
+
+void
+CacheArray::setPrefetched(std::size_t idx, bool v)
+{
+    const bool was = flagged(idx, kPrefetched);
+    if (was == v)
+        return;
+    setFlag(idx, kPrefetched, v);
+    if (v)
+        ++prefetchedCount_;
+    else
+        --prefetchedCount_;
+}
+
+LineState
+CacheArray::stateAt(std::size_t idx) const
+{
+    LineState s;
+    s.valid = flagged(idx, kValid);
+    s.lineAddr = s.valid ? tags_[idx] : 0;
+    s.dirty = flagged(idx, kDirty);
+    s.temporal = flagged(idx, kTemporal);
+    s.prefetched = flagged(idx, kPrefetched);
+    s.lruStamp = stamps_[idx];
+    return s;
+}
+
+void
+CacheArray::assignAt(std::size_t idx, const LineState &s)
+{
+    setPrefetched(idx, s.prefetched);
+    std::uint8_t f = flags_[idx] & kPrefetched;
+    if (s.valid)
+        f |= kValid;
+    if (s.dirty)
+        f |= kDirty;
+    if (s.temporal)
+        f |= kTemporal;
+    flags_[idx] = f;
+    tags_[idx] = s.valid ? s.lineAddr : invalidTag;
+    stamps_[idx] = s.lruStamp;
+}
+
+void
+CacheArray::clearAt(std::size_t idx)
+{
+    setPrefetched(idx, false);
+    flags_[idx] = 0;
+    tags_[idx] = invalidTag;
+    stamps_[idx] = 0;
+}
+
+CacheArray::LineRef
 CacheArray::line(std::uint32_t set, std::uint32_t way)
 {
-    SAC_ASSERT(set < sets_ && way < assoc_, "set/way out of range");
-    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+    return LineRef(*this, flatIndex(set, way));
 }
 
-const LineState &
+LineState
 CacheArray::line(std::uint32_t set, std::uint32_t way) const
 {
-    SAC_ASSERT(set < sets_ && way < assoc_, "set/way out of range");
-    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+    return stateAt(flatIndex(set, way));
 }
 
-LineState *
+std::optional<CacheArray::LineRef>
 CacheArray::find(Addr line_addr)
 {
     const auto way = findWay(line_addr);
     if (!way)
-        return nullptr;
-    return &line(setIndexOf(line_addr), *way);
+        return std::nullopt;
+    return line(setIndexOf(line_addr), *way);
 }
 
 void
 CacheArray::touch(std::uint32_t set, std::uint32_t way)
 {
-    line(set, way).lruStamp = ++stampCounter_;
+    stamps_[flatIndex(set, way)] = ++stampCounter_;
 }
 
 std::uint32_t
 CacheArray::victimWay(std::uint32_t set, ReplacementPolicy policy) const
 {
     // Invalid ways are free slots: always use them first.
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
     for (std::uint32_t w = 0; w < assoc_; ++w)
-        if (!line(set, w).valid)
+        if (!flagged(base + w, kValid))
             return w;
 
     auto lru_among = [&](auto predicate) -> std::optional<std::uint32_t> {
         std::optional<std::uint32_t> best;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            const LineState &l = line(set, w);
-            if (!predicate(l))
+            if (!predicate(flags_[base + w]))
                 continue;
-            if (!best || l.lruStamp < line(set, *best).lruStamp)
+            if (!best || stamps_[base + w] < stamps_[base + *best])
                 best = w;
         }
         return best;
@@ -110,19 +168,21 @@ CacheArray::victimWay(std::uint32_t set, ReplacementPolicy policy) const
 
     switch (policy) {
       case ReplacementPolicy::LruPreferNonTemporal:
-        if (const auto w =
-                lru_among([](const LineState &l) { return !l.temporal; }))
+        if (const auto w = lru_among([](std::uint8_t f) {
+                return (f & kTemporal) == 0;
+            }))
             return *w;
         break;
       case ReplacementPolicy::LruPreferPrefetched:
-        if (const auto w = lru_among(
-                [](const LineState &l) { return l.prefetched; }))
+        if (const auto w = lru_among([](std::uint8_t f) {
+                return (f & kPrefetched) != 0;
+            }))
             return *w;
         break;
       case ReplacementPolicy::Lru:
         break;
     }
-    return *lru_among([](const LineState &) { return true; });
+    return *lru_among([](std::uint8_t) { return true; });
 }
 
 LineState
@@ -130,40 +190,42 @@ CacheArray::insert(Addr line_addr, ReplacementPolicy policy)
 {
     const std::uint32_t set = setIndexOf(line_addr);
     const std::uint32_t way = victimWay(set, policy);
-    LineState &slot = line(set, way);
-    const LineState evicted = slot;
-    slot = LineState{};
-    slot.lineAddr = line_addr;
-    slot.valid = true;
-    slot.lruStamp = ++stampCounter_;
+    const std::size_t idx = flatIndex(set, way);
+    const LineState evicted = stateAt(idx);
+    setPrefetched(idx, false);
+    flags_[idx] = kValid;
+    tags_[idx] = line_addr;
+    stamps_[idx] = ++stampCounter_;
     return evicted;
 }
 
 std::optional<LineState>
 CacheArray::invalidate(Addr line_addr)
 {
-    LineState *l = find(line_addr);
+    auto l = find(line_addr);
     if (!l)
         return std::nullopt;
-    const LineState old = *l;
-    *l = LineState{};
+    const LineState old = l->state();
+    l->clear();
     return old;
 }
 
 void
 CacheArray::reset()
 {
-    for (auto &l : lines_)
-        l = LineState{};
+    std::fill(tags_.begin(), tags_.end(), invalidTag);
+    std::fill(flags_.begin(), flags_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
     stampCounter_ = 0;
+    prefetchedCount_ = 0;
 }
 
 std::uint32_t
 CacheArray::validCount() const
 {
     std::uint32_t n = 0;
-    for (const auto &l : lines_)
-        n += l.valid ? 1 : 0;
+    for (const auto f : flags_)
+        n += (f & kValid) ? 1 : 0;
     return n;
 }
 

@@ -5,11 +5,20 @@
  * (Section 2.2) and the prefetched bit (Section 4.4). The array holds
  * state only — all timing, bounce-back and virtual-line policy lives
  * in the simulators built on top (src/core).
+ *
+ * Storage is structure-of-arrays: tags, flag bits and LRU stamps live
+ * in separate vectors so the hot residency probe (findWay) touches
+ * exactly 8 bytes per way instead of a whole line-state struct. The
+ * AoS LineState struct remains the exchange type — snapshots,
+ * victims and full-state installs — and every mutation goes through
+ * the LineRef proxy so the tag vector and the derived prefetched-line
+ * count can never fall out of sync with the flags.
  */
 
 #ifndef SAC_CACHE_CACHE_ARRAY_HH
 #define SAC_CACHE_CACHE_ARRAY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -19,7 +28,7 @@
 namespace sac {
 namespace cache {
 
-/** State of one physical cache line. */
+/** Snapshot of one physical cache line (the SoA exchange type). */
 struct LineState
 {
     /** Line address (byte address >> log2(lineBytes)); meaningful only
@@ -62,6 +71,53 @@ class CacheArray
 {
   public:
     /**
+     * Mutable view of one (set, way) slot. All writes funnel through
+     * the owning array so the SoA columns stay consistent. Copies are
+     * cheap (pointer + index) and stay valid for the array's lifetime;
+     * they view the slot, not the line, so an eviction re-targets
+     * them to the new occupant.
+     */
+    class LineRef
+    {
+      public:
+        Addr lineAddr() const { return arr_->tags_[idx_]; }
+        bool valid() const { return arr_->flagged(idx_, kValid); }
+        bool dirty() const { return arr_->flagged(idx_, kDirty); }
+        bool temporal() const { return arr_->flagged(idx_, kTemporal); }
+        bool prefetched() const
+        {
+            return arr_->flagged(idx_, kPrefetched);
+        }
+        std::uint64_t lruStamp() const { return arr_->stamps_[idx_]; }
+
+        void setDirty(bool v = true) { arr_->setFlag(idx_, kDirty, v); }
+        void setTemporal(bool v = true)
+        {
+            arr_->setFlag(idx_, kTemporal, v);
+        }
+        void setPrefetched(bool v = true)
+        {
+            arr_->setPrefetched(idx_, v);
+        }
+
+        /** Materialize the slot as an AoS snapshot. */
+        LineState state() const { return arr_->stateAt(idx_); }
+
+        /** Install a full line state (tag, flags and stamp). */
+        void assign(const LineState &s) { arr_->assignAt(idx_, s); }
+
+        /** Invalidate the slot. */
+        void clear() { arr_->clearAt(idx_); }
+
+      private:
+        friend class CacheArray;
+        LineRef(CacheArray &a, std::size_t i) : arr_(&a), idx_(i) {}
+
+        CacheArray *arr_;
+        std::size_t idx_;
+    };
+
+    /**
      * @param size_bytes total capacity; must be sets * assoc * line
      * @param line_bytes physical line size (power of two)
      * @param assoc associativity (>= 1)
@@ -100,10 +156,23 @@ class CacheArray
     }
 
     /**
-     * Find the way holding @p line_addr.
+     * Find the way holding @p line_addr. Scans only the packed tag
+     * column; invalid ways hold a sentinel tag that cannot match a
+     * real line address.
      * @retval way index when present, std::nullopt on miss
      */
-    std::optional<std::uint32_t> findWay(Addr line_addr) const;
+    std::optional<std::uint32_t>
+    findWay(Addr line_addr) const
+    {
+        const Addr *t = &tags_[static_cast<std::size_t>(line_addr &
+                                                        (sets_ - 1)) *
+                               assoc_];
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (t[w] == line_addr)
+                return w;
+        }
+        return std::nullopt;
+    }
 
     /** True when @p line_addr is resident. */
     bool contains(Addr line_addr) const
@@ -111,14 +180,14 @@ class CacheArray
         return findWay(line_addr).has_value();
     }
 
-    /** Access a line's state by (set, way). */
-    LineState &line(std::uint32_t set, std::uint32_t way);
+    /** Mutable view of the slot at (set, way). */
+    LineRef line(std::uint32_t set, std::uint32_t way);
 
-    /** Access a line's state by (set, way), read-only. */
-    const LineState &line(std::uint32_t set, std::uint32_t way) const;
+    /** Snapshot of the slot at (set, way). */
+    LineState line(std::uint32_t set, std::uint32_t way) const;
 
-    /** State of the resident line for @p line_addr, if any. */
-    LineState *find(Addr line_addr);
+    /** Mutable view of the resident line for @p line_addr, if any. */
+    std::optional<LineRef> find(Addr line_addr);
 
     /** Mark (set, way) most recently used. */
     void touch(std::uint32_t set, std::uint32_t way);
@@ -149,13 +218,46 @@ class CacheArray
     /** Count of currently valid lines. */
     std::uint32_t validCount() const;
 
+    /**
+     * Count of resident lines with the prefetched bit, maintained
+     * incrementally (the prefetch-budget check of Section 4.4 used to
+     * rescan the whole array per install).
+     */
+    std::uint32_t prefetchedCount() const { return prefetchedCount_; }
+
   private:
+    friend class LineRef;
+
+    /** Flag bits packed into one byte per line. */
+    static constexpr std::uint8_t kValid = 1u << 0;
+    static constexpr std::uint8_t kDirty = 1u << 1;
+    static constexpr std::uint8_t kTemporal = 1u << 2;
+    static constexpr std::uint8_t kPrefetched = 1u << 3;
+
+    /** Tag stored in empty ways; no real line address equals it. */
+    static constexpr Addr invalidTag = ~static_cast<Addr>(0);
+
+    std::size_t flatIndex(std::uint32_t set, std::uint32_t way) const;
+    bool flagged(std::size_t idx, std::uint8_t bit) const
+    {
+        return (flags_[idx] & bit) != 0;
+    }
+    void setFlag(std::size_t idx, std::uint8_t bit, bool v);
+    void setPrefetched(std::size_t idx, bool v);
+    LineState stateAt(std::size_t idx) const;
+    void assignAt(std::size_t idx, const LineState &s);
+    void clearAt(std::size_t idx);
+
     std::uint32_t lineBytes_;
     std::uint32_t lineShift_;
     std::uint32_t sets_;
     std::uint32_t assoc_;
-    std::vector<LineState> lines_; // sets_ * assoc_, set-major
+    // SoA columns, sets_ * assoc_ entries each, set-major.
+    std::vector<Addr> tags_;           //!< line addr, or invalidTag
+    std::vector<std::uint8_t> flags_;  //!< kValid|kDirty|... bits
+    std::vector<std::uint64_t> stamps_; //!< LRU stamps
     std::uint64_t stampCounter_ = 0;
+    std::uint32_t prefetchedCount_ = 0;
 };
 
 } // namespace cache

@@ -221,6 +221,23 @@ runCase(const trace::Trace &t, const core::Config &cfg,
     if (corrupt)
         corrupt(t, out.got);
 
+    // Replay through the general (unspecialized) access path as well:
+    // the compile-time feature dispatch must be a pure code motion,
+    // so every counter — timing included — has to come out identical.
+    core::SoftwareAssistedCache general(cfg,
+                                        core::DispatchMode::General);
+    general.run(t);
+    if (!(general.stats() == sim.stats())) {
+        out.dispatchDiverged = true;
+        const std::string counter_diff = sim::describeDivergence(
+            sim::countsOf(general.stats()), sim::countsOf(sim.stats()));
+        out.dispatchDivergence =
+            "specialized path " + std::string(toString(sim.featureSet())) +
+            " disagrees with general path" +
+            (counter_diff.empty() ? std::string(" (timing fields only)")
+                                  : ": " + counter_diff);
+    }
+
     out.expected = sim::referenceCounts(t, cfg);
     if (!(out.expected == out.got)) {
         out.diverged = true;

@@ -48,12 +48,17 @@ struct CaseOutcome
 {
     bool diverged = false;
     std::string divergence; //!< describeDivergence() report
+    bool dispatchDiverged = false; //!< specialized vs general path
+    std::string dispatchDivergence;
     std::uint64_t auditViolations = 0;
     std::string firstAuditViolation;
     sim::ReferenceCounts expected; //!< oracle counters
     sim::ReferenceCounts got;      //!< simulator counters
 
-    bool ok() const { return !diverged && auditViolations == 0; }
+    bool ok() const
+    {
+        return !diverged && !dispatchDiverged && auditViolations == 0;
+    }
 };
 
 /**
@@ -66,9 +71,13 @@ using CountsCorruption =
 
 /**
  * Replay @p t under @p cfg through both models and diff the counters.
- * @p cfg must satisfy sim::ReferenceModel::supports(). When the build
- * has SAC_AUDIT=ON a Record-mode Auditor rides along and its
- * violations are reported in the outcome.
+ * The simulator side runs twice — once with its auto-selected
+ * feature-specialized access path and once with dispatch forced to
+ * the general path — and the two full RunStats must be identical
+ * (dispatchDiverged reports any mismatch). @p cfg must satisfy
+ * sim::ReferenceModel::supports(). When the build has SAC_AUDIT=ON a
+ * Record-mode Auditor rides along and its violations are reported in
+ * the outcome.
  */
 CaseOutcome runCase(const trace::Trace &t, const core::Config &cfg,
                     const CountsCorruption &corrupt = {});

@@ -61,13 +61,13 @@ ColumnAssocCache::access(const trace::Record &rec)
     const std::uint32_t sp = primarySet(line);
     const std::uint32_t sa = alternateSet(line);
 
-    cache::LineState &p = main_.line(sp, 0);
-    cache::LineState &a = main_.line(sa, 0);
+    cache::CacheArray::LineRef p = main_.line(sp, 0);
+    cache::CacheArray::LineRef a = main_.line(sa, 0);
 
     // First probe: the primary set.
-    if (p.valid && p.lineAddr == line) {
+    if (p.valid() && p.lineAddr() == line) {
         if (rec.isWrite())
-            p.dirty = true;
+            p.setDirty();
         ++stats_.mainHits;
         if (classifier_)
             classifier_->access(rec.addr, false);
@@ -79,17 +79,19 @@ ColumnAssocCache::access(const trace::Record &rec)
     // probe is skipped and the alias is replaced in place — the
     // rehash bit is what stops demotion cascades from polluting
     // other sets (Agarwal & Pudar's key refinement).
-    const bool primary_is_alias = p.valid && rehash_[sp];
+    const bool primary_is_alias = p.valid() && rehash_[sp];
 
     // Second probe: the alternate set; a hit swaps the lines so the
     // hot one is found first next time.
-    if (!primary_is_alias && a.valid && a.lineAddr == line &&
+    if (!primary_is_alias && a.valid() && a.lineAddr() == line &&
         rehash_[sa]) {
-        std::swap(p, a);
+        const cache::LineState was_primary = p.state();
+        p.assign(a.state());
+        a.assign(was_primary);
         rehash_[sp] = false;
-        rehash_[sa] = a.valid;
+        rehash_[sa] = a.valid();
         if (rec.isWrite())
-            p.dirty = true;
+            p.setDirty();
         ++stats_.auxHits;
         ++stats_.swaps;
         if (classifier_)
@@ -140,15 +142,16 @@ ColumnAssocCache::access(const trace::Record &rec)
         evictSlot(p);
     } else {
         evictSlot(a);
-        if (p.valid) {
-            a = p; // demote the primary resident
+        if (p.valid()) {
+            a.assign(p.state()); // demote the primary resident
             rehash_[sa] = true;
         }
     }
-    p = cache::LineState{};
-    p.lineAddr = line;
-    p.valid = true;
-    p.dirty = rec.isWrite();
+    cache::LineState fresh;
+    fresh.lineAddr = line;
+    fresh.valid = true;
+    fresh.dirty = rec.isWrite();
+    p.assign(fresh);
     rehash_[sp] = false;
 
     while (writeBuffer_.occupancy() > 0) {
@@ -160,11 +163,11 @@ ColumnAssocCache::access(const trace::Record &rec)
 }
 
 void
-ColumnAssocCache::evictSlot(cache::LineState &slot)
+ColumnAssocCache::evictSlot(cache::CacheArray::LineRef slot)
 {
-    if (!slot.valid)
+    if (!slot.valid())
         return;
-    if (slot.dirty) {
+    if (slot.dirty()) {
         if (writeBuffer_.full()) {
             writeBuffer_.noteFullStall();
             ++stats_.writeBufferFullStalls;
@@ -174,7 +177,7 @@ ColumnAssocCache::evictSlot(cache::LineState &slot)
         }
         writeBuffer_.push(cfg_.lineBytes);
     }
-    slot = cache::LineState{};
+    slot.clear();
 }
 
 void

@@ -70,7 +70,7 @@ class ColumnAssocCache
     std::uint32_t alternateSet(Addr line) const;
 
     void installLine(Addr line, std::uint32_t set, bool write);
-    void evictSlot(cache::LineState &slot);
+    void evictSlot(cache::CacheArray::LineRef slot);
     void completeAccess(Cycle completion);
 
     ColumnAssocConfig cfg_;

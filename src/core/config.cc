@@ -79,52 +79,225 @@ Config::toJson() const
     return j;
 }
 
-void
-Config::validate() const
+std::optional<std::string>
+Config::validationError() const
 {
-    using util::fatal;
     if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
-        fatal("physical line size must be a power of two");
+        return "physical line size must be a power of two";
+    if (assoc == 0)
+        return "associativity must be at least 1";
     if (cacheSizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc))
-        fatal("cache size must be a multiple of line size * assoc");
+        return "cache size must be a multiple of line size * assoc";
     if (virtualLines) {
-        if (virtualLineBytes < lineBytes ||
-            virtualLineBytes % lineBytes != 0) {
-            fatal("virtual line size must be a multiple of the "
-                  "physical line size");
-        }
+        if (virtualLineBytes < lineBytes)
+            return "virtual lines must be at least one physical line";
+        if (virtualLineBytes % lineBytes != 0)
+            return "virtual line size must be a multiple of the "
+                   "physical line size";
+        // The miss path aligns the virtual block with a mask, so the
+        // line count per virtual line must be a power of two.
+        const std::uint32_t n = virtualLineBytes / lineBytes;
+        if ((n & (n - 1)) != 0)
+            return "virtual line size must be a power-of-two multiple "
+                   "of the physical line size";
     }
     if (auxLines > 0 && auxAssoc > 0) {
         if (auxLines % auxAssoc != 0)
-            fatal("aux associativity must divide the aux line count");
+            return "aux associativity must divide the aux line count";
         const std::uint32_t sets = auxLines / auxAssoc;
         if ((sets & (sets - 1)) != 0)
-            fatal("aux set count must be a power of two");
+            return "aux set count must be a power of two";
     }
     if (variableVirtualLines && !virtualLines)
-        fatal("variable virtual lines require virtual lines");
+        return "variable virtual lines require virtual lines";
     if (prefetch && prefetchDegree == 0)
-        fatal("prefetch degree must be at least 1");
+        return "prefetch degree must be at least 1";
     if (bounceBack && auxLines == 0)
-        fatal("bounce-back requires an aux cache");
+        return "bounce-back requires an aux cache";
     if (bounceBack && !auxReceivesVictims)
-        fatal("the bounce-back cache also acts as a victim cache");
+        return "the bounce-back cache also acts as a victim cache";
     if (prefetch && auxLines == 0)
-        fatal("prefetching uses the aux cache as a prefetch buffer");
+        return "prefetching uses the aux cache as a prefetch buffer";
     if (bypass != BypassMode::None && !temporalBits)
-        fatal("bypassing is steered by the temporal tags");
+        return "bypassing is steered by the temporal tags";
     if (writeBufferEntries == 0)
-        fatal("a write buffer is required");
+        return "a write buffer is required";
     if (timing.busBytesPerCycle == 0)
-        fatal("bus bandwidth must be positive");
+        return "bus bandwidth must be positive";
+    return std::nullopt;
 }
+
+void
+Config::validate() const
+{
+    if (const auto err = validationError())
+        util::fatal("invalid config \"", name, "\": ", *err);
+}
+
+PresetRegistry::PresetRegistry()
+{
+    auto add = [this](std::string key, std::string description,
+                      Config config) {
+        presets_.push_back(
+            {std::move(key), std::move(description), std::move(config)});
+    };
+
+    // Registration order follows the paper's figures; keys are the
+    // CLI-facing --preset names.
+    add("standard", "8 KB direct-mapped baseline (Stand.)",
+        Config::builder().name("Stand.").build());
+    add("victim", "Standard + 8-line victim cache (Fig 3b)",
+        Config::builder()
+            .name("Stand.+Victim")
+            .auxLines(8)
+            .victims()
+            .build());
+    add("soft",
+        "full software assistance: virtual lines + bounce-back",
+        Config::builder()
+            .name("Soft.")
+            .auxLines(8)
+            .victims()
+            .bounceBack()
+            .temporalBits()
+            .virtualLines(64)
+            .build());
+    add("soft-temporal",
+        "software assistance for temporal locality only (Fig 6a/7)",
+        Config::builder()
+            .name("Soft. Temp. only")
+            .auxLines(8)
+            .victims()
+            .bounceBack()
+            .temporalBits()
+            .build());
+    add("soft-spatial",
+        "software assistance for spatial locality only (Fig 6a/7)",
+        Config::builder()
+            .name("Soft. Spat. only")
+            .auxLines(8)
+            .victims()
+            .virtualLines(64)
+            .build());
+    add("variable",
+        "Soft. with variable-length virtual lines (Section 3.2)",
+        Config::builder()
+            .name("Soft. (variable Vl)")
+            .auxLines(8)
+            .victims()
+            .bounceBack()
+            .temporalBits()
+            .virtualLines(256) // cap: level 3 = 8 lines
+            .variableVirtualLines()
+            .build());
+    add("bypass", "bypassing of non-temporal references (Fig 3a)",
+        Config::builder()
+            .name("Bypass")
+            .temporalBits()
+            .bypass(BypassMode::NonTemporal)
+            .build());
+    add("bypass-buffer",
+        "bypassing through a one-line buffer (Fig 3a)",
+        Config::builder()
+            .name("Bypass buffer")
+            .temporalBits()
+            .bypass(BypassMode::NonTemporalBuffered)
+            .build());
+    add("2way", "plain 2-way set-associative cache (Fig 9b)",
+        Config::builder().name("2-way").assoc(2).build());
+    add("2way-victim", "2-way + victim cache (Fig 9b)",
+        Config::builder()
+            .name("2-way+victim")
+            .assoc(2)
+            .auxLines(8)
+            .victims()
+            .build());
+    add("soft-2way", "full software control on a 2-way cache (Fig 9b)",
+        Config::builder()
+            .name("Soft. 2-way")
+            .assoc(2)
+            .auxLines(8)
+            .victims()
+            .bounceBack()
+            .temporalBits()
+            .virtualLines(64)
+            .build());
+    add("simplified-soft-2way",
+        "2-way with replacement priority only (Fig 9b)",
+        Config::builder()
+            .name("Simplified Soft. 2-way")
+            .assoc(2)
+            .temporalBits()
+            .preferNonTemporalReplacement()
+            .virtualLines(64)
+            .build());
+    add("standard-prefetch",
+        "standard cache with hardware next-line prefetching (Fig 12)",
+        // The prefetch buffer is the same 8-line structure, but
+        // demand victims do not enter it and nothing bounces back.
+        Config::builder()
+            .name("Stand.+Prefetching")
+            .auxLines(8)
+            .prefetch(/*spatial_only=*/false)
+            .build());
+    add("soft-prefetch",
+        "Soft. + software-assisted prefetching (Fig 12)",
+        Config::builder()
+            .name("Soft.+Prefetching")
+            .auxLines(8)
+            .victims()
+            .bounceBack()
+            .temporalBits()
+            .virtualLines(64)
+            .prefetch(/*spatial_only=*/true)
+            .build());
+}
+
+Config
+PresetRegistry::get(const std::string &key) const
+{
+    for (const auto &p : presets_)
+        if (p.key == key)
+            return p.config;
+    std::ostringstream known;
+    for (const auto &p : presets_)
+        known << " " << p.key;
+    util::fatal("unknown preset \"", key, "\"; known presets:",
+                known.str());
+}
+
+bool
+PresetRegistry::contains(const std::string &key) const
+{
+    for (const auto &p : presets_)
+        if (p.key == key)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+PresetRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(presets_.size());
+    for (const auto &p : presets_)
+        out.push_back(p.key);
+    return out;
+}
+
+const PresetRegistry &
+presets()
+{
+    static const PresetRegistry registry;
+    return registry;
+}
+
+// --- Back-compat factory wrappers (now thin preset lookups) --------
 
 Config
 standardConfig()
 {
-    Config c;
-    c.name = "Stand.";
-    return c;
+    return presets().get("standard");
 }
 
 Config
@@ -139,44 +312,25 @@ standardConfig(std::uint32_t line_bytes)
 Config
 victimConfig()
 {
-    Config c = standardConfig();
-    c.name = "Stand.+Victim";
-    c.auxLines = 8;
-    c.auxReceivesVictims = true;
-    return c;
+    return presets().get("victim");
 }
 
 Config
 softConfig()
 {
-    Config c;
-    c.name = "Soft.";
-    c.auxLines = 8;
-    c.auxReceivesVictims = true;
-    c.bounceBack = true;
-    c.temporalBits = true;
-    c.virtualLines = true;
-    c.virtualLineBytes = 64;
-    return c;
+    return presets().get("soft");
 }
 
 Config
 softTemporalOnlyConfig()
 {
-    Config c = softConfig();
-    c.name = "Soft. Temp. only";
-    c.virtualLines = false;
-    return c;
+    return presets().get("soft-temporal");
 }
 
 Config
 softSpatialOnlyConfig()
 {
-    Config c = softConfig();
-    c.name = "Soft. Spat. only";
-    c.bounceBack = false;
-    c.temporalBits = false;
-    return c;
+    return presets().get("soft-spatial");
 }
 
 Config
@@ -192,86 +346,49 @@ softConfig(std::uint32_t virtual_line_bytes)
 Config
 variableSoftConfig()
 {
-    Config c = softConfig();
-    c.name = "Soft. (variable Vl)";
-    c.variableVirtualLines = true;
-    c.virtualLineBytes = 256; // cap: level 3 = 8 lines
-    return c;
+    return presets().get("variable");
 }
 
 Config
 bypassConfig(bool through_buffer)
 {
-    Config c = standardConfig();
-    c.name = through_buffer ? "Bypass buffer" : "Bypass";
-    c.temporalBits = true;
-    c.bypass = through_buffer ? BypassMode::NonTemporalBuffered
-                              : BypassMode::NonTemporal;
-    return c;
+    return presets().get(through_buffer ? "bypass-buffer" : "bypass");
 }
 
 Config
 twoWayConfig()
 {
-    Config c = standardConfig();
-    c.name = "2-way";
-    c.assoc = 2;
-    return c;
+    return presets().get("2way");
 }
 
 Config
 twoWayVictimConfig()
 {
-    Config c = victimConfig();
-    c.name = "2-way+victim";
-    c.assoc = 2;
-    return c;
+    return presets().get("2way-victim");
 }
 
 Config
 softTwoWayConfig()
 {
-    Config c = softConfig();
-    c.name = "Soft. 2-way";
-    c.assoc = 2;
-    return c;
+    return presets().get("soft-2way");
 }
 
 Config
 simplifiedSoftTwoWayConfig()
 {
-    Config c;
-    c.name = "Simplified Soft. 2-way";
-    c.assoc = 2;
-    c.temporalBits = true;
-    c.preferNonTemporalReplacement = true;
-    c.virtualLines = true;
-    c.virtualLineBytes = 64;
-    return c;
+    return presets().get("simplified-soft-2way");
 }
 
 Config
 standardPrefetchConfig()
 {
-    Config c = standardConfig();
-    c.name = "Stand.+Prefetching";
-    // The prefetch buffer is the same 8-line structure, but demand
-    // victims do not enter it and nothing bounces back.
-    c.auxLines = 8;
-    c.auxReceivesVictims = false;
-    c.prefetch = true;
-    c.prefetchSpatialOnly = false;
-    return c;
+    return presets().get("standard-prefetch");
 }
 
 Config
 softPrefetchConfig()
 {
-    Config c = softConfig();
-    c.name = "Soft.+Prefetching";
-    c.prefetch = true;
-    c.prefetchSpatialOnly = true;
-    return c;
+    return presets().get("soft-prefetch");
 }
 
 Config

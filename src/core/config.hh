@@ -12,7 +12,9 @@
 #define SAC_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/sim/timing.hh"
 #include "src/util/json.hh"
@@ -142,9 +144,145 @@ struct Config
      */
     util::Json toJson() const;
 
+    /**
+     * The first constraint this configuration violates, or nullopt
+     * when it is valid. The testable core of validate().
+     */
+    std::optional<std::string> validationError() const;
+
     /** Sanity-check the configuration; fatal() on invalid setups. */
     void validate() const;
+
+    class Builder;
+
+    /** Start a fluent build from the Standard baseline. */
+    static Builder builder();
 };
+
+/**
+ * Fluent construction of a Config. Every setter returns the builder,
+ * and build() validates, so an invalid combination fails loudly at
+ * the construction site instead of deep inside the simulator:
+ *
+ *   const Config c = Config::builder()
+ *                        .name("Soft.")
+ *                        .auxLines(8)
+ *                        .victims()
+ *                        .bounceBack()
+ *                        .temporalBits()
+ *                        .virtualLines(64)
+ *                        .build();
+ */
+class Config::Builder
+{
+  public:
+    Builder &name(std::string n) { c_.name = std::move(n); return *this; }
+    Builder &cacheSize(std::uint64_t bytes) { c_.cacheSizeBytes = bytes; return *this; }
+    Builder &lineBytes(std::uint32_t bytes) { c_.lineBytes = bytes; return *this; }
+    Builder &assoc(std::uint32_t ways) { c_.assoc = ways; return *this; }
+
+    /** Enable an aux cache of @p lines (0 ways = fully associative). */
+    Builder &auxLines(std::uint32_t lines, std::uint32_t ways = 0)
+    {
+        c_.auxLines = lines;
+        c_.auxAssoc = ways;
+        return *this;
+    }
+
+    /** Main-cache victims enter the aux cache (victim-cache mode). */
+    Builder &victims(bool on = true) { c_.auxReceivesVictims = on; return *this; }
+
+    /** Temporal bounce-back from the aux cache (Section 2.2). */
+    Builder &bounceBack(bool on = true) { c_.bounceBack = on; return *this; }
+
+    /** Virtual-line fills of @p bytes on spatially tagged misses. */
+    Builder &virtualLines(std::uint32_t bytes)
+    {
+        c_.virtualLines = true;
+        c_.virtualLineBytes = bytes;
+        return *this;
+    }
+
+    Builder &noVirtualLines() { c_.virtualLines = false; return *this; }
+    Builder &variableVirtualLines(bool on = true) { c_.variableVirtualLines = on; return *this; }
+    Builder &virtualLineCoherenceCheck(bool on) { c_.virtualLineCoherenceCheck = on; return *this; }
+    Builder &temporalBits(bool on = true) { c_.temporalBits = on; return *this; }
+    Builder &resetTemporalBitOnBounce(bool on) { c_.resetTemporalBitOnBounce = on; return *this; }
+    Builder &preferNonTemporalReplacement(bool on = true) { c_.preferNonTemporalReplacement = on; return *this; }
+    Builder &bypass(BypassMode mode) { c_.bypass = mode; return *this; }
+
+    /** Enable progressive prefetching through the aux cache. */
+    Builder &prefetch(bool spatial_only = true)
+    {
+        c_.prefetch = true;
+        c_.prefetchSpatialOnly = spatial_only;
+        return *this;
+    }
+
+    Builder &maxPrefetchedInAux(std::uint32_t n) { c_.maxPrefetchedInAux = n; return *this; }
+    Builder &prefetchDegree(std::uint32_t n) { c_.prefetchDegree = n; return *this; }
+    Builder &timing(const sim::TimingParams &t) { c_.timing = t; return *this; }
+    Builder &writeBufferEntries(std::uint32_t n) { c_.writeBufferEntries = n; return *this; }
+    Builder &classifyMisses(bool on) { c_.classifyMisses = on; return *this; }
+
+    /** Validate and return the finished configuration. */
+    Config build() const
+    {
+        c_.validate();
+        return c_;
+    }
+
+    /** The configuration as-is, without validation (tests only). */
+    Config buildUnchecked() const { return c_; }
+
+  private:
+    Config c_;
+};
+
+inline Config::Builder
+Config::builder()
+{
+    return Builder{};
+}
+
+/**
+ * Named registry of the paper's cache organizations. Replaces the
+ * hand-maintained config lists that used to be copied into every
+ * bench: `presets().get("soft")` is the one source of truth, and
+ * `--preset <name>` on any bench or example resolves through it.
+ */
+class PresetRegistry
+{
+  public:
+    /** A named configuration factory. */
+    struct Preset
+    {
+        std::string key;         //!< stable lookup key (CLI-friendly)
+        std::string description; //!< one-line summary, for --help
+        Config config;           //!< the prototype configuration
+    };
+
+    /** Look up a preset by key; fatal() listing the valid keys. */
+    Config get(const std::string &key) const;
+
+    /** Does @p key name a preset? */
+    bool contains(const std::string &key) const;
+
+    /** All preset keys, in registration (paper-figure) order. */
+    std::vector<std::string> names() const;
+
+    /** All presets, in registration order. */
+    const std::vector<Preset> &all() const { return presets_; }
+
+  private:
+    friend const PresetRegistry &presets();
+    PresetRegistry();
+
+    std::vector<Preset> presets_;
+};
+
+/** The process-wide preset registry (built on first use). */
+const PresetRegistry &presets();
 
 /** The paper's Standard baseline: 8 KB, 32 B lines, direct-mapped. */
 Config standardConfig();

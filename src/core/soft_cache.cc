@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/trace/trace_source.hh"
 #include "src/util/logging.hh"
 
 namespace sac {
@@ -9,7 +10,70 @@ namespace core {
 
 using telemetry::EventKind;
 
-SoftwareAssistedCache::SoftwareAssistedCache(Config cfg)
+const char *
+toString(FeatureSet fs)
+{
+    switch (fs) {
+      case FeatureSet::Standard:
+        return "standard";
+      case FeatureSet::Victim:
+        return "victim";
+      case FeatureSet::Soft:
+        return "soft";
+      case FeatureSet::SoftPrefetch:
+        return "soft-prefetch";
+      case FeatureSet::General:
+        return "general";
+    }
+    return "?";
+}
+
+FeatureSet
+featureSetOf(const Config &cfg)
+{
+    // Bypassing interleaves with every other mechanism; leave it to
+    // the general path rather than doubling the lattice.
+    if (cfg.bypass != BypassMode::None)
+        return FeatureSet::General;
+    const bool aux = cfg.auxLines > 0;
+    const bool virt = cfg.virtualLines;
+    const bool pf = cfg.prefetch;
+    if (!aux && !virt && !pf)
+        return FeatureSet::Standard;
+    if (aux && !virt && !pf)
+        return FeatureSet::Victim;
+    if (aux && virt && !pf)
+        return FeatureSet::Soft;
+    if (aux && virt && pf)
+        return FeatureSet::SoftPrefetch;
+    return FeatureSet::General;
+}
+
+SoftwareAssistedCache::AccessFn
+SoftwareAssistedCache::selectAccessFn(FeatureSet fs)
+{
+    //                     MayAux MayVirtual MayPrefetch MayBypass
+    switch (fs) {
+      case FeatureSet::Standard:
+        return &SoftwareAssistedCache::accessTmpl<false, false, false,
+                                                  false>;
+      case FeatureSet::Victim:
+        return &SoftwareAssistedCache::accessTmpl<true, false, false,
+                                                  false>;
+      case FeatureSet::Soft:
+        return &SoftwareAssistedCache::accessTmpl<true, true, false,
+                                                  false>;
+      case FeatureSet::SoftPrefetch:
+        return &SoftwareAssistedCache::accessTmpl<true, true, true,
+                                                  false>;
+      case FeatureSet::General:
+        break;
+    }
+    return &SoftwareAssistedCache::accessTmpl<true, true, true, true>;
+}
+
+SoftwareAssistedCache::SoftwareAssistedCache(Config cfg,
+                                             DispatchMode dispatch)
     : cfg_(std::move(cfg)),
       main_((cfg_.validate(), cfg_.cacheSizeBytes), cfg_.lineBytes,
             cfg_.assoc),
@@ -28,18 +92,69 @@ SoftwareAssistedCache::SoftwareAssistedCache(Config cfg)
                                        cfg_.lineBytes),
             cfg_.lineBytes);
     }
+    featureSet_ = dispatch == DispatchMode::General
+                      ? FeatureSet::General
+                      : featureSetOf(cfg_);
+    accessFn_ = selectAccessFn(featureSet_);
 }
 
 void
 SoftwareAssistedCache::run(const trace::Trace &t)
 {
-    for (const auto &rec : t)
-        access(rec);
+    runBatch(t.data(), t.size());
     finish();
 }
 
 void
-SoftwareAssistedCache::accessImpl(const trace::Record &rec)
+SoftwareAssistedCache::run(trace::TraceSource &src)
+{
+    std::vector<trace::Record> batch(trace::TraceSource::defaultChunkRecords);
+    std::size_t n;
+    while ((n = src.next(batch.data(), batch.size())) > 0)
+        runBatch(batch.data(), n);
+    finish();
+}
+
+template <bool MayAux, bool MayVirtual, bool MayPrefetch, bool MayBypass>
+void
+SoftwareAssistedCache::runBatchTmpl(const trace::Record *recs,
+                                    std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        accessTmpl<MayAux, MayVirtual, MayPrefetch, MayBypass>(recs[i]);
+#if SAC_AUDIT_ENABLED
+        if (auditor_)
+            auditor_->afterAccess(*this, recs[i]);
+#endif
+    }
+}
+
+void
+SoftwareAssistedCache::runBatch(const trace::Record *recs,
+                                std::size_t n)
+{
+    switch (featureSet_) {
+      case FeatureSet::Standard:
+        runBatchTmpl<false, false, false, false>(recs, n);
+        return;
+      case FeatureSet::Victim:
+        runBatchTmpl<true, false, false, false>(recs, n);
+        return;
+      case FeatureSet::Soft:
+        runBatchTmpl<true, true, false, false>(recs, n);
+        return;
+      case FeatureSet::SoftPrefetch:
+        runBatchTmpl<true, true, true, false>(recs, n);
+        return;
+      case FeatureSet::General:
+        break;
+    }
+    runBatchTmpl<true, true, true, true>(recs, n);
+}
+
+template <bool MayAux, bool MayVirtual, bool MayPrefetch, bool MayBypass>
+void
+SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
 {
     SAC_ASSERT(!finished_, "access() after finish()");
     // Blocking processor: the reference issues rec.delta cycles of
@@ -58,14 +173,17 @@ SoftwareAssistedCache::accessImpl(const trace::Record &rec)
     const Addr line = main_.lineAddrOf(rec.addr);
 
     // Land a pending prefetch that has arrived; if this very access
-    // wants the in-flight line, stall until it lands.
-    if (pending_.valid) {
-        if (pending_.readyAt <= start) {
-            installPendingPrefetch();
-        } else if (aux_ && pending_.line <= line &&
-                   line < pending_.line + pending_.count) {
-            start = pending_.readyAt;
-            installPendingPrefetch();
+    // wants the in-flight line, stall until it lands. pending_.valid
+    // is only ever set by issuePrefetch, which requires cfg_.prefetch.
+    if constexpr (MayPrefetch) {
+        if (pending_.valid) {
+            if (pending_.readyAt <= start) {
+                installPendingPrefetch();
+            } else if (aux_ && pending_.line <= line &&
+                       line < pending_.line + pending_.count) {
+                start = pending_.readyAt;
+                installPendingPrefetch();
+            }
         }
     }
 
@@ -76,21 +194,25 @@ SoftwareAssistedCache::accessImpl(const trace::Record &rec)
     }
 
     // 2. Bypassing of non-temporal references (Fig 3a baselines).
-    if (cfg_.bypass != BypassMode::None && !rec.temporal) {
-        handleBypass(rec, start);
-        return;
-    }
-
-    // 3. Aux (bounce-back / victim / prefetch buffer) lookup.
-    if (aux_) {
-        if (const auto way = aux_->findWay(line)) {
-            handleAuxHit(rec, *way, start);
+    if constexpr (MayBypass) {
+        if (cfg_.bypass != BypassMode::None && !rec.temporal) {
+            handleBypass(rec, start);
             return;
         }
     }
 
+    // 3. Aux (bounce-back / victim / prefetch buffer) lookup.
+    if constexpr (MayAux) {
+        if (aux_) {
+            if (const auto way = aux_->findWay(line)) {
+                handleAuxHit<MayPrefetch>(rec, *way, start);
+                return;
+            }
+        }
+    }
+
     // 4. Demand miss.
-    handleMiss(rec, start);
+    handleMiss<MayAux, MayVirtual, MayPrefetch>(rec, start);
 }
 
 void
@@ -98,12 +220,12 @@ SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
                                      std::uint32_t way, Cycle start)
 {
     const std::uint32_t set = main_.setIndexOf(main_.lineAddrOf(rec.addr));
-    cache::LineState &l = main_.line(set, way);
+    cache::CacheArray::LineRef l = main_.line(set, way);
     main_.touch(set, way);
     if (rec.isWrite())
-        l.dirty = true;
+        l.setDirty();
     applyTemporalTag(l, rec.temporal, cfg_.temporalBits);
-    l.prefetched = false;
+    l.setPrefetched(false);
     ++stats_.mainHits;
     SAC_TRACE_EVENT(tracer_, EventKind::MainHit, start, rec.addr, 0);
     classify(rec.addr, false);
@@ -111,6 +233,7 @@ SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
     complete(completion, completion);
 }
 
+template <bool MayPrefetch>
 void
 SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
                                     std::uint32_t way, Cycle start)
@@ -118,8 +241,10 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
     SAC_ASSERT(aux_, "aux hit without an aux cache");
     const Addr line = main_.lineAddrOf(rec.addr);
     const std::uint32_t aux_set = aux_->setIndexOf(line);
-    cache::LineState &a = aux_->line(aux_set, way);
-    const bool was_prefetched = a.prefetched;
+    cache::CacheArray::LineRef a = aux_->line(aux_set, way);
+    // The prefetched bit is only ever set while installing a prefetch,
+    // which requires cfg_.prefetch: compile the check out otherwise.
+    const bool was_prefetched = MayPrefetch && a.prefetched();
 
     ++stats_.auxHits;
     ++stats_.swaps;
@@ -137,19 +262,19 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
     // slot (no aux eviction happens on a swap).
     const std::uint32_t set = main_.setIndexOf(line);
     const std::uint32_t mway = main_.victimWay(set, mainPolicy());
-    cache::LineState &m = main_.line(set, mway);
-    cache::LineState displaced = m;
+    cache::CacheArray::LineRef m = main_.line(set, mway);
+    const cache::LineState displaced = m.state();
 
-    m = a;
-    m.prefetched = false;
+    m.assign(a.state());
+    m.setPrefetched(false);
     if (rec.isWrite())
-        m.dirty = true;
+        m.setDirty();
     applyTemporalTag(m, rec.temporal, cfg_.temporalBits);
     main_.touch(set, mway);
 
     if (displaced.valid &&
         aux_->setIndexOf(displaced.lineAddr) == aux_set) {
-        a = displaced;
+        a.assign(displaced);
         aux_->touch(aux_set, way);
     } else {
         // The displaced line cannot live in this aux set (only
@@ -158,16 +283,18 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
             Cycle hidden = 0;
             pushWriteback(cfg_.lineBytes, hidden);
         }
-        a = cache::LineState{};
+        a.clear();
     }
 
     const Cycle completion = start + cfg_.timing.auxHitTime;
     Cycle lock = completion + cfg_.timing.swapLockCycles;
-    if (was_prefetched) {
-        // After the swap the main cache stays stalled one extra cycle
-        // to check for the presence of the next prefetched line.
-        lock += cfg_.timing.prefetchHitExtraStall;
-        issuePrefetch(line + 1);
+    if constexpr (MayPrefetch) {
+        if (was_prefetched) {
+            // After the swap the main cache stays stalled one extra
+            // cycle to check for the next prefetched line's presence.
+            lock += cfg_.timing.prefetchHitExtraStall;
+            issuePrefetch(line + 1);
+        }
     }
     complete(completion, lock);
 }
@@ -219,6 +346,7 @@ SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
     complete(data_done, data_done);
 }
 
+template <bool MayAux, bool MayVirtual, bool MayPrefetch>
 void
 SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
 {
@@ -229,9 +357,11 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
     // Which physical lines must be fetched? For a spatially tagged
     // miss with virtual lines enabled, the whole aligned virtual
     // block, skipping lines already resident (the pipelined, hidden
-    // coherence check of Section 2.1).
-    std::vector<Addr> fetch_lines;
-    if (cfg_.virtualLines && rec.spatial) {
+    // coherence check of Section 2.1). The scratch vector is a member
+    // so the hot path allocates only on the first miss.
+    std::vector<Addr> &fetch_lines = fetchScratch_;
+    fetch_lines.clear();
+    if (MayVirtual && cfg_.virtualLines && rec.spatial) {
         std::uint32_t n = cfg_.linesPerVirtualLine();
         if (cfg_.variableVirtualLines) {
             // Section 3.2 extension: the virtual line spans
@@ -276,30 +406,35 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
     // proceed while the miss is outstanding and only lengthen the
     // stall when they exceed the hidden budget.
     Cycle transfer_cost = 0;
-    std::vector<FillTarget> fill_targets;
-    fill_targets.reserve(n_fetched);
+    std::vector<FillTarget> &fill_targets = fillScratch_;
+    fill_targets.clear();
     for (const Addr l : fetch_lines) {
-        // Bounce-back cache coherence (Section 2.2): if another line
-        // of the virtual block already sits in the aux cache, the
-        // fetch cannot be aborted; its main-cache slot is simply not
-        // filled (tagged invalid).
-        if (l != line && aux_ && aux_->contains(l)) {
-            ++stats_.coherenceInvalidations;
-            continue;
+        // Intra-fill checks only apply when the miss fetches more
+        // than one line, which requires a virtual-line fill.
+        if constexpr (MayVirtual) {
+            // Bounce-back cache coherence (Section 2.2): if another
+            // line of the virtual block already sits in the aux
+            // cache, the fetch cannot be aborted; its main-cache
+            // slot is simply not filled (tagged invalid).
+            if (MayAux && l != line && aux_ && aux_->contains(l)) {
+                ++stats_.coherenceInvalidations;
+                continue;
+            }
+            // A bounce-back triggered by an earlier fill of this
+            // very miss can have re-installed a pending line
+            // already; filling it again would duplicate it.
+            if (l != line && main_.contains(l))
+                continue;
         }
-        // A bounce-back triggered by an earlier fill of this very
-        // miss can have re-installed a pending line already; filling
-        // it again would duplicate it.
-        if (l != line && main_.contains(l))
-            continue;
         SAC_TRACE_EVENT(tracer_, EventKind::Fill, start,
                         l * cfg_.lineBytes, l == line);
         const FillTarget target =
             insertIntoMain(l, transfer_cost, fill_targets);
         if (l == line) {
-            cache::LineState &m = main_.line(target.set, target.way);
+            cache::CacheArray::LineRef m =
+                main_.line(target.set, target.way);
             if (rec.isWrite())
-                m.dirty = true;
+                m.setDirty();
             applyTemporalTag(m, rec.temporal, cfg_.temporalBits);
         }
     }
@@ -314,12 +449,14 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
 
     // Software-assisted progressive prefetching (Section 4.4): fetch
     // the physical line following the (virtual) block as well.
-    if (cfg_.prefetch &&
-        (!cfg_.prefetchSpatialOnly || rec.spatial)) {
-        Addr last = line;
-        for (const Addr l : fetch_lines)
-            last = std::max(last, l);
-        issuePrefetch(last + 1);
+    if constexpr (MayPrefetch) {
+        if (cfg_.prefetch &&
+            (!cfg_.prefetchSpatialOnly || rec.spatial)) {
+            Addr last = line;
+            for (const Addr l : fetch_lines)
+                last = std::max(last, l);
+            issuePrefetch(last + 1);
+        }
     }
 }
 
@@ -337,26 +474,27 @@ SoftwareAssistedCache::insertIntoMain(
     // data cannot pin a way forever (the set-associative analogue of
     // the bounce-back bit reset).
     if (cfg_.preferNonTemporalReplacement) {
-        const std::uint64_t chosen = main_.line(set, way).lruStamp;
+        const std::uint64_t chosen = main_.line(set, way).lruStamp();
         for (std::uint32_t w = 0; w < main_.assoc(); ++w) {
-            cache::LineState &l = main_.line(set, w);
-            if (w != way && l.valid && l.temporal &&
-                l.lruStamp < chosen) {
-                l.temporal = false;
+            cache::CacheArray::LineRef l = main_.line(set, w);
+            if (w != way && l.valid() && l.temporal() &&
+                l.lruStamp() < chosen) {
+                l.setTemporal(false);
             }
         }
     }
 
-    cache::LineState &slot = main_.line(set, way);
-    const cache::LineState victim = slot;
+    cache::CacheArray::LineRef slot = main_.line(set, way);
+    const cache::LineState victim = slot.state();
 
     // Register the slot before handling the victim, so a bounce-back
     // triggered by this very fill sees it as a miss target.
     fill_targets.push_back({set, way});
 
-    slot = cache::LineState{};
-    slot.lineAddr = line_addr;
-    slot.valid = true;
+    cache::LineState fresh;
+    fresh.lineAddr = line_addr;
+    fresh.valid = true;
+    slot.assign(fresh);
     main_.touch(set, way);
 
     if (victim.valid) {
@@ -383,10 +521,10 @@ SoftwareAssistedCache::victimToAux(
 
     const cache::LineState aux_victim =
         aux_->insert(victim.lineAddr, cache::ReplacementPolicy::Lru);
-    cache::LineState *slot = aux_->find(victim.lineAddr);
-    SAC_ASSERT(slot, "freshly inserted aux line vanished");
-    slot->dirty = victim.dirty;
-    slot->temporal = victim.temporal;
+    auto slot = aux_->find(victim.lineAddr);
+    SAC_ASSERT(slot.has_value(), "freshly inserted aux line vanished");
+    slot->setDirty(victim.dirty);
+    slot->setTemporal(victim.temporal);
 
     if (!aux_victim.valid)
         return;
@@ -420,8 +558,8 @@ SoftwareAssistedCache::bounceBack(
         }
     }
 
-    cache::LineState &resident = main_.line(set, way);
-    if (resident.valid && resident.dirty && writeBuffer_.full()) {
+    cache::CacheArray::LineRef resident = main_.line(set, way);
+    if (resident.valid() && resident.dirty() && writeBuffer_.full()) {
         // Bouncing onto a dirty line with a full write buffer is
         // aborted (Section 2.2); the victim still needs writing back.
         ++stats_.bouncesAborted;
@@ -432,15 +570,15 @@ SoftwareAssistedCache::bounceBack(
         return;
     }
 
-    if (resident.valid && resident.dirty)
+    if (resident.valid() && resident.dirty())
         pushWriteback(cfg_.lineBytes, transfer_cost);
 
-    resident = victim;
+    resident.assign(victim);
     // The "dynamic adjustment" of Section 2.2: the bit must be set
     // again by a tagged reference before the line may bounce again.
     if (cfg_.resetTemporalBitOnBounce)
-        resident.temporal = false;
-    resident.prefetched = false;
+        resident.setTemporal(false);
+    resident.setPrefetched(false);
     main_.touch(set, way);
     transfer_cost += cfg_.timing.dirtyTransferCycles;
     ++stats_.bounces;
@@ -535,26 +673,20 @@ SoftwareAssistedCache::installPendingPrefetch()
         if (main_.contains(l) || aux_->contains(l))
             continue;
 
-        // Count resident prefetched lines to enforce the limit: once
-        // it is reached, a prefetched line preferably replaces
-        // another prefetched line (Section 4.4).
-        std::uint32_t prefetched = 0;
-        for (std::uint32_t set = 0; set < aux_->numSets(); ++set) {
-            for (std::uint32_t w = 0; w < aux_->assoc(); ++w) {
-                const auto &a = aux_->line(set, w);
-                if (a.valid && a.prefetched)
-                    ++prefetched;
-            }
-        }
+        // Resident prefetched lines enforce the limit: once it is
+        // reached, a prefetched line preferably replaces another
+        // prefetched line (Section 4.4). The array maintains the
+        // count incrementally, so no rescan per install.
         const auto policy =
-            prefetched >= cfg_.maxPrefetchedInAux
+            aux_->prefetchedCount() >= cfg_.maxPrefetchedInAux
                 ? cache::ReplacementPolicy::LruPreferPrefetched
                 : cache::ReplacementPolicy::Lru;
 
         const cache::LineState aux_victim = aux_->insert(l, policy);
-        cache::LineState *slot = aux_->find(l);
-        SAC_ASSERT(slot, "freshly installed prefetch line vanished");
-        slot->prefetched = true;
+        auto slot = aux_->find(l);
+        SAC_ASSERT(slot.has_value(),
+                   "freshly installed prefetch line vanished");
+        slot->setPrefetched(true);
         SAC_TRACE_EVENT(tracer_, EventKind::PrefetchInstall, now_,
                         l * cfg_.lineBytes, 0);
 
@@ -590,14 +722,14 @@ SoftwareAssistedCache::classify(Addr addr, bool was_miss)
 }
 
 void
-SoftwareAssistedCache::applyTemporalTag(cache::LineState &line,
+SoftwareAssistedCache::applyTemporalTag(cache::CacheArray::LineRef line,
                                         bool tagged,
                                         bool temporal_bits_enabled)
 {
     // The temporal bit is only ever set by a tagged reference; an
     // untagged reference leaves it unchanged (Section 2.2).
     if (temporal_bits_enabled && tagged)
-        line.temporal = true;
+        line.setTemporal(true);
 }
 
 void
@@ -662,10 +794,20 @@ SoftwareAssistedCache::auxTemporalBit(Addr addr) const
 }
 
 sim::RunStats
-simulateTrace(const trace::Trace &t, const Config &cfg)
+simulateTrace(const trace::Trace &t, const Config &cfg,
+              DispatchMode dispatch)
 {
-    SoftwareAssistedCache sim(cfg);
+    SoftwareAssistedCache sim(cfg, dispatch);
     sim.run(t);
+    return sim.stats();
+}
+
+sim::RunStats
+simulateSource(trace::TraceSource &src, const Config &cfg,
+               DispatchMode dispatch)
+{
+    SoftwareAssistedCache sim(cfg, dispatch);
+    sim.run(src);
     return sim.stats();
 }
 

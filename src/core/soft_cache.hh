@@ -41,9 +41,45 @@
 #endif
 
 namespace sac {
+namespace trace {
+class TraceSource;
+} // namespace trace
+
 namespace core {
 
 class SoftwareAssistedCache;
+
+/**
+ * The common configuration lattice points served by a compile-time
+ * specialized access path. Each named set compiles out the runtime
+ * checks for the features it excludes; General keeps every check and
+ * is bit-identical to the pre-specialization simulator.
+ */
+enum class FeatureSet
+{
+    Standard,     //!< plain cache: no aux, no virtual lines, no prefetch
+    Victim,       //!< aux buffer only (victim / bounce-back)
+    Soft,         //!< aux + virtual lines (the paper's soft cache)
+    SoftPrefetch, //!< aux + virtual lines + progressive prefetch
+    General,      //!< fully general fallback (bypass, exotic combos)
+};
+
+/** Human-readable name of a feature set. */
+const char *toString(FeatureSet fs);
+
+/**
+ * Classify @p cfg into the most specialized FeatureSet whose compiled
+ * path handles it exactly. Anything with bypassing or an unusual
+ * feature combination falls back to General.
+ */
+FeatureSet featureSetOf(const Config &cfg);
+
+/** How the simulator picks its access path. */
+enum class DispatchMode
+{
+    Auto,    //!< featureSetOf(config): specialized when possible
+    General, //!< force the general path (differential testing)
+};
 
 /**
  * Post-access audit hook. When the build has SAC_AUDIT=ON the
@@ -66,13 +102,21 @@ class AccessAuditor
 class SoftwareAssistedCache
 {
   public:
-    /** Build the simulator for configuration @p cfg (validated). */
-    explicit SoftwareAssistedCache(Config cfg);
+    /**
+     * Build the simulator for configuration @p cfg (validated).
+     * @param dispatch Auto selects the specialized access path
+     *        matching the config; General forces the fully general
+     *        path (used by the differential fuzzer to prove the two
+     *        never diverge)
+     */
+    explicit SoftwareAssistedCache(Config cfg,
+                                   DispatchMode dispatch =
+                                       DispatchMode::Auto);
 
     /** Simulate one reference. References must arrive in issue order. */
     void access(const trace::Record &rec)
     {
-        accessImpl(rec);
+        (this->*accessFn_)(rec);
 #if SAC_AUDIT_ENABLED
         if (auditor_)
             auditor_->afterAccess(*this, rec);
@@ -81,6 +125,12 @@ class SoftwareAssistedCache
 
     /** Simulate a whole trace (appends to the current state). */
     void run(const trace::Trace &t);
+
+    /** Streamed replay: drain @p src in chunks, then finish(). */
+    void run(trace::TraceSource &src);
+
+    /** The access path selected at construction. */
+    FeatureSet featureSet() const { return featureSet_; }
 
     /**
      * Final bookkeeping: drain the write buffer and seal the
@@ -164,14 +214,43 @@ class SoftwareAssistedCache
         std::uint32_t way;
     };
 
-    /** The actual per-reference simulation (see access()). */
-    void accessImpl(const trace::Record &rec);
+    /**
+     * The per-reference simulation, templated over which features MAY
+     * be enabled. A true parameter keeps the runtime config check (so
+     * the all-true instantiation is the general path, behaviorally
+     * identical to the untemplated original); a false parameter
+     * compiles the check out, which is only selected when the config
+     * provably never takes that branch.
+     */
+    template <bool MayAux, bool MayVirtual, bool MayPrefetch,
+              bool MayBypass>
+    void accessTmpl(const trace::Record &rec);
+
+    /** Pointer to the instantiation matching featureSet_. */
+    using AccessFn =
+        void (SoftwareAssistedCache::*)(const trace::Record &);
+
+    /** Instantiation lookup for @p fs (static table). */
+    static AccessFn selectAccessFn(FeatureSet fs);
+
+    /**
+     * Replay @p n records through the accessTmpl instantiation of the
+     * template arguments directly, so the per-record call is direct
+     * (inlinable) instead of through the accessFn_ member pointer.
+     */
+    template <bool MayAux, bool MayVirtual, bool MayPrefetch,
+              bool MayBypass>
+    void runBatchTmpl(const trace::Record *recs, std::size_t n);
+
+    /** Dispatch once on featureSet_, then replay @p n records. */
+    void runBatch(const trace::Record *recs, std::size_t n);
 
     /** Serve a hit in the main cache. */
     void handleMainHit(const trace::Record &rec, std::uint32_t way,
                        Cycle start);
 
     /** Serve a hit in the aux (bounce-back / victim) cache. */
+    template <bool MayPrefetch>
     void handleAuxHit(const trace::Record &rec, std::uint32_t way,
                       Cycle start);
 
@@ -179,6 +258,7 @@ class SoftwareAssistedCache
     void handleBypass(const trace::Record &rec, Cycle start);
 
     /** Serve a demand miss (possibly a virtual-line fill). */
+    template <bool MayAux, bool MayVirtual, bool MayPrefetch>
     void handleMiss(const trace::Record &rec, Cycle start);
 
     /**
@@ -218,7 +298,8 @@ class SoftwareAssistedCache
     void classify(Addr addr, bool was_miss);
 
     /** Update the per-line temporal bit from the instruction tag. */
-    static void applyTemporalTag(cache::LineState &line, bool tagged,
+    static void applyTemporalTag(cache::CacheArray::LineRef line,
+                                 bool tagged,
                                  bool temporal_bits_enabled);
 
     /** Finish one access: accounting and cache-busy update. */
@@ -255,6 +336,14 @@ class SoftwareAssistedCache
     PendingPrefetch pending_;
     bool finished_ = false;
 
+    // Per-miss scratch, members so the hot path does not allocate.
+    std::vector<Addr> fetchScratch_;
+    std::vector<FillTarget> fillScratch_;
+
+    /** Access path chosen at construction (fixed for the run). */
+    FeatureSet featureSet_ = FeatureSet::General;
+    AccessFn accessFn_ = nullptr;
+
     /** Event sink; null = tracing off (the common, fast case). */
     telemetry::EventTracer *tracer_ = nullptr;
 
@@ -263,7 +352,12 @@ class SoftwareAssistedCache
 };
 
 /** Simulate @p t under @p cfg and return the statistics. */
-sim::RunStats simulateTrace(const trace::Trace &t, const Config &cfg);
+sim::RunStats simulateTrace(const trace::Trace &t, const Config &cfg,
+                            DispatchMode dispatch = DispatchMode::Auto);
+
+/** Simulate a streamed trace under @p cfg and return the statistics. */
+sim::RunStats simulateSource(trace::TraceSource &src, const Config &cfg,
+                             DispatchMode dispatch = DispatchMode::Auto);
 
 } // namespace core
 } // namespace sac

@@ -44,7 +44,7 @@ StreamBufferCache::access(const trace::Record &rec)
         const std::uint32_t set = main_.setIndexOf(line);
         main_.touch(set, *way);
         if (rec.isWrite())
-            main_.line(set, *way).dirty = true;
+            main_.line(set, *way).setDirty();
         ++stats_.mainHits;
         completeAccess(start + cfg_.timing.mainHitTime);
         return;
@@ -136,8 +136,8 @@ StreamBufferCache::installLine(Addr line, bool dirty, bool write)
     const std::uint32_t set = main_.setIndexOf(line);
     const std::uint32_t way =
         main_.victimWay(set, cache::ReplacementPolicy::Lru);
-    cache::LineState &slot = main_.line(set, way);
-    if (slot.valid && slot.dirty) {
+    cache::CacheArray::LineRef slot = main_.line(set, way);
+    if (slot.valid() && slot.dirty()) {
         if (writeBuffer_.full()) {
             writeBuffer_.noteFullStall();
             ++stats_.writeBufferFullStalls;
@@ -147,10 +147,11 @@ StreamBufferCache::installLine(Addr line, bool dirty, bool write)
         }
         writeBuffer_.push(cfg_.lineBytes);
     }
-    slot = cache::LineState{};
-    slot.lineAddr = line;
-    slot.valid = true;
-    slot.dirty = dirty || write;
+    cache::LineState fresh;
+    fresh.lineAddr = line;
+    fresh.valid = true;
+    fresh.dirty = dirty || write;
+    slot.assign(fresh);
     main_.touch(set, way);
 }
 

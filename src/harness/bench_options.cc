@@ -1,0 +1,92 @@
+#include "src/harness/bench_options.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/util/args.hh"
+#include "src/util/thread_pool.hh"
+
+namespace sac {
+namespace harness {
+
+namespace {
+
+[[noreturn]] void
+badCommandLine(const std::string &message)
+{
+    std::cerr << message << "\n";
+    std::exit(2);
+}
+
+} // namespace
+
+BenchOptions
+BenchOptions::parse(const util::Args &args)
+{
+    BenchOptions opts;
+    opts.jobs = util::ThreadPool::defaultThreads();
+
+    const auto jobs_arg = args.getInt("jobs", 0);
+    if (!jobs_arg || *jobs_arg < 0) {
+        std::string message = "--jobs expects a non-negative integer";
+        if (!jobs_arg && args.valueWasSeparateToken("jobs")) {
+            // A trailing bare --jobs swallows the next positional
+            // (e.g. a benchmark filter) as its value; name the token
+            // so the mistake is obvious.
+            message += " (got '" + args.getString("jobs") +
+                       "' — did a bare --jobs consume a positional?"
+                       " use --jobs=N)";
+        }
+        badCommandLine(message);
+    }
+    if (*jobs_arg > 0)
+        opts.jobs = static_cast<unsigned>(*jobs_arg);
+
+    if (args.has("emit-json")) {
+        const std::string dir = args.getString("emit-json");
+        // A bare --emit-json (no following value) parses as the
+        // boolean "true"; there is no directory to write to.
+        if (dir.empty() || dir == "true")
+            badCommandLine("--emit-json expects a directory");
+        opts.emitJsonDir = dir;
+    }
+
+    if (args.has("preset")) {
+        const std::string name = args.getString("preset");
+        if (!core::presets().contains(name)) {
+            std::string message = "unknown preset \"" + name +
+                                  "\"; known presets:";
+            for (const auto &key : core::presets().names())
+                message += " " + key;
+            badCommandLine(message);
+        }
+        opts.presetName = name;
+        opts.preset = core::presets().get(name);
+    }
+
+    const auto chunk = args.getInt(
+        "trace-chunk", static_cast<std::int64_t>(opts.traceChunk));
+    if (!chunk || *chunk <= 0)
+        badCommandLine("--trace-chunk expects a positive integer");
+    opts.traceChunk = static_cast<std::size_t>(*chunk);
+
+    const auto seed = args.getInt(
+        "trace-seed", static_cast<std::int64_t>(opts.traceSeed));
+    if (!seed || *seed < 0)
+        badCommandLine("--trace-seed expects a non-negative integer");
+    opts.traceSeed = static_cast<std::uint64_t>(*seed);
+
+    return opts;
+}
+
+BenchOptions
+BenchOptions::parse(int argc, const char *const *argv)
+{
+    util::Args args;
+    if (!args.parse(argc, argv))
+        badCommandLine("bad command line: " + args.error());
+    return parse(args);
+}
+
+} // namespace harness
+} // namespace sac

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The command-line options shared by every bench binary and the
+ * example CLIs. Until this existed each bench re-parsed --jobs and
+ * --emit-json by hand and sacsim kept its own preset name table; now
+ * one parse() owns the shared flags and --preset resolves through
+ * core::presets(), so a new preset is automatically accepted
+ * everywhere.
+ */
+
+#ifndef SAC_HARNESS_BENCH_OPTIONS_HH
+#define SAC_HARNESS_BENCH_OPTIONS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/core/config.hh"
+#include "src/trace/trace_source.hh"
+
+namespace sac {
+namespace util {
+class Args;
+} // namespace util
+
+namespace harness {
+
+/** Parsed shared bench flags. */
+struct BenchOptions
+{
+    /** --jobs N: sweep worker threads (default: hardware threads). */
+    unsigned jobs = 0;
+
+    /** --emit-json DIR: manifest output directory; empty = off. */
+    std::string emitJsonDir;
+
+    /** --preset NAME: a registry configuration, when given. */
+    std::optional<core::Config> preset;
+
+    /** The --preset key as typed (empty when absent). */
+    std::string presetName;
+
+    /** --trace-chunk N: records per chunk in streamed replay. */
+    std::size_t traceChunk = trace::TraceSource::defaultChunkRecords;
+
+    /** --trace-seed N: timing seed for generated traces. */
+    std::uint64_t traceSeed = 0x7ac3ull;
+
+    /**
+     * Extract the shared flags from an already-parsed command line.
+     * Prints a diagnostic to stderr and exits with status 2 on a bad
+     * value (wrong type, unknown preset, missing directory) — bench
+     * binaries have no recovery path from a bad command line.
+     */
+    static BenchOptions parse(const util::Args &args);
+
+    /** Convenience: parse argv, then the shared flags. */
+    static BenchOptions parse(int argc, const char *const *argv);
+};
+
+} // namespace harness
+} // namespace sac
+
+#endif // SAC_HARNESS_BENCH_OPTIONS_HH

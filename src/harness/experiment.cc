@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 #include <future>
+#include <optional>
 #include <sstream>
 
 #include "src/telemetry/counter_registry.hh"
@@ -197,14 +198,85 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
     return matrix(workloads, configs, metric);
 }
 
+std::vector<sim::RunStats>
+Runner::runStreamed(const Workload &w,
+                    const std::vector<core::Config> &configs,
+                    unsigned jobs, std::size_t chunk_records)
+{
+    const telemetry::ScopedPhase phase(phases_, "sweep-streamed");
+    std::vector<std::unique_ptr<core::SoftwareAssistedCache>> sims;
+    sims.reserve(configs.size());
+    for (const auto &cfg : configs)
+        sims.push_back(
+            std::make_unique<core::SoftwareAssistedCache>(cfg));
+
+    // Producer: the workload's native streaming entry when it has
+    // one; otherwise generate the full trace and replay it (still
+    // correct, but memory then scales with the trace length).
+    const auto produce =
+        w.stream ? w.stream
+                 : std::function<void(const trace::RecordSink &)>(
+                       [&w](const trace::RecordSink &sink) {
+                           const trace::Trace t = w.build();
+                           for (const auto &rec : t)
+                               sink(rec);
+                       });
+    // One bounded queue between the producer thread and this thread;
+    // the per-config fan-out below is a barrier per chunk, so no
+    // simulator can fall behind and no per-config queue can fill up
+    // while its consumer is unscheduled (the deadlock a per-config
+    // queue design would allow when pool threads < configs).
+    trace::GeneratorTraceSource src(w.name, produce, chunk_records);
+
+    std::optional<util::ThreadPool> pool;
+    if (jobs > 1 && configs.size() > 1)
+        pool.emplace(jobs);
+
+    std::vector<trace::Record> batch(chunk_records);
+    std::size_t n;
+    while ((n = src.next(batch.data(), batch.size())) > 0) {
+        if (pool) {
+            std::vector<std::future<void>> tasks;
+            tasks.reserve(sims.size());
+            for (auto &sim : sims) {
+                tasks.push_back(pool->submit([&sim, &batch, n] {
+                    for (std::size_t i = 0; i < n; ++i)
+                        sim->access(batch[i]);
+                }));
+            }
+            // Barrier: the next next() call overwrites the batch.
+            for (auto &t : tasks)
+                t.get();
+        } else {
+            for (auto &sim : sims) {
+                for (std::size_t i = 0; i < n; ++i)
+                    sim->access(batch[i]);
+            }
+        }
+    }
+
+    std::vector<sim::RunStats> out;
+    out.reserve(sims.size());
+    for (auto &sim : sims) {
+        sim->finish();
+        out.push_back(sim->stats());
+    }
+    runsExecuted_.fetch_add(sims.size());
+    return out;
+}
+
 std::vector<Workload>
 paperWorkloads()
 {
     std::vector<Workload> out;
     for (const auto &b : workloads::paperBenchmarks()) {
         out.push_back(
-            {b.name, [name = b.name] {
+            {b.name,
+             [name = b.name] {
                  return workloads::makeBenchmarkTrace(name);
+             },
+             [name = b.name](const trace::RecordSink &sink) {
+                 workloads::streamBenchmarkTrace(name, sink);
              }});
     }
     return out;

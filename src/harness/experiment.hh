@@ -22,6 +22,7 @@
 #include "src/core/soft_cache.hh"
 #include "src/telemetry/phase_timer.hh"
 #include "src/trace/trace.hh"
+#include "src/trace/trace_source.hh"
 #include "src/util/table.hh"
 
 namespace sac {
@@ -47,6 +48,12 @@ struct Workload
 {
     std::string name;
     std::function<trace::Trace()> build;
+    /**
+     * Optional streaming producer: emit every record into the sink
+     * without materializing the trace. When set, runStreamed() keeps
+     * memory bounded by the chunk size instead of the trace length.
+     */
+    std::function<void(const trace::RecordSink &)> stream;
 };
 
 /**
@@ -131,6 +138,27 @@ class Runner
     util::Table runMatrix(const std::vector<Workload> &workloads,
                           const std::vector<core::Config> &configs,
                           const Metric &metric, unsigned jobs);
+
+    /**
+     * Streamed sweep: simulate @p w under every configuration in one
+     * pass over the trace, never holding more than a bounded window
+     * of records. The producer (w.stream when set, else a fallback
+     * that generates via w.build and replays) runs on its own thread
+     * feeding a bounded chunk queue; each popped chunk is fanned out
+     * to the per-config simulators on @p jobs pool workers (<= 1 =
+     * serial), with a barrier per chunk so all simulators advance in
+     * lockstep. Results are NOT cached (the cell cache stores
+     * materialized-trace results only; the two are bit-identical, as
+     * the streaming differential tests prove).
+     *
+     * @return one RunStats per configuration, in @p configs order
+     */
+    std::vector<sim::RunStats>
+    runStreamed(const Workload &w,
+                const std::vector<core::Config> &configs,
+                unsigned jobs = 0,
+                std::size_t chunk_records =
+                    trace::TraceSource::defaultChunkRecords);
 
     /** Number of simulations actually executed (not served cached). */
     std::size_t runsExecuted() const { return runsExecuted_.load(); }

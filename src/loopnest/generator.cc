@@ -20,11 +20,21 @@ TraceGenerator::TraceGenerator(const Program &program,
 void
 TraceGenerator::run(trace::Trace &out, std::uint64_t max_records)
 {
-    out_ = &out;
-    maxRecords_ = max_records;
     out.setName(program_.name());
+    const trace::RecordSink sink = [&out](const trace::Record &r) {
+        out.push(r);
+    };
+    run(sink, max_records);
+}
+
+void
+TraceGenerator::run(const trace::RecordSink &sink,
+                    std::uint64_t max_records)
+{
+    sink_ = &sink;
+    maxRecords_ = max_records;
     execStmts(program_.statements());
-    out_ = nullptr;
+    sink_ = nullptr;
 }
 
 void
@@ -126,7 +136,7 @@ TraceGenerator::emit(Addr addr, RefId ref, trace::AccessType type)
     rec.temporal = tags_[ref].temporal;
     rec.spatial = tags_[ref].spatial;
     rec.spatialLevel = tags_[ref].spatialLevel;
-    out_->push(rec);
+    (*sink_)(rec);
     ++emitted_;
 }
 

@@ -16,6 +16,7 @@
 #include "src/loopnest/program.hh"
 #include "src/trace/timing_model.hh"
 #include "src/trace/trace.hh"
+#include "src/trace/trace_source.hh"
 
 namespace sac {
 namespace loopnest {
@@ -62,6 +63,14 @@ class TraceGenerator
     void run(trace::Trace &out,
              std::uint64_t max_records = defaultMaxRecords);
 
+    /**
+     * Run the program, emitting each reference into @p sink as it is
+     * produced — the streaming entry: nothing is materialized here,
+     * so trace length does not bound memory.
+     */
+    void run(const trace::RecordSink &sink,
+             std::uint64_t max_records = defaultMaxRecords);
+
     /** Default record-count safety cap. */
     static constexpr std::uint64_t defaultMaxRecords = 200'000'000;
 
@@ -93,7 +102,7 @@ class TraceGenerator
     const TagVector &tags_;
     trace::TimingModel &timing_;
     std::vector<std::int64_t> env_;
-    trace::Trace *out_ = nullptr;
+    const trace::RecordSink *sink_ = nullptr;
     std::uint64_t emitted_ = 0;
     std::uint64_t maxRecords_ = defaultMaxRecords;
 };

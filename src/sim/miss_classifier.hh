@@ -4,16 +4,21 @@
  * first touch of a line, *capacity* when a fully-associative LRU cache
  * of equal size would also have missed, and *conflict* otherwise. The
  * shadow LRU is updated on every access, hit or miss.
+ *
+ * The classifier sits on the simulator's per-access hot path, so the
+ * shadow state is a single flat open-addressing hash table (line ->
+ * seen + LRU-node index) plus an intrusive doubly-linked LRU list
+ * over a fixed node pool: one probe sequence per access and no
+ * allocation in steady state, where the textbook
+ * unordered_map/std::list version dominated the whole simulation.
  */
 
 #ifndef SAC_SIM_MISS_CLASSIFIER_HH
 #define SAC_SIM_MISS_CLASSIFIER_HH
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "src/util/types.hh"
 
@@ -47,17 +52,51 @@ class MissClassifier
     std::optional<MissClass> access(Addr byte_addr, bool was_miss);
 
     /** Number of distinct lines ever touched. */
-    std::size_t touchedLines() const { return seen_.size(); }
+    std::size_t touchedLines() const { return seenCount_; }
 
   private:
+    /** No LRU node: the line was touched but has since been evicted. */
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    /** One table slot: a touched line and its LRU residence. */
+    struct Slot
+    {
+        Addr line = 0;
+        std::uint32_t node = npos;
+        bool used = false;
+    };
+
+    /** One pool entry of the intrusive LRU list. */
+    struct Node
+    {
+        Addr line = 0;
+        std::uint32_t prev = npos;
+        std::uint32_t next = npos;
+    };
+
     Addr lineOf(Addr byte_addr) const { return byte_addr >> shift_; }
+
+    /**
+     * Slot of @p line, inserting an unused slot when absent (may
+     * rehash). @p inserted reports a first touch.
+     */
+    std::size_t findOrInsert(Addr line, bool &inserted);
+
+    /** Slot of @p line, which must be present. */
+    std::size_t find(Addr line) const;
+
+    void grow();
+    void linkFront(std::uint32_t n);
+    void unlink(std::uint32_t n);
 
     std::uint32_t capacityLines_;
     std::uint32_t shift_;
-    std::unordered_set<Addr> seen_;
-    /** LRU order, most recent at front. */
-    std::list<Addr> lru_;
-    std::unordered_map<Addr, std::list<Addr>::iterator> where_;
+    std::vector<Slot> table_; //!< power-of-two open addressing
+    std::size_t mask_ = 0;
+    std::size_t seenCount_ = 0;
+    std::vector<Node> nodes_; //!< LRU pool, grown up to capacityLines_
+    std::uint32_t head_ = npos; //!< most recently used
+    std::uint32_t tail_ = npos; //!< least recently used
 };
 
 } // namespace sim

@@ -87,6 +87,14 @@ struct RunStats
     void print(std::ostream &os) const;
 
     /**
+     * Exact component-wise equality, timing fields included. The
+     * streaming engine and the specialized dispatch paths must be
+     * bit-identical to the materialized general path, not merely
+     * close, so tests compare whole RunStats objects.
+     */
+    bool operator==(const RunStats &) const = default;
+
+    /**
      * Merge the counters of another run: every event count and the
      * cycle total accumulate; the completion cycle is the maximum
      * (runs are independent, not concatenated). Used by the sweep

@@ -47,6 +47,9 @@ class Trace
     /** Record at index @p i. */
     const Record &operator[](std::size_t i) const { return records_[i]; }
 
+    /** Contiguous record storage (for batched replay loops). */
+    const Record *data() const { return records_.data(); }
+
     /** Mutable record at index @p i (used by re-tagging utilities). */
     Record &at(std::size_t i) { return records_[i]; }
 

@@ -87,8 +87,11 @@ writeTraceFile(const Trace &t, const std::string &path)
 }
 
 bool
-readTrace(std::istream &is, Trace &out)
+TraceStreamReader::open(std::istream &is)
 {
+    is_ = nullptr;
+    failed_ = false;
+    read_ = 0;
     std::uint32_t magic = 0, version = 0, name_len = 0;
     if (!readScalar(is, magic) || magic != traceMagic)
         return false;
@@ -100,41 +103,73 @@ readTrace(std::istream &is, Trace &out)
     is.read(name.data(), name_len);
     if (!is)
         return false;
-    std::uint64_t count = 0;
-    if (!readScalar(is, count))
+    if (!readScalar(is, count_))
+        return false;
+    name_ = std::move(name);
+    is_ = &is;
+    return true;
+}
+
+std::size_t
+TraceStreamReader::read(Record *out, std::size_t max)
+{
+    if (!is_ || failed_)
+        return 0;
+    std::size_t n = 0;
+    while (n < max && read_ < count_) {
+        Record r;
+        std::uint8_t type = 0, tags = 0;
+        if (!readScalar(*is_, r.addr) || !readScalar(*is_, r.ref) ||
+            !readScalar(*is_, r.delta) || !readScalar(*is_, r.size) ||
+            !readScalar(*is_, type) || !readScalar(*is_, tags) ||
+            !readScalar(*is_, r.spatialLevel)) {
+            failed_ = true;
+            return 0;
+        }
+        if (type != 1 && type != 2) {
+            failed_ = true;
+            return 0;
+        }
+        r.type = static_cast<AccessType>(type);
+        r.temporal = (tags & 1u) != 0;
+        r.spatial = (tags & 2u) != 0;
+        out[n++] = r;
+        ++read_;
+    }
+    return n;
+}
+
+bool
+readTrace(std::istream &is, Trace &out)
+{
+    TraceStreamReader reader;
+    if (!reader.open(is))
         return false;
 
     // A corrupt header can carry an absurd count; bound it by the
     // bytes actually left in the stream so a 16-byte file cannot
     // demand a multi-GB reservation before the first record parses.
-    std::uint64_t reservation = count;
+    std::uint64_t reservation = reader.count();
     if (const auto remaining = remainingBytes(is)) {
-        if (count > *remaining / recordDiskBytes)
+        if (reader.count() > *remaining / recordDiskBytes)
             return false;
     } else {
         // Unseekable stream: cap the up-front reservation and let
         // push() grow as records actually arrive (truncation is then
         // caught by the per-record reads below).
-        reservation = std::min<std::uint64_t>(count, 1u << 16);
+        reservation = std::min<std::uint64_t>(reader.count(), 1u << 16);
     }
 
-    Trace t(name);
+    Trace t(reader.name());
     t.reserve(reservation);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        Record r;
-        std::uint8_t type = 0, tags = 0;
-        if (!readScalar(is, r.addr) || !readScalar(is, r.ref) ||
-            !readScalar(is, r.delta) || !readScalar(is, r.size) ||
-            !readScalar(is, type) || !readScalar(is, tags) ||
-            !readScalar(is, r.spatialLevel)) {
-            return false;
-        }
-        if (type != 1 && type != 2)
-            return false;
-        r.type = static_cast<AccessType>(type);
-        r.temporal = (tags & 1u) != 0;
-        r.spatial = (tags & 2u) != 0;
-        t.push(r);
+    Record batch[512];
+    while (reader.remaining() > 0) {
+        const std::size_t n =
+            reader.read(batch, sizeof(batch) / sizeof(batch[0]));
+        if (n == 0)
+            return false; // truncated or malformed body
+        for (std::size_t i = 0; i < n; ++i)
+            t.push(batch[i]);
     }
     out = std::move(t);
     return true;

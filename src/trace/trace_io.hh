@@ -12,6 +12,7 @@
 #ifndef SAC_TRACE_TRACE_IO_HH
 #define SAC_TRACE_TRACE_IO_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -22,6 +23,48 @@ namespace trace {
 
 /** Serialize @p t to a binary stream. Returns false on I/O failure. */
 bool writeTrace(const Trace &t, std::ostream &os);
+
+/**
+ * Incremental .sactrace decoder: validates the header on open(), then
+ * hands out records batch by batch without ever holding the whole
+ * trace. readTrace() and FileTraceSource are built on it.
+ */
+class TraceStreamReader
+{
+  public:
+    /**
+     * Parse and validate the header of @p is. The stream must outlive
+     * the reader.
+     * @retval false on a bad magic/version/name or I/O failure
+     */
+    bool open(std::istream &is);
+
+    /** Benchmark name from the header (empty before open()). */
+    const std::string &name() const { return name_; }
+
+    /** Record count declared by the header. */
+    std::uint64_t count() const { return count_; }
+
+    /** Records not yet read. */
+    std::uint64_t remaining() const { return count_ - read_; }
+
+    /**
+     * Decode up to @p max records into @p out.
+     * @return records decoded; 0 at end of trace or on a malformed
+     *         body (distinguish with failed())
+     */
+    std::size_t read(Record *out, std::size_t max);
+
+    /** True when the body was malformed or truncated. */
+    bool failed() const { return failed_; }
+
+  private:
+    std::istream *is_ = nullptr;
+    std::string name_;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+    bool failed_ = false;
+};
 
 /** Serialize @p t to a file. Returns false on I/O failure. */
 bool writeTraceFile(const Trace &t, const std::string &path);

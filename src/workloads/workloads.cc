@@ -74,6 +74,33 @@ makeBenchmarkTrace(const std::string &name, std::uint64_t seed)
     return makeTaggedTrace(findBenchmark(name).build(), seed);
 }
 
+void
+streamTaggedTrace(loopnest::Program &&program,
+                  const trace::RecordSink &sink, std::uint64_t seed)
+{
+    program.finalize();
+    const locality::AnalysisResult result = locality::analyze(program);
+    trace::TimingModel timing(seed);
+    loopnest::TraceGenerator gen(program, result.tags, timing);
+    gen.run(sink);
+}
+
+void
+streamBenchmarkTrace(const std::string &name,
+                     const trace::RecordSink &sink, std::uint64_t seed)
+{
+    streamTaggedTrace(findBenchmark(name).build(), sink, seed);
+}
+
+std::unique_ptr<trace::TraceSource>
+benchmarkTraceSource(const std::string &name, std::uint64_t seed)
+{
+    return std::make_unique<trace::GeneratorTraceSource>(
+        name, [name, seed](const trace::RecordSink &sink) {
+            streamBenchmarkTrace(name, sink, seed);
+        });
+}
+
 trace::Trace
 makeTaggedTraceWithTiming(loopnest::Program &&program,
                           const util::DiscreteDistribution &deltas,

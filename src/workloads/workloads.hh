@@ -18,12 +18,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/locality/analyzer.hh"
 #include "src/loopnest/program.hh"
 #include "src/trace/trace.hh"
+#include "src/trace/trace_source.hh"
 #include "src/util/distribution.hh"
 
 namespace sac {
@@ -159,6 +161,29 @@ trace::Trace makeTaggedTrace(loopnest::Program &&program,
 /** Build + tag + trace a registered benchmark by name. */
 trace::Trace makeBenchmarkTrace(const std::string &name,
                                 std::uint64_t seed = 0x7ac3ull);
+
+/**
+ * Streaming variant of makeTaggedTrace(): finalize, analyze, then
+ * emit each record into @p sink as it is generated — the trace is
+ * never materialized, so memory stays bounded for any length.
+ */
+void streamTaggedTrace(loopnest::Program &&program,
+                       const trace::RecordSink &sink,
+                       std::uint64_t seed = 0x7ac3ull);
+
+/** Streaming variant of makeBenchmarkTrace(). */
+void streamBenchmarkTrace(const std::string &name,
+                          const trace::RecordSink &sink,
+                          std::uint64_t seed = 0x7ac3ull);
+
+/**
+ * Pull-based source for a registered benchmark: generation runs on a
+ * background thread bridged through a bounded queue, so consumption
+ * overlaps generation.
+ */
+std::unique_ptr<trace::TraceSource>
+benchmarkTraceSource(const std::string &name,
+                     std::uint64_t seed = 0x7ac3ull);
 
 /**
  * Pipeline variant with a custom issue-time distribution, for

@@ -50,9 +50,9 @@ TEST(CacheArray, InsertAndFind)
     const LineState evicted = c.insert(5, ReplacementPolicy::Lru);
     EXPECT_FALSE(evicted.valid);
     EXPECT_TRUE(c.contains(5));
-    ASSERT_NE(c.find(5), nullptr);
-    EXPECT_EQ(c.find(5)->lineAddr, 5u);
-    EXPECT_FALSE(c.find(5)->dirty);
+    ASSERT_TRUE(c.find(5).has_value());
+    EXPECT_EQ(c.find(5)->lineAddr(), 5u);
+    EXPECT_FALSE(c.find(5)->dirty());
     EXPECT_EQ(c.validCount(), 1u);
 }
 
@@ -60,7 +60,7 @@ TEST(CacheArray, DirectMappedConflictEvicts)
 {
     CacheArray c(8192, 32, 1);
     c.insert(0, ReplacementPolicy::Lru);
-    c.find(0)->dirty = true;
+    c.find(0)->setDirty();
     const LineState evicted = c.insert(256, ReplacementPolicy::Lru);
     EXPECT_TRUE(evicted.valid);
     EXPECT_EQ(evicted.lineAddr, 0u);
@@ -111,8 +111,8 @@ TEST(CacheArray, PreferNonTemporalReplacement)
     c.insert(3, ReplacementPolicy::Lru);
     c.insert(4, ReplacementPolicy::Lru);
     // 1 and 2 (the LRU ones) are temporal; 3 is the LRU non-temporal.
-    c.find(1)->temporal = true;
-    c.find(2)->temporal = true;
+    c.find(1)->setTemporal();
+    c.find(2)->setTemporal();
     const LineState evicted =
         c.insert(5, ReplacementPolicy::LruPreferNonTemporal);
     EXPECT_EQ(evicted.lineAddr, 3u);
@@ -123,7 +123,7 @@ TEST(CacheArray, PreferNonTemporalFallsBackToLru)
     CacheArray c(128, 32, 4);
     for (Addr a = 1; a <= 4; ++a) {
         c.insert(a, ReplacementPolicy::Lru);
-        c.find(a)->temporal = true;
+        c.find(a)->setTemporal();
     }
     const LineState evicted =
         c.insert(9, ReplacementPolicy::LruPreferNonTemporal);
@@ -137,7 +137,7 @@ TEST(CacheArray, PreferPrefetchedReplacement)
     c.insert(2, ReplacementPolicy::Lru);
     c.insert(3, ReplacementPolicy::Lru);
     c.insert(4, ReplacementPolicy::Lru);
-    c.find(3)->prefetched = true;
+    c.find(3)->setPrefetched();
     const LineState evicted =
         c.insert(5, ReplacementPolicy::LruPreferPrefetched);
     EXPECT_EQ(evicted.lineAddr, 3u);
@@ -147,13 +147,13 @@ TEST(CacheArray, InsertClearsAllBits)
 {
     CacheArray c(128, 32, 4);
     c.insert(1, ReplacementPolicy::Lru);
-    c.find(1)->dirty = true;
-    c.find(1)->temporal = true;
+    c.find(1)->setDirty();
+    c.find(1)->setTemporal();
     c.invalidate(1);
     c.insert(1, ReplacementPolicy::Lru);
-    EXPECT_FALSE(c.find(1)->dirty);
-    EXPECT_FALSE(c.find(1)->temporal);
-    EXPECT_FALSE(c.find(1)->prefetched);
+    EXPECT_FALSE(c.find(1)->dirty());
+    EXPECT_FALSE(c.find(1)->temporal());
+    EXPECT_FALSE(c.find(1)->prefetched());
 }
 
 TEST(CacheArray, InvalidateReturnsOldState)
@@ -161,7 +161,7 @@ TEST(CacheArray, InvalidateReturnsOldState)
     CacheArray c(8192, 32, 1);
     EXPECT_FALSE(c.invalidate(7).has_value());
     c.insert(7, ReplacementPolicy::Lru);
-    c.find(7)->dirty = true;
+    c.find(7)->setDirty();
     const auto old = c.invalidate(7);
     ASSERT_TRUE(old.has_value());
     EXPECT_TRUE(old->dirty);
@@ -176,6 +176,72 @@ TEST(CacheArray, ResetClearsEverything)
     c.reset();
     EXPECT_EQ(c.validCount(), 0u);
     EXPECT_FALSE(c.contains(5));
+}
+
+TEST(CacheArray, PrefetchedCountTracksEveryMutationPath)
+{
+    CacheArray c(128, 32, 4);
+    EXPECT_EQ(c.prefetchedCount(), 0u);
+    c.insert(1, ReplacementPolicy::Lru);
+    c.insert(2, ReplacementPolicy::Lru);
+    c.find(1)->setPrefetched();
+    c.find(2)->setPrefetched();
+    EXPECT_EQ(c.prefetchedCount(), 2u);
+    c.find(2)->setPrefetched(true); // idempotent
+    EXPECT_EQ(c.prefetchedCount(), 2u);
+    c.find(1)->setPrefetched(false);
+    EXPECT_EQ(c.prefetchedCount(), 1u);
+    c.invalidate(2);
+    EXPECT_EQ(c.prefetchedCount(), 0u);
+
+    c.find(1)->setPrefetched();
+    LineState s;
+    s.lineAddr = 1;
+    s.valid = true;
+    c.find(1)->assign(s); // assign overwrites the bit
+    EXPECT_EQ(c.prefetchedCount(), 0u);
+    s.prefetched = true;
+    c.find(1)->assign(s);
+    EXPECT_EQ(c.prefetchedCount(), 1u);
+    c.insert(2, ReplacementPolicy::Lru);
+    c.insert(3, ReplacementPolicy::Lru);
+    c.insert(4, ReplacementPolicy::Lru); // set now full
+    // Evicting the prefetched line drops the count.
+    c.insert(5, ReplacementPolicy::LruPreferPrefetched);
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.prefetchedCount(), 0u);
+
+    c.find(5)->setPrefetched();
+    c.reset();
+    EXPECT_EQ(c.prefetchedCount(), 0u);
+}
+
+TEST(CacheArray, LineRefSnapshotRoundTrips)
+{
+    CacheArray c(128, 32, 4);
+    c.insert(3, ReplacementPolicy::Lru);
+    auto ref = c.line(0, *c.findWay(3));
+    ref.setDirty();
+    ref.setTemporal();
+    const LineState snap = ref.state();
+    EXPECT_EQ(snap.lineAddr, 3u);
+    EXPECT_TRUE(snap.valid);
+    EXPECT_TRUE(snap.dirty);
+    EXPECT_TRUE(snap.temporal);
+    EXPECT_EQ(snap.lruStamp, ref.lruStamp());
+
+    // Assigning the snapshot into another slot replicates everything,
+    // including the LRU stamp.
+    c.line(0, 3).assign(snap);
+    const LineState copy = static_cast<const CacheArray &>(c).line(0, 3);
+    EXPECT_EQ(copy.lineAddr, snap.lineAddr);
+    EXPECT_EQ(copy.dirty, snap.dirty);
+    EXPECT_EQ(copy.temporal, snap.temporal);
+    EXPECT_EQ(copy.lruStamp, snap.lruStamp);
+
+    ref.clear();
+    EXPECT_FALSE(ref.valid());
+    EXPECT_TRUE(c.contains(3)); // the copy at way 3 survives
 }
 
 TEST(CacheArray, SetAssociativeNoFalseConflicts)

@@ -89,7 +89,10 @@ TEST(Auditor, DetectsSetMismatch)
     // Corrupt the resident line so its address maps to another set.
     const std::uint32_t set =
         a.main.setIndexOf(a.main.lineAddrOf(0x8000));
-    a.main.line(set, 0).lineAddr += 1;
+    auto slot = a.main.line(set, 0);
+    cache::LineState corrupt = slot.state();
+    corrupt.lineAddr += 1;
+    slot.assign(corrupt);
 
     Auditor auditor(Auditor::OnViolation::Record);
     auditor.auditArrays(a.main, nullptr, cfg, 3);
@@ -104,7 +107,7 @@ TEST(Auditor, DetectsTemporalBitWithoutTags)
                            cfg.assoc);
     main.insert(main.lineAddrOf(0x1000), cache::ReplacementPolicy::Lru);
     const std::uint32_t set = main.setIndexOf(main.lineAddrOf(0x1000));
-    main.line(set, 0).temporal = true;
+    main.line(set, 0).setTemporal(true);
 
     Auditor auditor(Auditor::OnViolation::Record);
     auditor.auditArrays(main, nullptr, cfg, 2);
@@ -122,9 +125,11 @@ TEST(Auditor, DetectsDuplicateWayAndLruClash)
     const std::uint32_t set = main.setIndexOf(line);
     // Forge the same line in both ways with colliding LRU stamps.
     for (std::uint32_t way = 0; way < 2; ++way) {
-        main.line(set, way).valid = true;
-        main.line(set, way).lineAddr = line;
-        main.line(set, way).lruStamp = 42;
+        cache::LineState forged;
+        forged.valid = true;
+        forged.lineAddr = line;
+        forged.lruStamp = 42;
+        main.line(set, way).assign(forged);
     }
 
     Auditor auditor(Auditor::OnViolation::Record);

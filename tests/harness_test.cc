@@ -20,10 +20,12 @@ using harness::Workload;
 Workload
 tinyWorkload(const std::string &name = "tiny")
 {
-    return {name, [] {
+    return {name,
+            [] {
                 return workloads::makeTaggedTrace(
                     workloads::buildMv(32));
-            }};
+            },
+            nullptr};
 }
 
 TEST(HarnessMetrics, NamesAndExtraction)

@@ -340,7 +340,8 @@ TEST(ParallelSweep, JobCountDoesNotChangeBytes)
                               4000);
                           t.setName("rng" + std::to_string(i));
                           return t;
-                      }});
+                      },
+                      nullptr});
     }
     const std::vector<Config> configs{
         core::standardConfig(), core::victimConfig(),

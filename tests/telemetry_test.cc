@@ -613,10 +613,12 @@ TEST(Runner, PhasesAccountForTraceGenAndSim)
 {
     harness::Runner r;
     std::vector<harness::Workload> ws{
-        {"W", [] {
+        {"W",
+         [] {
              return workloads::makeTaggedTrace(
                  workloads::buildMv(30));
-         }}};
+         },
+         nullptr}};
     r.warmup(ws);
     EXPECT_GT(r.phases().seconds("trace-gen"), 0.0);
     EXPECT_GT(r.phases().seconds("warmup"), 0.0);

@@ -7,6 +7,8 @@
 #   tools/check.sh --quick      # lint + plain mode only (no sanitizer rebuilds)
 #   tools/check.sh thread 'ThreadPool*:ParallelSweep*'   # mode + ctest -R filter
 #   tools/check.sh --fuzz-seconds 60   # add a time-boxed fuzz soak (plain leg)
+#   tools/check.sh perf         # throughput gate: bench_simspeed vs
+#                               # BENCH_simspeed.json (tools/perf_compare.py)
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -61,11 +63,31 @@ else
 fi
 
 for mode in "${modes[@]}"; do
+    if [[ "$mode" == "perf" ]]; then
+        # Perf leg: audit hooks off (throughput build), then compare
+        # simulator throughput against the committed baseline and the
+        # within-run fast-vs-general ratios. Fails on >15% regression.
+        build_dir="build-check-perf"
+        echo "=== [perf] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="" \
+            -DSAC_AUDIT=OFF \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" --target bench_simspeed
+        echo "=== [perf] bench_simspeed ==="
+        "${build_dir}/bench/bench_simspeed" \
+            --benchmark_out="${build_dir}/simspeed.json" \
+            --benchmark_out_format=json \
+            --emit-json "${build_dir}/manifests"
+        echo "=== [perf] compare vs BENCH_simspeed.json ==="
+        python3 tools/perf_compare.py check "${build_dir}/simspeed.json"
+        echo "=== [perf] OK ==="
+        continue
+    fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="

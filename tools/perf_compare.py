@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Throughput gate for bench_simspeed (stdlib only).
+
+Reads a google-benchmark JSON report (``--benchmark_out`` format) and
+checks it two ways:
+
+1. Baseline drift: every benchmark present in both the report and the
+   committed baseline (BENCH_simspeed.json) must keep at least
+   ``1 - tolerance`` of the baseline's items_per_second (default
+   tolerance 15%). The baseline is host-dependent; refresh it with
+   ``update`` when the reference machine changes.
+
+2. Within-run ratios (host-independent): each feature-specialized
+   access path is timed against the same configuration forced onto the
+   fully-general path in the same process, and specialization must
+   never lose meaningfully. Ratios are computed from the report alone,
+   so they hold on any host.
+
+Usage:
+  tools/perf_compare.py check  <report.json> [--baseline FILE]
+                               [--tolerance F] [--ratio-slack F]
+  tools/perf_compare.py update <report.json> [--baseline FILE]
+
+Short runs (``--benchmark_min_time=0.1``, as in the ``perf-smoke``
+target) are noisy; pass a larger ``--tolerance`` and a nonzero
+``--ratio-slack`` (subtracted from every ratio floor) there, and keep
+the defaults for the full-length ``tools/check.sh perf`` leg.
+
+The baseline path defaults to BENCH_simspeed.json next to the repo
+root (this script's parent directory); the SAC_PERF_BASELINE
+environment variable overrides it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+
+# (specialized benchmark, general-path benchmark, min ratio). The
+# floor is a no-regression guard with noise margin, not a speedup
+# claim: the soft lattice point keeps nearly every feature check, so
+# its ratio hovers around 1.0; standard/prefetch run well above it.
+RATIO_FLOORS = [
+    ("BM_SimulateStandard", "BM_SimulateStandardGeneral", 0.85),
+    ("BM_SimulateSoft", "BM_SimulateSoftGeneral", 0.85),
+    ("BM_SimulateSoftPrefetch", "BM_SimulateSoftPrefetchGeneral", 0.85),
+]
+
+
+def default_baseline():
+    env = os.environ.get("SAC_PERF_BASELINE")
+    if env:
+        return env
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, "BENCH_simspeed.json")
+
+
+def load_report(path):
+    """items_per_second per benchmark, aggregates skipped."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[b["name"]] = float(ips)
+    if not out:
+        sys.exit(f"error: no items_per_second entries in {path}")
+    return out, report.get("context", {})
+
+
+def cmd_update(args):
+    current, context = load_report(args.report)
+    baseline = {
+        "_meta": {
+            "source": "tools/perf_compare.py update",
+            "host_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "items_per_second": {
+            name: round(ips, 1) for name, ips in sorted(current.items())
+        },
+    }
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(current)} baseline entries to {args.baseline}")
+
+
+def cmd_check(args):
+    current, _ = load_report(args.report)
+    failures = []
+
+    # 1. Drift against the committed baseline.
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["items_per_second"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read baseline {args.baseline}: {e}")
+    compared = 0
+    for name, base_ips in sorted(baseline.items()):
+        ips = current.get(name)
+        if ips is None:
+            print(f"  (skip) {name}: not in this report")
+            continue
+        compared += 1
+        floor = base_ips * (1.0 - args.tolerance)
+        verdict = "ok" if ips >= floor else "REGRESSED"
+        print(f"  {verdict:9s} {name}: {ips / 1e6:.2f} M/s "
+              f"(baseline {base_ips / 1e6:.2f}, floor {floor / 1e6:.2f})")
+        if ips < floor:
+            failures.append(
+                f"{name} regressed: {ips / 1e6:.2f} M/s < "
+                f"{floor / 1e6:.2f} M/s "
+                f"({100 * args.tolerance:.0f}% below baseline)")
+    if compared == 0:
+        failures.append("no benchmark overlaps the baseline")
+
+    # 2. Host-independent fast-vs-general ratios.
+    for fast, general, floor in RATIO_FLOORS:
+        if fast not in current or general not in current:
+            print(f"  (skip) ratio {fast}/{general}: missing entries")
+            continue
+        floor = max(0.0, floor - args.ratio_slack)
+        ratio = current[fast] / current[general]
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  {verdict:9s} {fast}/{general} = {ratio:.2f}x "
+              f"(floor {floor:.2f}x)")
+        if ratio < floor:
+            failures.append(
+                f"specialized path slower than general: "
+                f"{fast}/{general} = {ratio:.2f}x < {floor:.2f}x")
+
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf check passed")
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+    for name, fn in (("check", cmd_check), ("update", cmd_update)):
+        s = sub.add_parser(name)
+        s.add_argument("report", help="google-benchmark JSON report")
+        s.add_argument("--baseline", default=default_baseline())
+        if name == "check":
+            s.add_argument("--tolerance", type=float,
+                           default=DEFAULT_TOLERANCE)
+            s.add_argument("--ratio-slack", type=float, default=0.0,
+                           help="subtract from every ratio floor "
+                                "(for short, noisy smoke runs)")
+        s.set_defaults(fn=fn)
+    args = p.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
