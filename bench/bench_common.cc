@@ -159,9 +159,40 @@ util::Table
 suiteTable(const std::vector<core::Config> &configs,
            const Metric &metric, int decimals)
 {
-    harness::Metric m{"metric", metric, decimals};
+    return suiteTable(configs,
+                      harness::Metric{"metric", metric, decimals});
+}
+
+util::Table
+suiteTable(const std::vector<core::Config> &configs,
+           const harness::Metric &m)
+{
     const auto workloads = harness::paperWorkloads();
     runner().warmup(workloads);
+
+    if (options().sample) {
+        const auto cells = runner().runSampled(
+            workloads, configs, options().sampling, jobs());
+        if (!emitJsonDir().empty()) {
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+                    if (!emittedCells()
+                             .emplace(workloads[wi].name,
+                                      configs[ci].cacheKey())
+                             .second) {
+                        continue;
+                    }
+                    harness::writeSampledCellManifest(
+                        emitJsonDir(), workloads[wi].name,
+                        configs[ci], cells[wi][ci].report,
+                        options().sampling,
+                        cells[wi][ci].simSeconds);
+                }
+            }
+        }
+        return harness::sampledMatrix(workloads, configs, cells, m);
+    }
+
     util::Table table =
         runner().runMatrix(workloads, configs, m, jobs());
     if (!emitJsonDir().empty()) {

@@ -16,6 +16,7 @@
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
 #include "src/harness/bench_options.hh"
+#include "src/harness/experiment.hh"
 #include "src/util/table.hh"
 #include "src/workloads/workloads.hh"
 
@@ -32,8 +33,11 @@ using Metric = std::function<double(const sim::RunStats &)>;
  * 1` forces the serial path), `--emit-json DIR` (write one telemetry
  * run manifest per sweep cell under DIR; see DESIGN.md §6),
  * `--preset NAME` (a core::presets() configuration), `--trace-seed
- * N` (timing seed of the generated traces) and `--trace-chunk N`
- * (records per chunk in streamed replay). Tables are byte-identical
+ * N` (timing seed of the generated traces), `--trace-chunk N`
+ * (records per chunk in streamed replay), and `--sample` with its
+ * tuning flags `--sample-window/-stride/-warmup/-ci/-error` (estimate
+ * suite tables with the windowed sampling engine; cells then read
+ * "estimate ±half" — see DESIGN.md §10). Tables are byte-identical
  * at any job count.
  */
 void initBench(int argc, const char *const *argv);
@@ -95,9 +99,20 @@ presetConfigs(const std::vector<std::string> &keys);
 /**
  * Build the classic paper table: one row per benchmark of the main
  * suite, one column per configuration, cells = metric(config run).
+ * Under --sample the cells are sampled estimates; an unnamed metric
+ * (this overload) then renders without a confidence interval.
  */
 util::Table suiteTable(const std::vector<core::Config> &configs,
                        const Metric &metric, int decimals = 3);
+
+/**
+ * Like the above, for a named harness metric (harness::amatMetric()
+ * and friends). Under --sample the three sampled metrics (AMAT, miss
+ * ratio, words/ref) render as "estimate ±half" at the configured
+ * confidence.
+ */
+util::Table suiteTable(const std::vector<core::Config> &configs,
+                       const harness::Metric &metric);
 
 /** Print a figure banner with the paper reference. */
 void printBanner(const std::string &figure, const std::string &what);

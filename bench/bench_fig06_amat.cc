@@ -24,7 +24,7 @@ main(int argc, char **argv)
                  "(AMAT)\n\n";
     bench::suiteTable(bench::presetConfigs({"standard", "soft-temporal",
                                             "soft-spatial", "soft"}),
-                      bench::amatOf)
+                      harness::amatMetric())
         .print(std::cout);
 
     std::cout << "\nFigure 6b: repartition of cache hits (Soft.)\n\n";

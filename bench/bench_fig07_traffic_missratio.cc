@@ -23,10 +23,12 @@ main(int argc, char **argv)
         {"standard", "soft-temporal", "soft-spatial", "soft"});
 
     std::cout << "\nFigure 7a: words fetched / number of references\n\n";
-    bench::suiteTable(configs, bench::wordsOf).print(std::cout);
+    bench::suiteTable(configs, harness::wordsPerAccessMetric())
+        .print(std::cout);
 
     std::cout << "\nFigure 7b: miss ratio\n\n";
-    bench::suiteTable(configs, bench::missRatioOf, 4).print(std::cout);
+    bench::suiteTable(configs, harness::missRatioMetric())
+        .print(std::cout);
 
     std::cout << "\nPaper shape check: spatial-only control raises "
                  "traffic (virtual lines);\nthe combined mechanism "

@@ -25,6 +25,7 @@
 #include "src/core/soft_cache.hh"
 #include "src/harness/bench_options.hh"
 #include "src/harness/experiment.hh"
+#include "src/sim/sampling.hh"
 #include "src/trace/trace_source.hh"
 #include "src/workloads/workloads.hh"
 
@@ -158,6 +159,28 @@ BM_SimulateSoftAudited(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateSoftAudited);
 
+/**
+ * Functional-warming pair: the same trace and configuration as
+ * BM_SimulateSoft, replayed in StatsMode::Warming, where the stats
+ * counters, miss classifier, tracer and audit hooks are compiled out
+ * and only architectural state advances. perf_compare.py asserts the
+ * warming path runs at least 2x the detailed path.
+ */
+void
+BM_SimulateSoftWarming(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    const core::Config cfg = core::presets().get("soft");
+    for (auto _ : state) {
+        core::SoftwareAssistedCache sim(cfg);
+        sim.runWarming(t.data(), t.size());
+        benchmark::DoNotOptimize(sim.procReadyAt());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_SimulateSoftWarming);
+
 void
 BM_SimulateNoClassifier(benchmark::State &state)
 {
@@ -283,6 +306,62 @@ BENCHMARK(BM_MatrixSweep)
  * every sweep configuration without materializing the trace, at a
  * given worker count (Arg).
  */
+// Sampled vs. full-detail sweep: the MV trace under every sweep
+// configuration, first simulated in full detail, then estimated by
+// the windowed sampling engine (detailed windows + functional warming
+// + fast-forward skip). Both report items = records *covered*, so the
+// within-run items_per_second ratio is the end-to-end sweep speedup
+// perf_compare.py asserts on (floor 5x). The sampled parameters match
+// the EXPERIMENTS.md recipe: window 512, stride 8192, warmup 2048 —
+// the geometry the SampledDifferential tests prove accurate to <=1
+// percentage point of miss ratio on the paper workloads.
+
+sim::SamplingOptions
+sweepSamplingOptions()
+{
+    sim::SamplingOptions opt;
+    opt.window = 512;
+    opt.stride = 8192;
+    opt.warmup = 2048;
+    return opt;
+}
+
+void
+BM_SweepFullDetail(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    for (auto _ : state) {
+        for (const auto &cfg : sweepConfigs()) {
+            const auto s = core::simulateTrace(t, cfg);
+            benchmark::DoNotOptimize(s.totalAccessCycles);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * t.size() * sweepConfigs().size()));
+}
+BENCHMARK(BM_SweepFullDetail);
+
+void
+BM_SweepSampled(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    const sim::SampledEngine engine(sweepSamplingOptions());
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        for (const auto &cfg : sweepConfigs()) {
+            trace::MemoryTraceSource src(t);
+            core::SoftwareAssistedCache sim(cfg);
+            const auto rep = engine.run(src, sim);
+            benchmark::DoNotOptimize(rep.recordsTotal);
+            windows = rep.windows;
+        }
+    }
+    state.SetLabel("windows=" + std::to_string(windows));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * t.size() * sweepConfigs().size()));
+}
+BENCHMARK(BM_SweepSampled);
+
 void
 BM_StreamedSweep(benchmark::State &state)
 {

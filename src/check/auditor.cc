@@ -228,5 +228,112 @@ Auditor::afterAccess(const core::SoftwareAssistedCache &cache,
     lastBusFree_ = cache.busFreeAt();
 }
 
+namespace {
+
+/** Compare two cache arrays line by line; empty string when equal. */
+std::string
+arrayDifference(const char *which, const cache::CacheArray &a,
+                const cache::CacheArray &b)
+{
+    if (a.numSets() != b.numSets() || a.assoc() != b.assoc()) {
+        return util::detail::format(which, " geometry differs: ",
+                                    a.numSets(), "x", a.assoc(), " vs ",
+                                    b.numSets(), "x", b.assoc());
+    }
+    for (std::uint32_t s = 0; s < a.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < a.assoc(); ++w) {
+            const cache::LineState la = a.line(s, w);
+            const cache::LineState lb = b.line(s, w);
+            if (la.valid != lb.valid || la.lineAddr != lb.lineAddr ||
+                la.dirty != lb.dirty || la.temporal != lb.temporal ||
+                la.prefetched != lb.prefetched ||
+                la.lruStamp != lb.lruStamp) {
+                return util::detail::format(
+                    which, " line [set ", s, " way ", w,
+                    "] differs: addr ", la.lineAddr, "/", lb.lineAddr,
+                    " valid ", la.valid, "/", lb.valid, " dirty ",
+                    la.dirty, "/", lb.dirty, " temporal ", la.temporal,
+                    "/", lb.temporal, " prefetched ", la.prefetched,
+                    "/", lb.prefetched, " lru ", la.lruStamp, "/",
+                    lb.lruStamp);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+std::string
+stateDifference(const core::SoftwareAssistedCache &a,
+                const core::SoftwareAssistedCache &b)
+{
+    if (std::string d = arrayDifference("main", a.mainArray(),
+                                        b.mainArray());
+        !d.empty()) {
+        return d;
+    }
+    const cache::CacheArray *aux_a = a.auxArray();
+    const cache::CacheArray *aux_b = b.auxArray();
+    if ((aux_a == nullptr) != (aux_b == nullptr))
+        return "one simulator has an aux cache, the other does not";
+    if (aux_a) {
+        if (std::string d = arrayDifference("aux", *aux_a, *aux_b);
+            !d.empty()) {
+            return d;
+        }
+    }
+
+    const sim::WriteBuffer &wa = a.writeBuffer();
+    const sim::WriteBuffer &wb = b.writeBuffer();
+    if (wa.occupancy() != wb.occupancy() ||
+        wa.totalBytesPushed() != wb.totalBytesPushed() ||
+        wa.fullStalls() != wb.fullStalls()) {
+        return util::detail::format(
+            "write buffer differs: occupancy ", wa.occupancy(), "/",
+            wb.occupancy(), " bytes pushed ", wa.totalBytesPushed(),
+            "/", wb.totalBytesPushed(), " full stalls ",
+            wa.fullStalls(), "/", wb.fullStalls());
+    }
+
+    if (a.now() != b.now() || a.procReadyAt() != b.procReadyAt() ||
+        a.cacheFreeAt() != b.cacheFreeAt() ||
+        a.busFreeAt() != b.busFreeAt()) {
+        return util::detail::format(
+            "clocks differ: now ", a.now(), "/", b.now(),
+            " proc-ready ", a.procReadyAt(), "/", b.procReadyAt(),
+            " cache-free ", a.cacheFreeAt(), "/", b.cacheFreeAt(),
+            " bus-free ", a.busFreeAt(), "/", b.busFreeAt());
+    }
+
+    const auto bypass_a = a.bypassBufferLine();
+    const auto bypass_b = b.bypassBufferLine();
+    if (bypass_a != bypass_b) {
+        return util::detail::format(
+            "bypass buffer differs: ",
+            bypass_a ? util::detail::format("line ", *bypass_a)
+                     : std::string("empty"),
+            " vs ",
+            bypass_b ? util::detail::format("line ", *bypass_b)
+                     : std::string("empty"));
+    }
+
+    const auto pf_a = a.pendingPrefetch();
+    const auto pf_b = b.pendingPrefetch();
+    if (pf_a.has_value() != pf_b.has_value()) {
+        return "one simulator has an in-flight prefetch, the other "
+               "does not";
+    }
+    if (pf_a &&
+        (pf_a->line != pf_b->line || pf_a->count != pf_b->count ||
+         pf_a->readyAt != pf_b->readyAt)) {
+        return util::detail::format(
+            "pending prefetch differs: line ", pf_a->line, "/",
+            pf_b->line, " count ", pf_a->count, "/", pf_b->count,
+            " ready ", pf_a->readyAt, "/", pf_b->readyAt);
+    }
+    return {};
+}
+
 } // namespace check
 } // namespace sac

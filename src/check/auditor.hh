@@ -128,6 +128,29 @@ class Auditor : public core::AccessAuditor
     Cycle lastBusFree_ = 0;
 };
 
+/**
+ * Bit-for-bit architectural state comparison of two simulators, the
+ * proof obligation of the functional-warming mode: a warming replay
+ * and a detailed replay of the same prefix must be indistinguishable
+ * in every piece of state that can influence future behavior — cache
+ * arrays (addresses, valid/dirty/temporal/prefetched bits, LRU
+ * stamps), write-buffer occupancy and history, the clocks, the bypass
+ * buffer and the in-flight prefetch.
+ *
+ * @return empty string when identical, else a description of the
+ *         first difference found (for test failure messages)
+ */
+std::string stateDifference(const core::SoftwareAssistedCache &a,
+                            const core::SoftwareAssistedCache &b);
+
+/** Convenience wrapper: is every architectural state bit equal? */
+inline bool
+structurallyIdentical(const core::SoftwareAssistedCache &a,
+                      const core::SoftwareAssistedCache &b)
+{
+    return stateDifference(a, b).empty();
+}
+
 } // namespace check
 } // namespace sac
 

@@ -49,27 +49,36 @@ featureSetOf(const Config &cfg)
     return FeatureSet::General;
 }
 
+template <bool Detail>
 SoftwareAssistedCache::AccessFn
-SoftwareAssistedCache::selectAccessFn(FeatureSet fs)
+SoftwareAssistedCache::selectAccessFnImpl(FeatureSet fs)
 {
-    //                     MayAux MayVirtual MayPrefetch MayBypass
+    //                             MayAux MayVirtual MayPrefetch MayBypass
     switch (fs) {
       case FeatureSet::Standard:
-        return &SoftwareAssistedCache::accessTmpl<false, false, false,
-                                                  false>;
+        return &SoftwareAssistedCache::accessTmpl<Detail, false, false,
+                                                  false, false>;
       case FeatureSet::Victim:
-        return &SoftwareAssistedCache::accessTmpl<true, false, false,
-                                                  false>;
+        return &SoftwareAssistedCache::accessTmpl<Detail, true, false,
+                                                  false, false>;
       case FeatureSet::Soft:
-        return &SoftwareAssistedCache::accessTmpl<true, true, false,
-                                                  false>;
+        return &SoftwareAssistedCache::accessTmpl<Detail, true, true,
+                                                  false, false>;
       case FeatureSet::SoftPrefetch:
-        return &SoftwareAssistedCache::accessTmpl<true, true, true,
-                                                  false>;
+        return &SoftwareAssistedCache::accessTmpl<Detail, true, true,
+                                                  true, false>;
       case FeatureSet::General:
         break;
     }
-    return &SoftwareAssistedCache::accessTmpl<true, true, true, true>;
+    return &SoftwareAssistedCache::accessTmpl<Detail, true, true, true,
+                                              true>;
+}
+
+SoftwareAssistedCache::AccessFn
+SoftwareAssistedCache::selectAccessFn(FeatureSet fs, StatsMode mode)
+{
+    return mode == StatsMode::Detailed ? selectAccessFnImpl<true>(fs)
+                                       : selectAccessFnImpl<false>(fs);
 }
 
 SoftwareAssistedCache::SoftwareAssistedCache(Config cfg,
@@ -95,7 +104,16 @@ SoftwareAssistedCache::SoftwareAssistedCache(Config cfg,
     featureSet_ = dispatch == DispatchMode::General
                       ? FeatureSet::General
                       : featureSetOf(cfg_);
-    accessFn_ = selectAccessFn(featureSet_);
+    accessFn_ = selectAccessFn(featureSet_, statsMode_);
+}
+
+void
+SoftwareAssistedCache::setStatsMode(StatsMode m)
+{
+    if (m == statsMode_)
+        return;
+    statsMode_ = m;
+    accessFn_ = selectAccessFn(featureSet_, statsMode_);
 }
 
 void
@@ -115,44 +133,60 @@ SoftwareAssistedCache::run(trace::TraceSource &src)
     finish();
 }
 
-template <bool MayAux, bool MayVirtual, bool MayPrefetch, bool MayBypass>
+template <bool Detail, bool MayAux, bool MayVirtual, bool MayPrefetch,
+          bool MayBypass>
 void
 SoftwareAssistedCache::runBatchTmpl(const trace::Record *recs,
                                     std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i) {
-        accessTmpl<MayAux, MayVirtual, MayPrefetch, MayBypass>(recs[i]);
+        accessTmpl<Detail, MayAux, MayVirtual, MayPrefetch, MayBypass>(
+            recs[i]);
 #if SAC_AUDIT_ENABLED
-        if (auditor_)
-            auditor_->afterAccess(*this, recs[i]);
+        if constexpr (Detail) {
+            if (auditor_)
+                auditor_->afterAccess(*this, recs[i]);
+        }
 #endif
     }
+}
+
+template <bool Detail>
+void
+SoftwareAssistedCache::runBatchDispatch(const trace::Record *recs,
+                                        std::size_t n)
+{
+    switch (featureSet_) {
+      case FeatureSet::Standard:
+        runBatchTmpl<Detail, false, false, false, false>(recs, n);
+        return;
+      case FeatureSet::Victim:
+        runBatchTmpl<Detail, true, false, false, false>(recs, n);
+        return;
+      case FeatureSet::Soft:
+        runBatchTmpl<Detail, true, true, false, false>(recs, n);
+        return;
+      case FeatureSet::SoftPrefetch:
+        runBatchTmpl<Detail, true, true, true, false>(recs, n);
+        return;
+      case FeatureSet::General:
+        break;
+    }
+    runBatchTmpl<Detail, true, true, true, true>(recs, n);
 }
 
 void
 SoftwareAssistedCache::runBatch(const trace::Record *recs,
                                 std::size_t n)
 {
-    switch (featureSet_) {
-      case FeatureSet::Standard:
-        runBatchTmpl<false, false, false, false>(recs, n);
-        return;
-      case FeatureSet::Victim:
-        runBatchTmpl<true, false, false, false>(recs, n);
-        return;
-      case FeatureSet::Soft:
-        runBatchTmpl<true, true, false, false>(recs, n);
-        return;
-      case FeatureSet::SoftPrefetch:
-        runBatchTmpl<true, true, true, false>(recs, n);
-        return;
-      case FeatureSet::General:
-        break;
-    }
-    runBatchTmpl<true, true, true, true>(recs, n);
+    if (statsMode_ == StatsMode::Detailed)
+        runBatchDispatch<true>(recs, n);
+    else
+        runBatchDispatch<false>(recs, n);
 }
 
-template <bool MayAux, bool MayVirtual, bool MayPrefetch, bool MayBypass>
+template <bool Detail, bool MayAux, bool MayVirtual, bool MayPrefetch,
+          bool MayBypass>
 void
 SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
 {
@@ -161,13 +195,15 @@ SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
     // instruction work after the previous access completed (the
     // completing cycle overlaps the first work cycle).
     now_ = procReadyAt_ + rec.delta - 1;
-    ++stats_.accesses;
-    if (rec.isRead())
-        ++stats_.reads;
-    else
-        ++stats_.writes;
-    SAC_TRACE_EVENT(tracer_, EventKind::Access, now_, rec.addr,
-                    rec.isWrite());
+    if constexpr (Detail) {
+        ++stats_.accesses;
+        if (rec.isRead())
+            ++stats_.reads;
+        else
+            ++stats_.writes;
+        SAC_TRACE_EVENT(tracer_, EventKind::Access, now_, rec.addr,
+                        rec.isWrite());
+    }
 
     Cycle start = std::max(now_, cacheFreeAt_);
     const Addr line = main_.lineAddrOf(rec.addr);
@@ -178,25 +214,25 @@ SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
     if constexpr (MayPrefetch) {
         if (pending_.valid) {
             if (pending_.readyAt <= start) {
-                installPendingPrefetch();
+                installPendingPrefetch<Detail>();
             } else if (aux_ && pending_.line <= line &&
                        line < pending_.line + pending_.count) {
                 start = pending_.readyAt;
-                installPendingPrefetch();
+                installPendingPrefetch<Detail>();
             }
         }
     }
 
     // 1. Main cache lookup.
     if (const auto way = main_.findWay(line)) {
-        handleMainHit(rec, *way, start);
+        handleMainHit<Detail>(rec, *way, start);
         return;
     }
 
     // 2. Bypassing of non-temporal references (Fig 3a baselines).
     if constexpr (MayBypass) {
         if (cfg_.bypass != BypassMode::None && !rec.temporal) {
-            handleBypass(rec, start);
+            handleBypass<Detail>(rec, start);
             return;
         }
     }
@@ -205,16 +241,17 @@ SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
     if constexpr (MayAux) {
         if (aux_) {
             if (const auto way = aux_->findWay(line)) {
-                handleAuxHit<MayPrefetch>(rec, *way, start);
+                handleAuxHit<Detail, MayPrefetch>(rec, *way, start);
                 return;
             }
         }
     }
 
     // 4. Demand miss.
-    handleMiss<MayAux, MayVirtual, MayPrefetch>(rec, start);
+    handleMiss<Detail, MayAux, MayVirtual, MayPrefetch>(rec, start);
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
                                      std::uint32_t way, Cycle start)
@@ -226,14 +263,16 @@ SoftwareAssistedCache::handleMainHit(const trace::Record &rec,
         l.setDirty();
     applyTemporalTag(l, rec.temporal, cfg_.temporalBits);
     l.setPrefetched(false);
-    ++stats_.mainHits;
-    SAC_TRACE_EVENT(tracer_, EventKind::MainHit, start, rec.addr, 0);
-    classify(rec.addr, false);
+    if constexpr (Detail) {
+        ++stats_.mainHits;
+        SAC_TRACE_EVENT(tracer_, EventKind::MainHit, start, rec.addr, 0);
+        classify(rec.addr, false);
+    }
     const Cycle completion = start + cfg_.timing.mainHitTime;
-    complete(completion, completion);
+    complete<Detail>(completion, completion);
 }
 
-template <bool MayPrefetch>
+template <bool Detail, bool MayPrefetch>
 void
 SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
                                     std::uint32_t way, Cycle start)
@@ -246,16 +285,18 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
     // which requires cfg_.prefetch: compile the check out otherwise.
     const bool was_prefetched = MayPrefetch && a.prefetched();
 
-    ++stats_.auxHits;
-    ++stats_.swaps;
-    SAC_TRACE_EVENT(tracer_, EventKind::AuxHit, start, rec.addr,
-                    was_prefetched);
-    SAC_TRACE_EVENT(tracer_, EventKind::Swap, start, rec.addr, 0);
-    if (was_prefetched) {
-        ++stats_.auxPrefetchHits;
-        ++stats_.prefetchesUseful;
+    if constexpr (Detail) {
+        ++stats_.auxHits;
+        ++stats_.swaps;
+        SAC_TRACE_EVENT(tracer_, EventKind::AuxHit, start, rec.addr,
+                        was_prefetched);
+        SAC_TRACE_EVENT(tracer_, EventKind::Swap, start, rec.addr, 0);
+        if (was_prefetched) {
+            ++stats_.auxPrefetchHits;
+            ++stats_.prefetchesUseful;
+        }
+        classify(rec.addr, false);
     }
-    classify(rec.addr, false);
 
     // Swap with the resident main-cache line: the aux line moves to
     // its home set; the displaced main line takes the vacated aux
@@ -281,7 +322,7 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
         // possible with a set-associative aux cache): discard it.
         if (displaced.valid && displaced.dirty) {
             Cycle hidden = 0;
-            pushWriteback(cfg_.lineBytes, hidden);
+            pushWriteback<Detail>(cfg_.lineBytes, hidden);
         }
         a.clear();
     }
@@ -293,12 +334,13 @@ SoftwareAssistedCache::handleAuxHit(const trace::Record &rec,
             // After the swap the main cache stays stalled one extra
             // cycle to check for the next prefetched line's presence.
             lock += cfg_.timing.prefetchHitExtraStall;
-            issuePrefetch(line + 1);
+            issuePrefetch<Detail>(line + 1);
         }
     }
-    complete(completion, lock);
+    complete<Detail>(completion, lock);
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
 {
@@ -306,29 +348,34 @@ SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
     const bool buffer_hit =
         cfg_.bypass == BypassMode::NonTemporalBuffered && rec.isRead() &&
         bypassBufferValid_ && bypassBufferLine_ == line;
-    SAC_TRACE_EVENT(tracer_, EventKind::Bypass, start, rec.addr,
-                    buffer_hit);
-    classify(rec.addr, !buffer_hit);
+    if constexpr (Detail) {
+        SAC_TRACE_EVENT(tracer_, EventKind::Bypass, start, rec.addr,
+                        buffer_hit);
+        classify(rec.addr, !buffer_hit);
+    }
 
     if (rec.isWrite()) {
         // Non-allocating write: write-through via the write buffer.
         Cycle transfer_cost = 0;
-        pushWriteback(rec.size, transfer_cost);
-        ++stats_.bypasses;
+        pushWriteback<Detail>(rec.size, transfer_cost);
+        if constexpr (Detail)
+            ++stats_.bypasses;
         const Cycle completion =
             start + cfg_.timing.mainHitTime + transfer_cost;
-        complete(completion, completion);
+        complete<Detail>(completion, completion);
         return;
     }
 
     if (buffer_hit) {
-        ++stats_.bypassBufferHits;
+        if constexpr (Detail)
+            ++stats_.bypassBufferHits;
         const Cycle completion = start + cfg_.timing.mainHitTime;
-        complete(completion, completion);
+        complete<Detail>(completion, completion);
         return;
     }
 
-    ++stats_.bypasses;
+    if constexpr (Detail)
+        ++stats_.bypasses;
     const Cycle request_sent = start + cfg_.timing.mainHitTime;
     const Cycle mem_start = std::max(request_sent, busFreeAt_);
     const std::uint64_t bytes =
@@ -337,22 +384,26 @@ SoftwareAssistedCache::handleBypass(const trace::Record &rec, Cycle start)
     const Cycle data_done = mem_start + cfg_.timing.memoryLatency +
                             cfg_.timing.transferCycles(bytes);
     busFreeAt_ = data_done;
-    stats_.bytesFetched += bytes;
+    if constexpr (Detail)
+        stats_.bytesFetched += bytes;
     if (cfg_.bypass == BypassMode::NonTemporalBuffered) {
-        ++stats_.linesFetched;
+        if constexpr (Detail)
+            ++stats_.linesFetched;
         bypassBufferLine_ = line;
         bypassBufferValid_ = true;
     }
-    complete(data_done, data_done);
+    complete<Detail>(data_done, data_done);
 }
 
-template <bool MayAux, bool MayVirtual, bool MayPrefetch>
+template <bool Detail, bool MayAux, bool MayVirtual, bool MayPrefetch>
 void
 SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
 {
     const Addr line = main_.lineAddrOf(rec.addr);
-    ++stats_.misses;
-    classify(rec.addr, true);
+    if constexpr (Detail) {
+        ++stats_.misses;
+        classify(rec.addr, true);
+    }
 
     // Which physical lines must be fetched? For a spatially tagged
     // miss with virtual lines enabled, the whole aligned virtual
@@ -393,14 +444,16 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
         mem_start + cfg_.timing.missPenalty(n_fetched, cfg_.lineBytes);
     busFreeAt_ = data_done;
 
-    stats_.linesFetched += n_fetched;
-    stats_.bytesFetched +=
-        static_cast<std::uint64_t>(n_fetched) * cfg_.lineBytes;
-    stats_.extraLinesFetched += n_fetched - 1;
-    if (n_fetched > 1)
-        ++stats_.virtualLineFills;
-    SAC_TRACE_EVENT(tracer_, EventKind::Miss, start, rec.addr,
-                    n_fetched);
+    if constexpr (Detail) {
+        stats_.linesFetched += n_fetched;
+        stats_.bytesFetched +=
+            static_cast<std::uint64_t>(n_fetched) * cfg_.lineBytes;
+        stats_.extraLinesFetched += n_fetched - 1;
+        if (n_fetched > 1)
+            ++stats_.virtualLineFills;
+        SAC_TRACE_EVENT(tracer_, EventKind::Miss, start, rec.addr,
+                        n_fetched);
+    }
 
     // Install the fetched lines; victim transfers and bounce-backs
     // proceed while the miss is outstanding and only lengthen the
@@ -417,7 +470,8 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
             // cache, the fetch cannot be aborted; its main-cache
             // slot is simply not filled (tagged invalid).
             if (MayAux && l != line && aux_ && aux_->contains(l)) {
-                ++stats_.coherenceInvalidations;
+                if constexpr (Detail)
+                    ++stats_.coherenceInvalidations;
                 continue;
             }
             // A bounce-back triggered by an earlier fill of this
@@ -426,10 +480,12 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
             if (l != line && main_.contains(l))
                 continue;
         }
-        SAC_TRACE_EVENT(tracer_, EventKind::Fill, start,
-                        l * cfg_.lineBytes, l == line);
+        if constexpr (Detail) {
+            SAC_TRACE_EVENT(tracer_, EventKind::Fill, start,
+                            l * cfg_.lineBytes, l == line);
+        }
         const FillTarget target =
-            insertIntoMain(l, transfer_cost, fill_targets);
+            insertIntoMain<Detail>(l, transfer_cost, fill_targets);
         if (l == line) {
             cache::CacheArray::LineRef m =
                 main_.line(target.set, target.way);
@@ -444,8 +500,8 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
         transfer_cost > hidden_budget ? transfer_cost - hidden_budget : 0;
     const Cycle completion = data_done + extra;
 
-    drainWriteBuffer();
-    complete(completion, completion);
+    drainWriteBuffer<Detail>();
+    complete<Detail>(completion, completion);
 
     // Software-assisted progressive prefetching (Section 4.4): fetch
     // the physical line following the (virtual) block as well.
@@ -455,11 +511,12 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
             Addr last = line;
             for (const Addr l : fetch_lines)
                 last = std::max(last, l);
-            issuePrefetch(last + 1);
+            issuePrefetch<Detail>(last + 1);
         }
     }
 }
 
+template <bool Detail>
 SoftwareAssistedCache::FillTarget
 SoftwareAssistedCache::insertIntoMain(
     Addr line_addr, Cycle &transfer_cost,
@@ -498,19 +555,22 @@ SoftwareAssistedCache::insertIntoMain(
     main_.touch(set, way);
 
     if (victim.valid) {
-        SAC_TRACE_EVENT(tracer_, EventKind::Evict, now_,
-                        victim.lineAddr * cfg_.lineBytes,
-                        victim.dirty);
+        if constexpr (Detail) {
+            SAC_TRACE_EVENT(tracer_, EventKind::Evict, now_,
+                            victim.lineAddr * cfg_.lineBytes,
+                            victim.dirty);
+        }
         if (aux_ && cfg_.auxReceivesVictims) {
-            victimToAux(victim, transfer_cost, fill_targets);
+            victimToAux<Detail>(victim, transfer_cost, fill_targets);
         } else if (victim.dirty) {
-            pushWriteback(cfg_.lineBytes, transfer_cost);
+            pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
             transfer_cost += cfg_.timing.dirtyTransferCycles;
         }
     }
     return {set, way};
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::victimToAux(
     const cache::LineState &victim, Cycle &transfer_cost,
@@ -530,12 +590,13 @@ SoftwareAssistedCache::victimToAux(
         return;
 
     if (cfg_.bounceBack && aux_victim.temporal) {
-        bounceBack(aux_victim, transfer_cost, fill_targets);
+        bounceBack<Detail>(aux_victim, transfer_cost, fill_targets);
     } else if (aux_victim.dirty) {
-        pushWriteback(cfg_.lineBytes, transfer_cost);
+        pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
     }
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::bounceBack(
     const cache::LineState &victim, Cycle &transfer_cost,
@@ -549,11 +610,14 @@ SoftwareAssistedCache::bounceBack(
     // overwritten anyway: cancel it so no ping-pong can occur.
     for (const auto &t : fill_targets) {
         if (t.set == set && t.way == way) {
-            ++stats_.bouncesCancelled;
-            SAC_TRACE_EVENT(tracer_, EventKind::BounceCancelled, now_,
-                            victim.lineAddr * cfg_.lineBytes, 0);
+            if constexpr (Detail) {
+                ++stats_.bouncesCancelled;
+                SAC_TRACE_EVENT(tracer_, EventKind::BounceCancelled,
+                                now_, victim.lineAddr * cfg_.lineBytes,
+                                0);
+            }
             if (victim.dirty)
-                pushWriteback(cfg_.lineBytes, transfer_cost);
+                pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
             return;
         }
     }
@@ -562,16 +626,18 @@ SoftwareAssistedCache::bounceBack(
     if (resident.valid() && resident.dirty() && writeBuffer_.full()) {
         // Bouncing onto a dirty line with a full write buffer is
         // aborted (Section 2.2); the victim still needs writing back.
-        ++stats_.bouncesAborted;
-        SAC_TRACE_EVENT(tracer_, EventKind::BounceAborted, now_,
-                        victim.lineAddr * cfg_.lineBytes, 0);
+        if constexpr (Detail) {
+            ++stats_.bouncesAborted;
+            SAC_TRACE_EVENT(tracer_, EventKind::BounceAborted, now_,
+                            victim.lineAddr * cfg_.lineBytes, 0);
+        }
         if (victim.dirty)
-            pushWriteback(cfg_.lineBytes, transfer_cost);
+            pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
         return;
     }
 
     if (resident.valid() && resident.dirty())
-        pushWriteback(cfg_.lineBytes, transfer_cost);
+        pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
 
     resident.assign(victim);
     // The "dynamic adjustment" of Section 2.2: the bit must be set
@@ -581,38 +647,51 @@ SoftwareAssistedCache::bounceBack(
     resident.setPrefetched(false);
     main_.touch(set, way);
     transfer_cost += cfg_.timing.dirtyTransferCycles;
-    ++stats_.bounces;
-    SAC_TRACE_EVENT(tracer_, EventKind::Bounce, now_,
-                    victim.lineAddr * cfg_.lineBytes, 0);
+    if constexpr (Detail) {
+        ++stats_.bounces;
+        SAC_TRACE_EVENT(tracer_, EventKind::Bounce, now_,
+                        victim.lineAddr * cfg_.lineBytes, 0);
+    }
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::pushWriteback(std::uint32_t bytes,
                                      Cycle &transfer_cost)
 {
     if (writeBuffer_.full()) {
-        // Forced drain on the critical path.
+        // Forced drain on the critical path. The buffer's own stall
+        // counter advances in both fidelities (it is object state the
+        // warming differential compares); only the RunStats mirror is
+        // fidelity-gated.
         writeBuffer_.noteFullStall();
-        ++stats_.writeBufferFullStalls;
+        if constexpr (Detail)
+            ++stats_.writeBufferFullStalls;
         const std::uint32_t drained = writeBuffer_.pop();
-        stats_.bytesWrittenBack += drained;
+        if constexpr (Detail)
+            stats_.bytesWrittenBack += drained;
         transfer_cost += cfg_.timing.transferCycles(drained);
         busFreeAt_ += cfg_.timing.transferCycles(drained);
     }
     writeBuffer_.push(bytes);
-    SAC_TRACE_EVENT(tracer_, EventKind::Writeback, now_, 0, bytes);
+    if constexpr (Detail) {
+        SAC_TRACE_EVENT(tracer_, EventKind::Writeback, now_, 0, bytes);
+    }
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::drainWriteBuffer()
 {
     while (writeBuffer_.occupancy() > 0) {
         const std::uint32_t bytes = writeBuffer_.pop();
-        stats_.bytesWrittenBack += bytes;
+        if constexpr (Detail)
+            stats_.bytesWrittenBack += bytes;
         busFreeAt_ += cfg_.timing.transferCycles(bytes);
     }
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::issuePrefetch(Addr pf_line)
 {
@@ -632,7 +711,8 @@ SoftwareAssistedCache::issuePrefetch(Addr pf_line)
         }
     }
     if (all_resident) {
-        ++stats_.prefetchesAvoided;
+        if constexpr (Detail)
+            ++stats_.prefetchesAvoided;
         return;
     }
 
@@ -640,7 +720,7 @@ SoftwareAssistedCache::issuePrefetch(Addr pf_line)
         // Only one progressive prefetch is outstanding; land the old
         // one now if it has arrived, otherwise drop it.
         if (pending_.readyAt <= busFreeAt_)
-            installPendingPrefetch();
+            installPendingPrefetch<Detail>();
         else
             pending_.valid = false;
     }
@@ -652,14 +732,17 @@ SoftwareAssistedCache::issuePrefetch(Addr pf_line)
             static_cast<std::uint64_t>(degree) * cfg_.lineBytes);
     pending_.valid = true;
     busFreeAt_ = pending_.readyAt;
-    ++stats_.prefetchesIssued;
-    SAC_TRACE_EVENT(tracer_, EventKind::Prefetch, now_,
-                    pf_line * cfg_.lineBytes, degree);
-    stats_.bytesFetched +=
-        static_cast<std::uint64_t>(degree) * cfg_.lineBytes;
-    stats_.linesFetched += degree;
+    if constexpr (Detail) {
+        ++stats_.prefetchesIssued;
+        SAC_TRACE_EVENT(tracer_, EventKind::Prefetch, now_,
+                        pf_line * cfg_.lineBytes, degree);
+        stats_.bytesFetched +=
+            static_cast<std::uint64_t>(degree) * cfg_.lineBytes;
+        stats_.linesFetched += degree;
+    }
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::installPendingPrefetch()
 {
@@ -687,15 +770,17 @@ SoftwareAssistedCache::installPendingPrefetch()
         SAC_ASSERT(slot.has_value(),
                    "freshly installed prefetch line vanished");
         slot->setPrefetched(true);
-        SAC_TRACE_EVENT(tracer_, EventKind::PrefetchInstall, now_,
-                        l * cfg_.lineBytes, 0);
+        if constexpr (Detail) {
+            SAC_TRACE_EVENT(tracer_, EventKind::PrefetchInstall, now_,
+                            l * cfg_.lineBytes, 0);
+        }
 
         if (aux_victim.valid) {
             Cycle hidden = 0; // off the critical path
             if (cfg_.bounceBack && aux_victim.temporal)
-                bounceBack(aux_victim, hidden, {});
+                bounceBack<Detail>(aux_victim, hidden, {});
             else if (aux_victim.dirty)
-                pushWriteback(cfg_.lineBytes, hidden);
+                pushWriteback<Detail>(cfg_.lineBytes, hidden);
         }
     }
 }
@@ -732,13 +817,18 @@ SoftwareAssistedCache::applyTemporalTag(cache::CacheArray::LineRef line,
         line.setTemporal(true);
 }
 
+template <bool Detail>
 void
 SoftwareAssistedCache::complete(Cycle completion, Cycle lock_until)
 {
-    stats_.totalAccessCycles += static_cast<double>(completion - now_);
     procReadyAt_ = completion;
     cacheFreeAt_ = std::max(cacheFreeAt_, lock_until);
-    stats_.completionCycle = std::max(stats_.completionCycle, completion);
+    if constexpr (Detail) {
+        stats_.totalAccessCycles +=
+            static_cast<double>(completion - now_);
+        stats_.completionCycle =
+            std::max(stats_.completionCycle, completion);
+    }
 }
 
 cache::ReplacementPolicy
@@ -754,7 +844,7 @@ SoftwareAssistedCache::finish()
 {
     if (finished_)
         return;
-    drainWriteBuffer();
+    drainWriteBuffer<true>();
     stats_.writeBufferFullStalls = writeBuffer_.fullStalls();
     finished_ = true;
 }

@@ -82,6 +82,22 @@ enum class DispatchMode
 };
 
 /**
+ * Fidelity of statistics collection. Warming is the functional-
+ * warming mode of the sampled engine (sim::SampledEngine): every
+ * architectural state transition — cache arrays, LRU stamps, temporal
+ * and prefetched bits, bounce-backs, write buffer, clocks — is
+ * bit-identical to Detailed (proven by the warming-state differential
+ * tests), but RunStats counters, the three-C miss classifier, event
+ * tracing and audit hooks compile out of the access path, making
+ * warming replay about twice as fast as full detail.
+ */
+enum class StatsMode
+{
+    Detailed, //!< full statistics (the default)
+    Warming,  //!< state only: counters/classifier/hooks compiled out
+};
+
+/**
  * Post-access audit hook. When the build has SAC_AUDIT=ON the
  * simulator calls an attached auditor after every completed access so
  * it can re-derive structural invariants from the exposed state.
@@ -118,7 +134,7 @@ class SoftwareAssistedCache
     {
         (this->*accessFn_)(rec);
 #if SAC_AUDIT_ENABLED
-        if (auditor_)
+        if (auditor_ && statsMode_ == StatsMode::Detailed)
             auditor_->afterAccess(*this, rec);
 #endif
     }
@@ -128,6 +144,41 @@ class SoftwareAssistedCache
 
     /** Streamed replay: drain @p src in chunks, then finish(). */
     void run(trace::TraceSource &src);
+
+    /**
+     * Replay @p n records in the current stats mode without sealing
+     * the run (no finish()); the building block of windowed replay.
+     */
+    void replay(const trace::Record *recs, std::size_t n)
+    {
+        runBatch(recs, n);
+    }
+
+    /**
+     * Switch statistics fidelity mid-run (reselects the access path).
+     * Architectural state carries over untouched; in Warming mode the
+     * stats counters simply stop advancing.
+     */
+    void setStatsMode(StatsMode m);
+
+    /** The active statistics fidelity. */
+    StatsMode statsMode() const { return statsMode_; }
+
+    // --- sim::SampledEngine's Sim concept ------------------------
+
+    /** Replay @p n records with full statistics (a detailed window). */
+    void runDetailed(const trace::Record *recs, std::size_t n)
+    {
+        setStatsMode(StatsMode::Detailed);
+        runBatch(recs, n);
+    }
+
+    /** Replay @p n records updating state only (functional warming). */
+    void runWarming(const trace::Record *recs, std::size_t n)
+    {
+        setStatsMode(StatsMode::Warming);
+        runBatch(recs, n);
+    }
 
     /** The access path selected at construction. */
     FeatureSet featureSet() const { return featureSet_; }
@@ -200,10 +251,38 @@ class SoftwareAssistedCache
     /** Cycle at which the bus becomes free. */
     Cycle busFreeAt() const { return busFreeAt_; }
 
+    /** Cycle at which the processor resumes after the last access. */
+    Cycle procReadyAt() const { return procReadyAt_; }
+
     /** Write-buffer occupancy. */
     std::uint32_t writeBufferOccupancy() const
     {
         return writeBuffer_.occupancy();
+    }
+
+    /** Line held by the single-line bypass buffer, if any. */
+    std::optional<Addr> bypassBufferLine() const
+    {
+        if (!bypassBufferValid_)
+            return std::nullopt;
+        return bypassBufferLine_;
+    }
+
+    /** Snapshot of the in-flight progressive prefetch. */
+    struct PrefetchProbe
+    {
+        Addr line;
+        std::uint32_t count;
+        Cycle readyAt;
+    };
+
+    /** The outstanding progressive prefetch, if any. */
+    std::optional<PrefetchProbe> pendingPrefetch() const
+    {
+        if (!pending_.valid)
+            return std::nullopt;
+        return PrefetchProbe{pending_.line, pending_.count,
+                             pending_.readyAt};
     }
 
   private:
@@ -221,44 +300,59 @@ class SoftwareAssistedCache
      * identical to the untemplated original); a false parameter
      * compiles the check out, which is only selected when the config
      * provably never takes that branch.
+     *
+     * Detail selects the statistics fidelity: false is the functional-
+     * warming instantiation, which performs the same architectural
+     * state transitions but compiles out every stats counter, the miss
+     * classifier, and the event-trace sites.
      */
-    template <bool MayAux, bool MayVirtual, bool MayPrefetch,
-              bool MayBypass>
+    template <bool Detail, bool MayAux, bool MayVirtual,
+              bool MayPrefetch, bool MayBypass>
     void accessTmpl(const trace::Record &rec);
 
     /** Pointer to the instantiation matching featureSet_. */
     using AccessFn =
         void (SoftwareAssistedCache::*)(const trace::Record &);
 
-    /** Instantiation lookup for @p fs (static table). */
-    static AccessFn selectAccessFn(FeatureSet fs);
+    /** Instantiation lookup for (@p fs, @p mode) (static table). */
+    static AccessFn selectAccessFn(FeatureSet fs, StatsMode mode);
+
+    /** The accessTmpl instantiation for @p fs at fidelity @p Detail. */
+    template <bool Detail>
+    static AccessFn selectAccessFnImpl(FeatureSet fs);
 
     /**
      * Replay @p n records through the accessTmpl instantiation of the
      * template arguments directly, so the per-record call is direct
      * (inlinable) instead of through the accessFn_ member pointer.
      */
-    template <bool MayAux, bool MayVirtual, bool MayPrefetch,
-              bool MayBypass>
+    template <bool Detail, bool MayAux, bool MayVirtual,
+              bool MayPrefetch, bool MayBypass>
     void runBatchTmpl(const trace::Record *recs, std::size_t n);
 
-    /** Dispatch once on featureSet_, then replay @p n records. */
+    /** Dispatch once on the feature set at fidelity @p Detail. */
+    template <bool Detail>
+    void runBatchDispatch(const trace::Record *recs, std::size_t n);
+
+    /** Dispatch once on mode and featureSet_, then replay @p n. */
     void runBatch(const trace::Record *recs, std::size_t n);
 
     /** Serve a hit in the main cache. */
+    template <bool Detail>
     void handleMainHit(const trace::Record &rec, std::uint32_t way,
                        Cycle start);
 
     /** Serve a hit in the aux (bounce-back / victim) cache. */
-    template <bool MayPrefetch>
+    template <bool Detail, bool MayPrefetch>
     void handleAuxHit(const trace::Record &rec, std::uint32_t way,
                       Cycle start);
 
     /** Serve a bypassed non-temporal reference. */
+    template <bool Detail>
     void handleBypass(const trace::Record &rec, Cycle start);
 
     /** Serve a demand miss (possibly a virtual-line fill). */
-    template <bool MayAux, bool MayVirtual, bool MayPrefetch>
+    template <bool Detail, bool MayAux, bool MayVirtual, bool MayPrefetch>
     void handleMiss(const trace::Record &rec, Cycle start);
 
     /**
@@ -267,6 +361,7 @@ class SoftwareAssistedCache
      * @param transfer_cost accumulates hidden transfer cycles
      * @param fill_targets slots already filled by this miss
      */
+    template <bool Detail>
     FillTarget insertIntoMain(Addr line_addr, Cycle &transfer_cost,
                               std::vector<FillTarget> &fill_targets);
 
@@ -275,23 +370,29 @@ class SoftwareAssistedCache
      * victim back to the main cache when the bounce-back mechanism is
      * active and its temporal bit is set.
      */
+    template <bool Detail>
     void victimToAux(const cache::LineState &victim, Cycle &transfer_cost,
                      const std::vector<FillTarget> &fill_targets);
 
     /** Bounce an aux victim back into the main cache (Section 2.2). */
+    template <bool Detail>
     void bounceBack(const cache::LineState &victim, Cycle &transfer_cost,
                     const std::vector<FillTarget> &fill_targets);
 
     /** Queue a line writeback, forcing a drain when the buffer is full. */
+    template <bool Detail>
     void pushWriteback(std::uint32_t bytes, Cycle &transfer_cost);
 
     /** Drain the whole write buffer over the bus (post-miss). */
+    template <bool Detail>
     void drainWriteBuffer();
 
     /** Issue a progressive next-line prefetch for @p pf_line. */
+    template <bool Detail>
     void issuePrefetch(Addr pf_line);
 
     /** Install the pending prefetched line into the aux cache. */
+    template <bool Detail>
     void installPendingPrefetch();
 
     /** Record a classified demand miss. */
@@ -303,6 +404,7 @@ class SoftwareAssistedCache
                                  bool temporal_bits_enabled);
 
     /** Finish one access: accounting and cache-busy update. */
+    template <bool Detail>
     void complete(Cycle completion, Cycle lock_until);
 
     /** Replacement policy for main-cache fills. */
@@ -342,6 +444,8 @@ class SoftwareAssistedCache
 
     /** Access path chosen at construction (fixed for the run). */
     FeatureSet featureSet_ = FeatureSet::General;
+    /** Statistics fidelity (switchable mid-run by the sampler). */
+    StatsMode statsMode_ = StatsMode::Detailed;
     AccessFn accessFn_ = nullptr;
 
     /** Event sink; null = tracing off (the common, fast case). */

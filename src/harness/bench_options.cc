@@ -76,7 +76,69 @@ BenchOptions::parse(const util::Args &args)
         badCommandLine("--trace-seed expects a non-negative integer");
     opts.traceSeed = static_cast<std::uint64_t>(*seed);
 
+    opts.sample = args.has("sample");
+    opts.sampleTuningGiven =
+        args.has("sample-window") || args.has("sample-stride") ||
+        args.has("sample-warmup") || args.has("sample-ci") ||
+        args.has("sample-error");
+
+    const auto count_flag = [&args](const char *key,
+                                    std::uint64_t fallback,
+                                    std::int64_t min_value) {
+        const auto v =
+            args.getInt(key, static_cast<std::int64_t>(fallback));
+        if (!v || *v < min_value) {
+            badCommandLine(std::string("--") + key +
+                           " expects an integer >= " +
+                           std::to_string(min_value));
+        }
+        return static_cast<std::uint64_t>(*v);
+    };
+    opts.sampling.window =
+        count_flag("sample-window", opts.sampling.window, 1);
+    opts.sampling.stride =
+        count_flag("sample-stride", opts.sampling.stride, 1);
+    opts.sampling.warmup =
+        count_flag("sample-warmup", opts.sampling.warmup, 0);
+
+    const auto real_flag = [&args](const char *key, double fallback) {
+        if (!args.has(key))
+            return fallback;
+        const std::string s = args.getString(key);
+        char *end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        if (s.empty() || end != s.c_str() + s.size()) {
+            badCommandLine(std::string("--") + key +
+                           " expects a number (got '" + s + "')");
+        }
+        return v;
+    };
+    double ci = real_flag("sample-ci", opts.sampling.confidence);
+    // "--sample-ci 95" reads as a percentage; "0.95" is the level.
+    if (ci > 1.0)
+        ci /= 100.0;
+    opts.sampling.confidence = ci;
+    opts.sampling.targetRelativeError =
+        real_flag("sample-error", opts.sampling.targetRelativeError);
+
+    if (const auto err = opts.validationError())
+        badCommandLine(*err);
+
     return opts;
+}
+
+std::optional<std::string>
+BenchOptions::validationError() const
+{
+    if (sampleTuningGiven && !sample) {
+        return "--sample-window/--sample-stride/--sample-warmup/"
+               "--sample-ci/--sample-error require --sample";
+    }
+    if (sample) {
+        if (const auto err = sampling.validationError())
+            return "--sample: " + *err;
+    }
+    return std::nullopt;
 }
 
 BenchOptions

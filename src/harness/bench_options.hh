@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/core/config.hh"
+#include "src/sim/sampling.hh"
 #include "src/trace/trace_source.hh"
 
 namespace sac {
@@ -46,11 +47,36 @@ struct BenchOptions
     /** --trace-seed N: timing seed for generated traces. */
     std::uint64_t traceSeed = 0x7ac3ull;
 
+    /** --sample: estimate figures with the windowed sampling engine. */
+    bool sample = false;
+
+    /**
+     * Sampling geometry and confidence, tuned by --sample-window,
+     * --sample-stride, --sample-warmup, --sample-ci (0.95, or 95 as
+     * a percentage) and --sample-error (adaptive target relative
+     * error; 0 disables).
+     */
+    sim::SamplingOptions sampling;
+
+    /** Was any --sample-* tuning flag given on the command line? */
+    bool sampleTuningGiven = false;
+
+    /**
+     * The first constraint the parsed flag combination violates, or
+     * nullopt when consistent (the Config::validationError()
+     * convention): tuning flags without --sample are rejected, as is
+     * an impossible geometry (e.g. --sample-stride below
+     * --sample-window). parse() exits with status 2 on any of these;
+     * the testable core is exposed separately.
+     */
+    std::optional<std::string> validationError() const;
+
     /**
      * Extract the shared flags from an already-parsed command line.
      * Prints a diagnostic to stderr and exits with status 2 on a bad
-     * value (wrong type, unknown preset, missing directory) — bench
-     * binaries have no recovery path from a bad command line.
+     * value (wrong type, unknown preset, missing directory,
+     * contradictory sampling flags) — bench binaries have no recovery
+     * path from a bad command line.
      */
     static BenchOptions parse(const util::Args &args);
 

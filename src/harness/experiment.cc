@@ -228,30 +228,60 @@ Runner::runStreamed(const Workload &w,
     // queue design would allow when pool threads < configs).
     trace::GeneratorTraceSource src(w.name, produce, chunk_records);
 
+    // More workers than simulators can never help: each simulator is
+    // sequential over its records.
+    const std::size_t groups =
+        std::min<std::size_t>(jobs, configs.size());
     std::optional<util::ThreadPool> pool;
-    if (jobs > 1 && configs.size() > 1)
-        pool.emplace(jobs);
+    if (groups > 1)
+        pool.emplace(static_cast<unsigned>(groups));
 
-    std::vector<trace::Record> batch(chunk_records);
-    std::size_t n;
-    while ((n = src.next(batch.data(), batch.size())) > 0) {
+    // Double-buffered chunks: while the pool replays one chunk, this
+    // thread already pulls the next from the producer queue, so the
+    // queue handoff overlaps simulation instead of serializing with
+    // it at every barrier.
+    std::vector<trace::Record> batches[2] = {
+        std::vector<trace::Record>(chunk_records),
+        std::vector<trace::Record>(chunk_records)};
+    std::vector<std::future<void>> tasks;
+    tasks.reserve(groups);
+
+    std::size_t cur = 0;
+    std::size_t n = src.next(batches[cur].data(), chunk_records);
+    while (n > 0) {
         if (pool) {
-            std::vector<std::future<void>> tasks;
-            tasks.reserve(sims.size());
-            for (auto &sim : sims) {
-                tasks.push_back(pool->submit([&sim, &batch, n] {
-                    for (std::size_t i = 0; i < n; ++i)
-                        sim->access(batch[i]);
+            // Fan the chunk out as `groups` contiguous simulator
+            // groups — one task per worker, not per config, so the
+            // per-chunk submit/notify overhead does not scale with
+            // the sweep width.
+            tasks.clear();
+            const std::size_t per = (sims.size() + groups - 1) / groups;
+            const trace::Record *data = batches[cur].data();
+            for (std::size_t g0 = 0; g0 < sims.size(); g0 += per) {
+                const std::size_t g1 =
+                    std::min(sims.size(), g0 + per);
+                tasks.push_back(pool->submit([&sims, g0, g1, data, n] {
+                    for (std::size_t s = g0; s < g1; ++s) {
+                        for (std::size_t i = 0; i < n; ++i)
+                            sims[s]->access(data[i]);
+                    }
                 }));
             }
-            // Barrier: the next next() call overwrites the batch.
+            const std::size_t nxt = 1 - cur;
+            const std::size_t n_next =
+                src.next(batches[nxt].data(), chunk_records);
+            // Barrier: re-raises any worker exception; after it the
+            // just-replayed buffer is free to be overwritten.
             for (auto &t : tasks)
                 t.get();
+            cur = nxt;
+            n = n_next;
         } else {
             for (auto &sim : sims) {
                 for (std::size_t i = 0; i < n; ++i)
-                    sim->access(batch[i]);
+                    sim->access(batches[cur][i]);
             }
+            n = src.next(batches[cur].data(), chunk_records);
         }
     }
 
@@ -263,6 +293,116 @@ Runner::runStreamed(const Workload &w,
     }
     runsExecuted_.fetch_add(sims.size());
     return out;
+}
+
+std::vector<std::vector<Runner::SampledCell>>
+Runner::runSampled(const std::vector<Workload> &workloads,
+                   const std::vector<core::Config> &configs,
+                   const sim::SamplingOptions &opt, unsigned jobs)
+{
+    const telemetry::ScopedPhase phase(phases_, "sweep-sampled");
+    const sim::SampledEngine engine(opt);
+
+    // Latch every trace first so the parallel phase below measures
+    // sampled replay alone (and workers never race a generation).
+    for (const auto &w : workloads)
+        traceOf(w);
+
+    std::vector<std::vector<SampledCell>> cells(
+        workloads.size(), std::vector<SampledCell>(configs.size()));
+
+    const auto run_cell = [&](std::size_t wi, std::size_t ci) {
+        const auto t0 = std::chrono::steady_clock::now();
+        trace::MemoryTraceSource src(traceOf(workloads[wi]));
+        core::SoftwareAssistedCache sim(configs[ci]);
+        cells[wi][ci].report = engine.run(src, sim);
+        cells[wi][ci].simSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        runsExecuted_.fetch_add(1);
+    };
+
+    const std::size_t n_cells = workloads.size() * configs.size();
+    if (jobs > 1 && n_cells > 1) {
+        util::ThreadPool pool(jobs);
+        std::vector<std::future<void>> tasks;
+        tasks.reserve(n_cells);
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+                tasks.push_back(pool.submit(
+                    [&run_cell, wi, ci] { run_cell(wi, ci); }));
+            }
+        }
+        for (auto &t : tasks)
+            t.get();
+    } else {
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            for (std::size_t ci = 0; ci < configs.size(); ++ci)
+                run_cell(wi, ci);
+        }
+    }
+    return cells;
+}
+
+namespace {
+
+/** The report's sampled series matching @p metric, if any. */
+const sim::SampleStats *
+sampleSeriesOf(const Metric &metric, const sim::SampleReport &rep)
+{
+    if (metric.name == "miss ratio")
+        return &rep.missRatio;
+    if (metric.name == "AMAT")
+        return &rep.amat;
+    if (metric.name == "words/ref")
+        return &rep.wordsPerAccess;
+    return nullptr;
+}
+
+/** Point estimate matching @p series (one of the report's three). */
+double
+sampleEstimateOf(const sim::SampleStats *series,
+                 const sim::SampleReport &rep)
+{
+    if (series == &rep.missRatio)
+        return rep.missRatioEstimate();
+    if (series == &rep.amat)
+        return rep.amatEstimate();
+    return rep.wordsPerAccessEstimate();
+}
+
+} // namespace
+
+util::Table
+sampledMatrix(const std::vector<Workload> &workloads,
+              const std::vector<core::Config> &configs,
+              const std::vector<std::vector<Runner::SampledCell>> &cells,
+              const Metric &metric)
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto &cfg : configs)
+        headers.push_back(cfg.name);
+    util::Table table(std::move(headers));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const auto row = table.addRow();
+        table.set(row, 0, workloads[wi].name);
+        for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+            const sim::SampleReport &rep = cells[wi][ci].report;
+            if (const auto *series = sampleSeriesOf(metric, rep)) {
+                table.set(row, ci + 1,
+                          sim::formatWithCi(
+                              sampleEstimateOf(series, rep),
+                              rep.halfWidthOf(*series),
+                              metric.decimals));
+            } else {
+                table.setNumber(row, ci + 1,
+                                metric.extract(rep.detailed),
+                                metric.decimals);
+            }
+        }
+    }
+    return table;
 }
 
 std::vector<Workload>
@@ -354,6 +494,64 @@ writeCellManifest(const std::string &dir, const std::string &workload,
         m.timing.set("sim_seconds", sim_seconds);
     if (extra_timing && extra_timing->type() == util::Json::Type::Object)
         m.timing.set("phases", *extra_timing);
+
+    return telemetry::writeManifestFile(dir, m);
+}
+
+std::string
+writeSampledCellManifest(const std::string &dir,
+                         const std::string &workload,
+                         const core::Config &cfg,
+                         const sim::SampleReport &report,
+                         const sim::SamplingOptions &opt,
+                         double sim_seconds)
+{
+    telemetry::Manifest m;
+    m.workload = workload;
+    m.configName = cfg.name;
+    m.cacheKey = cfg.cacheKey();
+    m.config = cfg.toJson();
+
+    telemetry::CounterRegistry reg;
+    report.detailed.registerInto(reg);
+    m.counters = reg.toJson();
+
+    const auto interval = [&report](double estimate,
+                                    const sim::SampleStats &s) {
+        util::Json j = util::Json::object();
+        j.set("estimate", estimate);
+        j.set("half_width", report.halfWidthOf(s));
+        j.set("windows", s.count());
+        return j;
+    };
+
+    util::Json sampling = util::Json::object();
+    sampling.set("window", opt.window);
+    sampling.set("stride", opt.stride);
+    sampling.set("warmup", opt.warmup);
+    sampling.set("confidence", report.confidence);
+    sampling.set("windows", report.windows);
+    sampling.set("records_total", report.recordsTotal);
+    sampling.set("records_detailed", report.recordsDetailed);
+    sampling.set("records_warmed", report.recordsWarmed);
+    sampling.set("records_skipped", report.recordsSkipped);
+    sampling.set("exact", report.exact);
+    sampling.set("miss_ratio", interval(report.missRatioEstimate(),
+                                        report.missRatio));
+    sampling.set("amat", interval(report.amatEstimate(), report.amat));
+    sampling.set("words_per_access",
+                 interval(report.wordsPerAccessEstimate(),
+                          report.wordsPerAccess));
+
+    m.metrics = util::Json::object();
+    m.metrics.set("amat", report.amatEstimate());
+    m.metrics.set("miss_ratio", report.missRatioEstimate());
+    m.metrics.set("words_per_access", report.wordsPerAccessEstimate());
+    m.metrics.set("sampling", std::move(sampling));
+
+    m.timing = util::Json::object();
+    if (sim_seconds > 0.0)
+        m.timing.set("sim_seconds", sim_seconds);
 
     return telemetry::writeManifestFile(dir, m);
 }

@@ -20,6 +20,7 @@
 
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
+#include "src/sim/sampling.hh"
 #include "src/telemetry/phase_timer.hh"
 #include "src/trace/trace.hh"
 #include "src/trace/trace_source.hh"
@@ -145,9 +146,11 @@ class Runner
      * of records. The producer (w.stream when set, else a fallback
      * that generates via w.build and replays) runs on its own thread
      * feeding a bounded chunk queue; each popped chunk is fanned out
-     * to the per-config simulators on @p jobs pool workers (<= 1 =
-     * serial), with a barrier per chunk so all simulators advance in
-     * lockstep. Results are NOT cached (the cell cache stores
+     * over the per-config simulators in at most @p jobs groups (<= 1
+     * = serial), with a barrier per chunk so all simulators advance
+     * in lockstep. Chunks are double-buffered: the next chunk is
+     * pulled from the queue while the workers replay the current one.
+     * Results are NOT cached (the cell cache stores
      * materialized-trace results only; the two are bit-identical, as
      * the streaming differential tests prove).
      *
@@ -159,6 +162,30 @@ class Runner
                 unsigned jobs = 0,
                 std::size_t chunk_records =
                     trace::TraceSource::defaultChunkRecords);
+
+    /** One sampled sweep cell: the estimate report plus its cost. */
+    struct SampledCell
+    {
+        sim::SampleReport report;
+        double simSeconds = 0.0; //!< wall seconds of the sampled replay
+    };
+
+    /**
+     * Sampled sweep: estimate every (workload, config) cell with the
+     * windowed sampling engine (sim::SampledEngine) instead of a full
+     * simulation. Traces come from the shared trace cache; each cell
+     * replays an independent MemoryTraceSource over the cached trace,
+     * so cells are embarrassingly parallel and run on @p jobs pool
+     * workers (<= 1 = serial). Estimates are never stored in the
+     * exact-cell cache — a sampled figure cannot silently poison a
+     * later full-detail run of the same matrix.
+     *
+     * @return cells indexed [workload][config]
+     */
+    std::vector<std::vector<SampledCell>>
+    runSampled(const std::vector<Workload> &workloads,
+               const std::vector<core::Config> &configs,
+               const sim::SamplingOptions &opt, unsigned jobs = 0);
 
     /** Number of simulations actually executed (not served cached). */
     std::size_t runsExecuted() const { return runsExecuted_.load(); }
@@ -203,6 +230,34 @@ class Runner
 
 /** The nine paper benchmarks as harness workloads. */
 std::vector<Workload> paperWorkloads();
+
+/**
+ * Render a sampled sweep as the classic figure table: one row per
+ * workload, one column per configuration, cells "estimate +/-half" at
+ * the report's confidence. The three sampled metrics (miss ratio,
+ * AMAT, words/ref) carry their interval; any other metric falls back
+ * to extracting from the cumulative detailed stats, without a bound.
+ * Exact cells (short traces) render like matrix() does, +/-0.
+ */
+util::Table
+sampledMatrix(const std::vector<Workload> &workloads,
+              const std::vector<core::Config> &configs,
+              const std::vector<std::vector<Runner::SampledCell>> &cells,
+              const Metric &metric);
+
+/**
+ * Write the run manifest of one sampled sweep cell: the regular cell
+ * manifest built from the cumulative detailed stats, with a
+ * "sampling" object in the metrics section carrying the geometry,
+ * record accounting, and each estimate with its half-width.
+ */
+std::string
+writeSampledCellManifest(const std::string &dir,
+                         const std::string &workload,
+                         const core::Config &cfg,
+                         const sim::SampleReport &report,
+                         const sim::SamplingOptions &opt,
+                         double sim_seconds = 0.0);
 
 /**
  * Write one telemetry run manifest for a sweep cell: the full

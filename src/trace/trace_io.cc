@@ -139,6 +139,24 @@ TraceStreamReader::read(Record *out, std::size_t max)
     return n;
 }
 
+std::uint64_t
+TraceStreamReader::skip(std::uint64_t n)
+{
+    if (!is_ || failed_)
+        return 0;
+    const std::uint64_t s = std::min(n, remaining());
+    if (s == 0)
+        return 0;
+    is_->seekg(static_cast<std::streamoff>(s * recordDiskBytes),
+               std::ios::cur);
+    if (!*is_) {
+        failed_ = true;
+        return 0;
+    }
+    read_ += s;
+    return s;
+}
+
 bool
 readTrace(std::istream &is, Trace &out)
 {

@@ -55,6 +55,15 @@ class TraceStreamReader
      */
     std::size_t read(Record *out, std::size_t max);
 
+    /**
+     * Fast-forward past up to @p n records. Records are packed with a
+     * fixed on-disk size, so this is one bounded relative seek, not a
+     * decode loop; a seek past the physical end of a truncated body
+     * surfaces as failed() on the following read().
+     * @return records skipped (min of @p n and remaining())
+     */
+    std::uint64_t skip(std::uint64_t n);
+
     /** True when the body was malformed or truncated. */
     bool failed() const { return failed_; }
 

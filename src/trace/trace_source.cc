@@ -7,6 +7,23 @@
 namespace sac {
 namespace trace {
 
+std::uint64_t
+TraceSource::skip(std::uint64_t n)
+{
+    Record scratch[256];
+    std::uint64_t skipped = 0;
+    while (skipped < n) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - skipped,
+                                    std::size(scratch)));
+        const std::size_t got = next(scratch, want);
+        if (got == 0)
+            break;
+        skipped += got;
+    }
+    return skipped;
+}
+
 std::size_t
 MemoryTraceSource::next(Record *out, std::size_t max)
 {
@@ -15,6 +32,15 @@ MemoryTraceSource::next(Record *out, std::size_t max)
         out[i] = (*view_)[pos_ + i];
     pos_ += n;
     return n;
+}
+
+std::uint64_t
+MemoryTraceSource::skip(std::uint64_t n)
+{
+    const std::uint64_t left = view_->size() - pos_;
+    const std::uint64_t s = std::min<std::uint64_t>(n, left);
+    pos_ += static_cast<std::size_t>(s);
+    return s;
 }
 
 FileTraceSource::FileTraceSource(const std::string &path)
@@ -29,6 +55,14 @@ FileTraceSource::next(Record *out, std::size_t max)
     if (!ok_)
         return 0;
     return reader_.read(out, max);
+}
+
+std::uint64_t
+FileTraceSource::skip(std::uint64_t n)
+{
+    if (!ok_)
+        return 0;
+    return reader_.skip(n);
 }
 
 std::optional<std::uint64_t>

@@ -55,6 +55,15 @@ class TraceSource
      */
     virtual std::size_t next(Record *out, std::size_t max) = 0;
 
+    /**
+     * Fast-forward past up to @p n records without delivering them
+     * (the sampled engine's skip phase). The base implementation
+     * decodes into a scratch buffer and discards; sources with random
+     * access override it with a position bump.
+     * @return records skipped; < n only at end of stream
+     */
+    virtual std::uint64_t skip(std::uint64_t n);
+
     /** Benchmark name of the underlying trace. */
     virtual const std::string &name() const = 0;
 
@@ -83,6 +92,10 @@ class MemoryTraceSource : public TraceSource
     }
 
     std::size_t next(Record *out, std::size_t max) override;
+
+    /** O(1) fast-forward: a position bump, no copying. */
+    std::uint64_t skip(std::uint64_t n) override;
+
     const std::string &name() const override { return view_->name(); }
     std::optional<std::uint64_t> sizeHint() const override
     {
@@ -116,6 +129,10 @@ class FileTraceSource : public TraceSource
     bool failed() const { return reader_.failed(); }
 
     std::size_t next(Record *out, std::size_t max) override;
+
+    /** Seek-based fast-forward (fixed on-disk record size). */
+    std::uint64_t skip(std::uint64_t n) override;
+
     const std::string &name() const override { return reader_.name(); }
     std::optional<std::uint64_t> sizeHint() const override;
 

@@ -9,6 +9,10 @@
 #   tools/check.sh --fuzz-seconds 60   # add a time-boxed fuzz soak (plain leg)
 #   tools/check.sh perf         # throughput gate: bench_simspeed vs
 #                               # BENCH_simspeed.json (tools/perf_compare.py)
+#   tools/check.sh sampling     # sampled-vs-full differential: the
+#                               # SampledDifferential dual-replay on the
+#                               # reduced fuzz corpus + paper workloads,
+#                               # warming-state equality, CI math
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -83,11 +87,29 @@ for mode in "${modes[@]}"; do
         echo "=== [perf] OK ==="
         continue
     fi
+    if [[ "$mode" == "sampling" ]]; then
+        # Sampling leg: prove the statistical sampling engine against
+        # ground truth — sampled-vs-full dual replay on the reduced
+        # fuzz corpus and the paper workloads, warming-vs-detailed
+        # bit-for-bit state equality, and the interval-coverage math.
+        build_dir="build-check-sampling"
+        echo "=== [sampling] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="" \
+            -DSAC_AUDIT=ON \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target sac_test_sampling_test
+        echo "=== [sampling] ctest (sampled dual-replay) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" -R 'Sampl|Warming'
+        echo "=== [sampling] OK ==="
+        continue
+    fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="
