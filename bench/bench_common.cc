@@ -198,6 +198,20 @@ suiteTable(const std::vector<core::Config> &configs,
     if (!emitJsonDir().empty()) {
         // One manifest per sweep cell, plus one aggregate per
         // configuration folding the whole suite with RunStats::+=.
+        // Cells this sweep served from a single stack pass (mirror
+        // runMatrix's partition rule) are recorded as such instead of
+        // being exact-replayed just for the manifest; those configs
+        // get no suite-total, whose timing aggregate a stack pass
+        // cannot provide.
+        std::size_t family_size = 0;
+        if (harness::stackDerivableMetric(m)) {
+            for (const auto &cfg : configs) {
+                if (harness::stackFamilyEligible(cfg))
+                    ++family_size;
+            }
+            if (family_size < 2)
+                family_size = 0;
+        }
         const auto sweep = runner().lastSweep();
         util::Json phases = runner().phases().toJson();
         phases.set("sweep_jobs",
@@ -206,14 +220,37 @@ suiteTable(const std::vector<core::Config> &configs,
         for (const auto &cfg : configs) {
             sim::RunStats suite_total;
             double suite_seconds = 0.0;
+            bool stack_served = false;
             for (const auto &w : workloads) {
+                const sim::RunStats *stack =
+                    family_size > 0 &&
+                            harness::stackFamilyEligible(cfg)
+                        ? runner().stackStats(w, cfg)
+                        : nullptr;
+                if (stack != nullptr) {
+                    stack_served = true;
+                    if (emittedCells()
+                            .emplace(w.name, cfg.cacheKey())
+                            .second &&
+                        harness::writeStackCellManifest(
+                            emitJsonDir(), w.name, cfg, *stack,
+                            family_size)
+                            .empty()) {
+                        std::cerr << "failed to write run manifest "
+                                     "under '"
+                                  << emitJsonDir() << "'\n";
+                        std::exit(1);
+                    }
+                    continue;
+                }
                 const auto &cell = runner().cell(w, cfg);
                 emitCellManifest(w.name, cfg, cell.stats,
                                  cell.simSeconds);
                 suite_total += cell.stats;
                 suite_seconds += cell.simSeconds;
             }
-            if (emittedCells()
+            if (!stack_served &&
+                emittedCells()
                     .emplace("suite-total", cfg.cacheKey())
                     .second) {
                 harness::writeCellManifest(emitJsonDir(),

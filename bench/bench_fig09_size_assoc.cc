@@ -61,6 +61,23 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
+    std::cout << "\nFigure 9 lattice: standard-cache miss ratio, "
+                 "size x associativity\n(served by one stack-distance "
+                 "pass per benchmark, DESIGN.md §11)\n\n";
+    std::vector<core::Config> lattice;
+    for (const std::uint64_t kb : {4, 8, 16, 32}) {
+        for (const std::uint32_t ways : {1u, 2u}) {
+            core::Config cfg = core::scaledConfig(
+                core::standardConfig(), kb * 1024, 32);
+            cfg.assoc = ways;
+            cfg.name += "/" + std::to_string(ways) + "w";
+            cfg.validate();
+            lattice.push_back(std::move(cfg));
+        }
+    }
+    bench::suiteTable(lattice, harness::missRatioMetric())
+        .print(std::cout);
+
     std::cout << "\nFigure 9b: software control for set-associative "
                  "caches (AMAT)\n\n";
     bench::suiteTable(

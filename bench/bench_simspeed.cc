@@ -26,6 +26,7 @@
 #include "src/harness/bench_options.hh"
 #include "src/harness/experiment.hh"
 #include "src/sim/sampling.hh"
+#include "src/sim/stack_engine.hh"
 #include "src/trace/trace_source.hh"
 #include "src/workloads/workloads.hh"
 
@@ -361,6 +362,72 @@ BM_SweepSampled(benchmark::State &state)
         state.iterations() * t.size() * sweepConfigs().size()));
 }
 BENCHMARK(BM_SweepSampled);
+
+// Single-pass stack sweep vs. per-configuration replay: the MV trace
+// across the 8-cell standard family of Fig 9 ({4,8,16,32} KB x
+// {1,2}-way, 32-byte lines), first replayed through the exact
+// simulator once per configuration, then answered by ONE Mattson
+// stack-distance traversal (sim::StackDistanceEngine). Both report
+// items = records x configurations, so the within-run
+// items_per_second ratio is the sweep speedup perf_compare.py asserts
+// on (floor 4x). The StackDifferential tests prove the two produce
+// bit-identical miss counts, so the speedup is free of accuracy loss.
+
+const std::vector<core::Config> &
+stackSweepConfigs()
+{
+    static const std::vector<core::Config> cfgs = [] {
+        std::vector<core::Config> out;
+        for (const std::uint64_t kb : {4, 8, 16, 32}) {
+            for (const std::uint32_t ways : {1u, 2u}) {
+                core::Config cfg = core::scaledConfig(
+                    core::standardConfig(), kb * 1024, 32);
+                cfg.assoc = ways;
+                cfg.name += " A=" + std::to_string(ways);
+                cfg.validate();
+                out.push_back(std::move(cfg));
+            }
+        }
+        return out;
+    }();
+    return cfgs;
+}
+
+void
+BM_SweepPerConfigReplay(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    for (auto _ : state) {
+        for (const auto &cfg : stackSweepConfigs()) {
+            const auto s = core::simulateTrace(t, cfg);
+            benchmark::DoNotOptimize(s.misses);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * t.size() * stackSweepConfigs().size()));
+}
+BENCHMARK(BM_SweepPerConfigReplay);
+
+void
+BM_SweepStackSinglePass(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    std::vector<sim::StackPoint> points;
+    for (const auto &cfg : stackSweepConfigs())
+        points.push_back(harness::stackPointOf(cfg));
+    for (auto _ : state) {
+        sim::StackDistanceEngine eng(points);
+        trace::MemoryTraceSource src(t);
+        eng.run(src);
+        std::uint64_t misses = 0;
+        for (const auto &p : points)
+            misses += eng.missCount(p);
+        benchmark::DoNotOptimize(misses);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * t.size() * stackSweepConfigs().size()));
+}
+BENCHMARK(BM_SweepStackSinglePass);
 
 void
 BM_StreamedSweep(benchmark::State &state)

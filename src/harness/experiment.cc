@@ -136,12 +136,120 @@ Runner::matrix(const std::vector<Workload> &workloads,
     return table;
 }
 
+bool
+stackFamilyEligible(const core::Config &cfg)
+{
+    // Only the Standard feature path is a plain LRU cache the stack
+    // model reproduces. featureSetOf() does not look at
+    // preferNonTemporalReplacement (it changes the victim choice, not
+    // the feature lattice), so it is excluded here explicitly.
+    return core::featureSetOf(cfg) == core::FeatureSet::Standard &&
+           !cfg.preferNonTemporalReplacement &&
+           stackPointOf(cfg).wellFormed();
+}
+
+bool
+stackDerivableMetric(const Metric &metric)
+{
+    return metric.name == "miss ratio" ||
+           metric.name == "words/ref" ||
+           metric.name == "main-hit share" ||
+           metric.name == "aux-hit share";
+}
+
+sim::StackPoint
+stackPointOf(const core::Config &cfg)
+{
+    return {cfg.cacheSizeBytes, cfg.lineBytes, cfg.assoc};
+}
+
+sim::RunStats
+stackStatsFor(const sim::StackDistanceEngine &eng,
+              const core::Config &cfg)
+{
+    sim::RunStats s;
+    s.accesses = eng.accesses();
+    s.reads = eng.reads();
+    s.writes = eng.writes();
+    s.misses = eng.missCount(stackPointOf(cfg));
+    // Standard path: every non-miss hits the main array, and every
+    // miss fetches exactly one physical line (write-allocate).
+    s.mainHits = s.accesses - s.misses;
+    s.linesFetched = s.misses;
+    s.bytesFetched = s.misses * cfg.lineBytes;
+    return s;
+}
+
+void
+Runner::runStackFamily(const Workload &w,
+                       const std::vector<const core::Config *> &family)
+{
+    std::size_t missing = 0;
+    {
+        std::lock_guard<std::mutex> lock(stackMutex_);
+        for (const core::Config *cfg : family) {
+            if (!stackResults_.count({w.name, cfg->cacheKey()}))
+                ++missing;
+        }
+        stackCounters_.counter("stack.pass.cached_cells",
+                               "sweep cells served from the stack "
+                               "store") += family.size() - missing;
+    }
+    if (missing == 0)
+        return;
+
+    // One traversal covers the whole family, so even a sweep that
+    // adds a single new point to a mostly-cached family costs one
+    // pass, never per-point replays.
+    std::vector<sim::StackPoint> points;
+    points.reserve(family.size());
+    for (const core::Config *cfg : family)
+        points.push_back(stackPointOf(*cfg));
+    sim::StackDistanceEngine eng(points);
+
+    const trace::Trace &t = traceOf(w);
+    std::uint64_t records = 0;
+    {
+        const telemetry::ScopedPhase phase(phases_, "stack-pass");
+        trace::MemoryTraceSource src(t);
+        records = eng.run(src);
+    }
+
+    std::lock_guard<std::mutex> lock(stackMutex_);
+    for (const core::Config *cfg : family) {
+        stackResults_.try_emplace({w.name, cfg->cacheKey()},
+                                  stackStatsFor(eng, *cfg));
+    }
+    ++stackCounters_.counter("stack.pass.traversals",
+                             "single-pass stack traversals executed");
+    stackCounters_.counter("stack.pass.records",
+                           "records profiled by stack traversals") +=
+        records;
+    stackCounters_.counter("stack.pass.cells",
+                           "sweep cells served fresh from a stack "
+                           "pass") += missing;
+}
+
+const sim::RunStats *
+Runner::stackStats(const Workload &w, const core::Config &cfg) const
+{
+    std::lock_guard<std::mutex> lock(stackMutex_);
+    const auto it = stackResults_.find({w.name, cfg.cacheKey()});
+    return it == stackResults_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+Runner::stackCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(stackMutex_);
+    return stackCounters_.value(name);
+}
+
 util::Table
 Runner::runMatrix(const std::vector<Workload> &workloads,
                   const std::vector<core::Config> &configs,
                   const Metric &metric, unsigned jobs)
 {
-    const std::size_t n_cells = workloads.size() * configs.size();
     const auto sweep_start = std::chrono::steady_clock::now();
     // Per-worker busy time: summed wall time of the cell tasks
     // (nanoseconds so workers can accumulate without a double CAS).
@@ -156,26 +264,65 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
                 .count()));
     };
 
-    if (jobs > 1 && n_cells > 1) {
-        // Simulate every cell concurrently. run() latches each trace
-        // and each result exactly once, so racing cells block on the
-        // first producer instead of duplicating work. The futures
-        // re-raise any exception a cell threw.
+    // Partition into the stack family — served by one single-pass
+    // traversal per workload — and the exact remainder. A family of
+    // one gains nothing over a replay, so dispatch needs two members.
+    std::vector<const core::Config *> family;
+    std::vector<const core::Config *> exact;
+    if (stackDerivableMetric(metric)) {
+        for (const auto &cfg : configs) {
+            (stackFamilyEligible(cfg) ? family : exact).push_back(&cfg);
+        }
+    }
+    if (family.size() < 2) {
+        family.clear();
+        exact.clear();
+        for (const auto &cfg : configs)
+            exact.push_back(&cfg);
+    }
+
+    if (!family.empty()) {
+        // Stack passes run serially on this thread: each is already a
+        // whole-family batch, and the counter registry is
+        // single-threaded by design.
+        for (const auto &w : workloads) {
+            const auto t0 = std::chrono::steady_clock::now();
+            runStackFamily(w, family);
+            busy_ns.fetch_add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+        }
+        if (!exact.empty()) {
+            std::lock_guard<std::mutex> lock(stackMutex_);
+            stackCounters_.counter("stack.pass.fallback_cells",
+                                   "cells exact-replayed in "
+                                   "stack-dispatched sweeps") +=
+                workloads.size() * exact.size();
+        }
+    }
+
+    const std::size_t n_exact = workloads.size() * exact.size();
+    if (jobs > 1 && n_exact > 1) {
+        // Simulate every exact cell concurrently. run() latches each
+        // trace and each result exactly once, so racing cells block
+        // on the first producer instead of duplicating work. The
+        // futures re-raise any exception a cell threw.
         util::ThreadPool pool(jobs);
         std::vector<std::future<void>> cells;
-        cells.reserve(n_cells);
+        cells.reserve(n_exact);
         for (const auto &w : workloads) {
-            for (const auto &cfg : configs) {
+            for (const core::Config *cfg : exact) {
                 cells.push_back(pool.submit(
-                    [&timed_cell, &w, &cfg] { timed_cell(w, cfg); }));
+                    [&timed_cell, &w, cfg] { timed_cell(w, *cfg); }));
             }
         }
         for (auto &cell : cells)
             cell.get();
     } else {
         for (const auto &w : workloads) {
-            for (const auto &cfg : configs)
-                timed_cell(w, cfg);
+            for (const core::Config *cfg : exact)
+                timed_cell(w, *cfg);
         }
     }
 
@@ -192,10 +339,28 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
         lastSweep_.jobs = std::max(1u, jobs);
     }
 
-    // Render serially from the (now warm) cache: ordering, rounding
-    // and therefore bytes are identical to the serial path.
+    // Render serially: ordering, rounding and therefore bytes are
+    // identical to the serial path (stack-served cells extract the
+    // same integer counts replay would produce, so the rendered
+    // doubles match bit for bit).
     const telemetry::ScopedPhase render(phases_, "report");
-    return matrix(workloads, configs, metric);
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto &cfg : configs)
+        headers.push_back(cfg.name);
+    util::Table table(std::move(headers));
+    for (const auto &w : workloads) {
+        const auto row = table.addRow();
+        table.set(row, 0, w.name);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const sim::RunStats *s =
+                family.empty() ? nullptr : stackStats(w, configs[c]);
+            table.setNumber(row, c + 1,
+                            metric.extract(s ? *s
+                                             : run(w, configs[c])),
+                            metric.decimals);
+        }
+    }
+    return table;
 }
 
 std::vector<sim::RunStats>
@@ -473,6 +638,7 @@ writeCellManifest(const std::string &dir, const std::string &workload,
     m.workload = workload;
     m.configName = cfg.name;
     m.cacheKey = cfg.cacheKey();
+    m.engine = "exact-replay";
     m.config = cfg.toJson();
 
     telemetry::CounterRegistry reg;
@@ -510,6 +676,7 @@ writeSampledCellManifest(const std::string &dir,
     m.workload = workload;
     m.configName = cfg.name;
     m.cacheKey = cfg.cacheKey();
+    m.engine = "sampled";
     m.config = cfg.toJson();
 
     telemetry::CounterRegistry reg;
@@ -552,6 +719,44 @@ writeSampledCellManifest(const std::string &dir,
     m.timing = util::Json::object();
     if (sim_seconds > 0.0)
         m.timing.set("sim_seconds", sim_seconds);
+
+    return telemetry::writeManifestFile(dir, m);
+}
+
+std::string
+writeStackCellManifest(const std::string &dir,
+                       const std::string &workload,
+                       const core::Config &cfg,
+                       const sim::RunStats &stats,
+                       std::size_t family_size, double pass_seconds)
+{
+    telemetry::Manifest m;
+    m.workload = workload;
+    m.configName = cfg.name;
+    m.cacheKey = cfg.cacheKey();
+    m.engine = "stack-single-pass";
+    m.config = cfg.toJson();
+
+    telemetry::CounterRegistry reg;
+    stats.registerInto(reg);
+    m.counters = reg.toJson();
+
+    // Count-derived metrics only: a stack pass yields no cycles, so
+    // amat/total_access_cycles would be bogus zeros and are omitted.
+    m.metrics = util::Json::object();
+    m.metrics.set("miss_ratio", stats.missRatio());
+    m.metrics.set("hit_ratio", stats.hitRatio());
+    m.metrics.set("main_hit_share", stats.mainHitShare());
+    m.metrics.set("aux_hit_share", stats.auxHitShare());
+    m.metrics.set("words_per_access", stats.wordsFetchedPerAccess());
+    util::Json stack = util::Json::object();
+    stack.set("family_size",
+              static_cast<std::uint64_t>(family_size));
+    m.metrics.set("stack", std::move(stack));
+
+    m.timing = util::Json::object();
+    if (pass_seconds > 0.0)
+        m.timing.set("pass_seconds", pass_seconds);
 
     return telemetry::writeManifestFile(dir, m);
 }

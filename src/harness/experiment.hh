@@ -21,6 +21,8 @@
 #include "src/core/config.hh"
 #include "src/core/soft_cache.hh"
 #include "src/sim/sampling.hh"
+#include "src/sim/stack_engine.hh"
+#include "src/telemetry/counter_registry.hh"
 #include "src/telemetry/phase_timer.hh"
 #include "src/trace/trace.hh"
 #include "src/trace/trace_source.hh"
@@ -132,9 +134,20 @@ class Runner
      * Parallel sweep executor: simulate every uncached (workload,
      * config) cell on @p jobs worker threads, then render the table.
      * The result is byte-identical to matrix() — cells are rendered
-     * serially in workload x config order after the sweep completes —
-     * and the caches end in the same state. @p jobs <= 1 degenerates
-     * to the serial path.
+     * serially in workload x config order after the sweep completes.
+     * @p jobs <= 1 degenerates to the serial path.
+     *
+     * Stack dispatch: when the metric is stack-derivable
+     * (stackDerivableMetric()) and at least two configurations form a
+     * stack family (stackFamilyEligible()), the family's cells are
+     * served by ONE single-pass Mattson stack traversal per workload
+     * (sim::StackDistanceEngine) instead of per-config replays; the
+     * remaining configurations fall back to exact replay. Stack miss
+     * counts are bit-identical to replay (the StackDifferential tests
+     * prove it), so the rendered table stays byte-identical to
+     * matrix() either way. Stack-derived stats live in their own
+     * store, never the exact cell cache, and the pass is accounted
+     * under the "stack.pass.*" counters (stackCounter()).
      */
     util::Table runMatrix(const std::vector<Workload> &workloads,
                           const std::vector<core::Config> &configs,
@@ -190,6 +203,26 @@ class Runner
     /** Number of simulations actually executed (not served cached). */
     std::size_t runsExecuted() const { return runsExecuted_.load(); }
 
+    /**
+     * Value of one of this runner's "stack.pass.*" telemetry
+     * counters (0 when never incremented):
+     *   stack.pass.traversals     single-pass traversals executed
+     *   stack.pass.records        records profiled by those passes
+     *   stack.pass.cells          cells served fresh from a pass
+     *   stack.pass.cached_cells   cells served from the stack store
+     *   stack.pass.fallback_cells exact-replay cells in stack sweeps
+     */
+    std::uint64_t stackCounter(const std::string &name) const;
+
+    /**
+     * Stack-store stats of (w, cfg), or nullptr when no stack pass
+     * has served that cell. Lets manifest emitters record
+     * stack-served cells (writeStackCellManifest) without forcing an
+     * exact replay through run()/cell().
+     */
+    const sim::RunStats *stackStats(const Workload &w,
+                                    const core::Config &cfg) const;
+
     /** Number of traces actually generated. */
     std::size_t tracesGenerated() const
     {
@@ -215,12 +248,31 @@ class Runner
         T value;
     };
 
+    /**
+     * Run one stack pass over @p w covering the whole @p family,
+     * storing per-config stats for any member not already in the
+     * stack store. Serial (called from the sweep's issuing thread).
+     */
+    void runStackFamily(const Workload &w,
+                        const std::vector<const core::Config *> &family);
+
     std::mutex mutex_; //!< guards the two slot maps (not the slots)
     std::map<std::string, std::unique_ptr<Slot<trace::Trace>>>
         traces_;
     std::map<std::pair<std::string, std::string>,
              std::unique_ptr<Slot<CellResult>>>
         results_;
+    /**
+     * Stack-derived stats, keyed like results_ on (workload,
+     * cacheKey). Deliberately a separate store: stack stats carry
+     * counts but no timing, so they must never be served where an
+     * exact CellResult is expected (the sampled engine's
+     * no-poisoning discipline).
+     */
+    std::map<std::pair<std::string, std::string>, sim::RunStats>
+        stackResults_;
+    mutable std::mutex stackMutex_; //!< guards stackResults_/counters
+    telemetry::CounterRegistry stackCounters_;
     std::atomic<std::size_t> runsExecuted_{0};
     std::atomic<std::size_t> tracesGenerated_{0};
     telemetry::PhaseTimer phases_;
@@ -244,6 +296,50 @@ sampledMatrix(const std::vector<Workload> &workloads,
               const std::vector<core::Config> &configs,
               const std::vector<std::vector<Runner::SampledCell>> &cells,
               const Metric &metric);
+
+/**
+ * Is @p cfg a member of the stack family — a configuration whose
+ * miss counts a single-pass stack traversal reproduces exactly? True
+ * for plain LRU set-associative caches on the Standard feature path
+ * (no aux cache, no virtual lines, no prefetch, no bypass) without
+ * the non-temporal replacement preference (which alters the victim
+ * choice), in a power-of-two bit-selection geometry.
+ */
+bool stackFamilyEligible(const core::Config &cfg);
+
+/**
+ * Does @p metric derive purely from counts a stack pass determines
+ * (misses, hits, traffic)? True for "miss ratio", "words/ref",
+ * "main-hit share" and "aux-hit share"; false for timing metrics
+ * like AMAT, which need the exact replay's cycle model.
+ */
+bool stackDerivableMetric(const Metric &metric);
+
+/** The stack lattice point of @p cfg's main-array geometry. */
+sim::StackPoint stackPointOf(const core::Config &cfg);
+
+/**
+ * The RunStats a stack pass implies for @p cfg: access/read/write
+ * counts, misses, main hits and fetch traffic are exact; timing and
+ * miss-class fields stay zero (a stack pass yields counts, not
+ * cycles). @p cfg must be covered by @p eng's lattice.
+ */
+sim::RunStats stackStatsFor(const sim::StackDistanceEngine &eng,
+                            const core::Config &cfg);
+
+/**
+ * Write the run manifest of one stack-dispatched sweep cell: tagged
+ * "engine": "stack-single-pass", with the count-derived metrics and
+ * a "stack" object recording the family size. Timing metrics are
+ * omitted — a stack pass does not model cycles.
+ */
+std::string
+writeStackCellManifest(const std::string &dir,
+                       const std::string &workload,
+                       const core::Config &cfg,
+                       const sim::RunStats &stats,
+                       std::size_t family_size,
+                       double pass_seconds = 0.0);
 
 /**
  * Write the run manifest of one sampled sweep cell: the regular cell

@@ -58,6 +58,8 @@ manifestJson(const Manifest &m)
     doc.set("workload", m.workload);
     doc.set("config_name", m.configName);
     doc.set("cache_key", m.cacheKey);
+    if (!m.engine.empty())
+        doc.set("engine", m.engine);
     doc.set("config", m.config);
     doc.set("counters", m.counters);
     doc.set("metrics", m.metrics);

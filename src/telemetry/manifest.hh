@@ -29,6 +29,13 @@ struct Manifest
     std::string workload;   //!< workload / benchmark name
     std::string configName; //!< display name of the configuration
     std::string cacheKey;   //!< core::Config::cacheKey()
+    /**
+     * Producing engine of the cell's numbers ("exact-replay",
+     * "sampled", "stack-single-pass", ...). Optional: omitted from
+     * the document when empty, so pre-existing manifests keep their
+     * byte layout.
+     */
+    std::string engine;
     util::Json config = util::Json::object();   //!< full Config
     util::Json counters = util::Json::object(); //!< registry snapshot
     util::Json metrics = util::Json::object();  //!< derived metrics

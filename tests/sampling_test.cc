@@ -295,6 +295,40 @@ TEST(TraceSourceSkipTest, GeneratorSourceDrainsThroughDefaultSkip)
     EXPECT_EQ(r, t[100]);
 }
 
+TEST(TraceSourceSkipTest, GeneratorSourceSkipPastEofTruncates)
+{
+    // Skipping beyond the generated stream reports the truncated
+    // count — like the seekable sources — and exhausts the source.
+    const auto t = workloads::makeBenchmarkTrace("MV");
+    const auto src = workloads::benchmarkTraceSource("MV");
+
+    EXPECT_EQ(src->skip(t.size() + 1000), t.size());
+    trace::Record r;
+    EXPECT_EQ(src->next(&r, 1), 0u);
+    // And again at EOF: nothing left to skip.
+    EXPECT_EQ(src->skip(1), 0u);
+}
+
+TEST(TraceSourceSkipTest, SkipAtEofReturnsZeroOnSeekableSources)
+{
+    const auto t = workloads::makeTaggedTrace(workloads::buildMv(10));
+
+    trace::MemoryTraceSource mem(t);
+    EXPECT_EQ(mem.skip(t.size()), t.size());
+    EXPECT_EQ(mem.skip(1), 0u);
+    EXPECT_EQ(mem.skip(0), 0u);
+
+    const std::string path =
+        testing::TempDir() + "/sampling_skip_eof_test.sactrace";
+    ASSERT_TRUE(trace::writeTraceFile(t, path));
+    trace::FileTraceSource file(path);
+    EXPECT_EQ(file.skip(t.size()), t.size());
+    EXPECT_EQ(file.skip(1), 0u);
+    trace::Record r;
+    EXPECT_EQ(file.next(&r, 1), 0u);
+    std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------
 // The windowed engine.
 
@@ -324,6 +358,60 @@ TEST(SampledEngineTest, ExactFallbackForShortTraces)
     EXPECT_DOUBLE_EQ(rep.wordsPerAccessEstimate(),
                      full.wordsFetchedPerAccess());
     EXPECT_EQ(rep.halfWidthOf(rep.missRatio), 0.0);
+}
+
+TEST(SampledEngineTest, ZeroLengthTraceYieldsEmptyExactReport)
+{
+    // An empty stream must not divide by zero or spin: the report is
+    // exact with zero of everything.
+    const trace::Trace t("empty");
+    const sim::SampledEngine engine(sim::SamplingOptions{});
+    trace::MemoryTraceSource src(t);
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
+    const auto rep = engine.run(src, sim);
+
+    EXPECT_TRUE(rep.exact);
+    EXPECT_EQ(rep.windows, 0u);
+    EXPECT_EQ(rep.recordsTotal, 0u);
+    EXPECT_EQ(rep.recordsDetailed, 0u);
+    EXPECT_EQ(rep.recordsWarmed, 0u);
+    EXPECT_EQ(rep.recordsSkipped, 0u);
+    EXPECT_EQ(rep.halfWidthOf(rep.missRatio), 0.0);
+}
+
+TEST(SampledEngineTest, WindowLongerThanTraceFallsBackToExact)
+{
+    // Explicitly configured geometry (not the defaults) whose window
+    // alone exceeds the whole trace: full-detail fallback, one pass,
+    // statistics equal to the unsampled run.
+    const auto t = workloads::makeTaggedTrace(workloads::buildMv(10));
+    sim::SamplingOptions opt;
+    opt.window = t.size() + 1000;
+    opt.stride = 4 * opt.window;
+    opt.warmup = 64;
+
+    const sim::SampledEngine engine(opt);
+    trace::MemoryTraceSource src(t);
+    const core::Config cfg = core::presets().get("soft");
+    core::SoftwareAssistedCache sim(cfg);
+    const auto rep = engine.run(src, sim);
+
+    EXPECT_TRUE(rep.exact);
+    EXPECT_EQ(rep.recordsDetailed, t.size());
+    EXPECT_EQ(rep.recordsSkipped, 0u);
+    const auto full = core::simulateTrace(t, cfg);
+    EXPECT_DOUBLE_EQ(rep.missRatioEstimate(), full.missRatio());
+}
+
+TEST(SampledEngineDeathTest, ConstructionIsFatalOnStrideUnderWindow)
+{
+    // The engine validates on construction, so a bad geometry never
+    // reaches run(): the misconfiguration dies at the call site.
+    sim::SamplingOptions opt;
+    opt.window = 512;
+    opt.stride = 100;
+    EXPECT_EXIT(sim::SampledEngine{opt}, testing::ExitedWithCode(1),
+                "stride");
 }
 
 TEST(SampledEngineTest, ContiguousWindowsStayExact)

@@ -124,6 +124,26 @@ TEST(Streaming, GeneratorSourceYieldsRecordsInOrder)
         ASSERT_TRUE(drained[i] == c.trace[i]) << "record " << i;
 }
 
+TEST(Streaming, GeneratorSourceSkipPastEofReportsTruncatedCount)
+{
+    // The base-class skip() on a generator decodes and discards; a
+    // request past the end of the produced stream must report only
+    // what was actually there, after which the source stays drained.
+    const auto c = fuzzCases(1).front();
+    trace::GeneratorTraceSource src(
+        c.trace.name(),
+        [&c](const trace::RecordSink &sink) {
+            for (const auto &r : c.trace)
+                sink(r);
+        },
+        /*chunk_records=*/7, /*max_chunks=*/2);
+
+    EXPECT_EQ(src.skip(c.trace.size() + 100), c.trace.size());
+    trace::Record r;
+    EXPECT_EQ(src.next(&r, 1), 0u);
+    EXPECT_EQ(src.skip(1), 0u);
+}
+
 TEST(Streaming, RunStreamedMatchesCachedRunnerResults)
 {
     const auto c = fuzzCases(2).back();

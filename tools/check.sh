@@ -13,6 +13,10 @@
 #                               # SampledDifferential dual-replay on the
 #                               # reduced fuzz corpus + paper workloads,
 #                               # warming-state equality, CI math
+#   tools/check.sh stack        # stack-vs-exact differential under ASan:
+#                               # the single-pass stack engine against
+#                               # exact replay on presets + fuzz corpus,
+#                               # Mattson properties, analytic oracle
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -105,11 +109,31 @@ for mode in "${modes[@]}"; do
         echo "=== [sampling] OK ==="
         continue
     fi
+    if [[ "$mode" == "stack" ]]; then
+        # Stack leg: prove the single-pass stack-distance engine under
+        # ASan+UBSan — bit-identical miss counts against exact replay
+        # on the preset lattice and the standard-config subset of the
+        # fuzz corpus, Mattson inclusion properties, the closed-form
+        # independent-reference oracle, and the one-traversal harness
+        # dispatch.
+        build_dir="build-check-stack"
+        echo "=== [stack] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="address" \
+            -DSAC_AUDIT=ON \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target sac_test_stack_engine_test
+        echo "=== [stack] ctest (stack-vs-exact differential) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" -R 'Stack'
+        echo "=== [stack] OK ==="
+        continue
+    fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="

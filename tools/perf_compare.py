@@ -52,6 +52,9 @@ DEFAULT_TOLERANCE = 0.15
 # The warming and sampled floors ARE speedup claims (the acceptance
 # criteria of the sampling engine): functional warming must run >=2x
 # the detailed path, and the sampled sweep >=5x the full-detail sweep.
+# Likewise the stack floor: ONE Mattson stack-distance traversal must
+# answer the 8-cell standard family >=4x faster than eight exact
+# replays (and, unlike sampling, with bit-identical miss counts).
 # Floors marked parallel compare multi-worker against serial runs and
 # are skipped when the report's host has a single CPU, where extra
 # workers only add contention.
@@ -62,6 +65,7 @@ RATIO_FLOORS = [
      False),
     ("BM_SimulateSoftWarming", "BM_SimulateSoft", 2.0, False),
     ("BM_SweepSampled", "BM_SweepFullDetail", 5.0, False),
+    ("BM_SweepStackSinglePass", "BM_SweepPerConfigReplay", 4.0, False),
     ("BM_StreamedSweep/2/real_time", "BM_StreamedSweep/1/real_time",
      1.0, True),
 ]
