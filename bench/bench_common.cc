@@ -80,22 +80,65 @@ emitJsonDir()
     return options().emitJsonDir;
 }
 
+namespace {
+
+bool
+isRegisteredBenchmark(const std::string &name)
+{
+    for (const auto &b : workloads::paperBenchmarks()) {
+        if (b.name == name)
+            return true;
+    }
+    return false;
+}
+
 void
-emitCellManifest(const std::string &workload, const core::Config &cfg,
-                 const sim::RunStats &stats, double sim_seconds)
+writeCell(const std::string &workload, const core::Config &cfg,
+          const trace::Trace *t, const sim::RunStats &stats,
+          double sim_seconds)
 {
     const std::string &dir = emitJsonDir();
     if (dir.empty())
         return;
     if (!emittedCells().emplace(workload, cfg.cacheKey()).second)
         return;
-    if (harness::writeCellManifest(dir, workload, cfg, stats,
-                                   sim_seconds)
-            .empty()) {
+    const harness::BenchOptions &o = options();
+    const bool instrument = o.interval > 0 || o.heatmap;
+    // Suite sweeps emit by workload name only; registered benchmarks
+    // resolve through the trace cache so they get instrumented too.
+    if (instrument && t == nullptr && isRegisteredBenchmark(workload))
+        t = &benchmarkTrace(workload);
+    std::string path;
+    if (instrument && t != nullptr) {
+        const harness::InstrumentOptions io{o.interval, o.heatmap};
+        path = harness::writeInstrumentedCellManifest(
+            dir, workload, cfg, *t, stats, io, sim_seconds);
+    } else {
+        path = harness::writeCellManifest(dir, workload, cfg, stats,
+                                          sim_seconds);
+    }
+    if (path.empty()) {
         std::cerr << "failed to write run manifest under '" << dir
                   << "'\n";
         std::exit(1);
     }
+}
+
+} // namespace
+
+void
+emitCellManifest(const std::string &workload, const core::Config &cfg,
+                 const sim::RunStats &stats, double sim_seconds)
+{
+    writeCell(workload, cfg, nullptr, stats, sim_seconds);
+}
+
+void
+emitCellManifest(const std::string &workload, const core::Config &cfg,
+                 const trace::Trace &t, const sim::RunStats &stats,
+                 double sim_seconds)
+{
+    writeCell(workload, cfg, &t, stats, sim_seconds);
 }
 
 sim::RunStats
@@ -109,7 +152,7 @@ runCell(const trace::Trace &t, const core::Config &cfg,
             std::chrono::steady_clock::now() - t0)
             .count();
     const std::string &name = workload.empty() ? t.name() : workload;
-    emitCellManifest(name, cfg, stats, seconds);
+    emitCellManifest(name, cfg, t, stats, seconds);
     return stats;
 }
 

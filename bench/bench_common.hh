@@ -34,11 +34,15 @@ using Metric = std::function<double(const sim::RunStats &)>;
  * run manifest per sweep cell under DIR; see DESIGN.md §6),
  * `--preset NAME` (a core::presets() configuration), `--trace-seed
  * N` (timing seed of the generated traces), `--trace-chunk N`
- * (records per chunk in streamed replay), and `--sample` with its
+ * (records per chunk in streamed replay), `--sample` with its
  * tuning flags `--sample-window/-stride/-warmup/-ci/-error` (estimate
  * suite tables with the windowed sampling engine; cells then read
- * "estimate ±half" — see DESIGN.md §10). Tables are byte-identical
- * at any job count.
+ * "estimate ±half" — see DESIGN.md §10), `--interval N` and
+ * `--heatmap` (time-resolved instrumentation of every manifest cell:
+ * interval JSONL series and per-set heat profiles, rendered by
+ * tools/sac_report.py — see DESIGN.md §13; requires --emit-json and
+ * a -DSAC_INTERVAL=ON build), and `--trace-ring N` (EventTracer ring
+ * capacity). Tables are byte-identical at any job count.
  */
 void initBench(int argc, const char *const *argv);
 
@@ -58,6 +62,21 @@ const std::string &emitJsonDir();
  */
 void emitCellManifest(const std::string &workload,
                       const core::Config &cfg,
+                      const sim::RunStats &stats,
+                      double sim_seconds = 0.0);
+
+/**
+ * Trace-aware overload: under --interval/--heatmap the cell is
+ * re-replayed with the time-resolved instrumentation attached, so the
+ * manifest gains its "profile" block and/or the sibling
+ * `<stem>.intervals.jsonl` series (harness::
+ * writeInstrumentedCellManifest). Without those flags, identical to
+ * the plain overload. The no-trace overload resolves registered
+ * benchmark workloads through the trace cache, so suite sweeps are
+ * instrumented too.
+ */
+void emitCellManifest(const std::string &workload,
+                      const core::Config &cfg, const trace::Trace &t,
                       const sim::RunStats &stats,
                       double sim_seconds = 0.0);
 

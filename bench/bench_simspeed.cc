@@ -27,6 +27,8 @@
 #include "src/harness/experiment.hh"
 #include "src/sim/sampling.hh"
 #include "src/sim/stack_engine.hh"
+#include "src/telemetry/interval.hh"
+#include "src/telemetry/set_profile.hh"
 #include "src/trace/trace_source.hh"
 #include "src/workloads/workloads.hh"
 
@@ -159,6 +161,37 @@ BM_SimulateSoftAudited(benchmark::State &state)
                        : "audit-compiled-out");
 }
 BENCHMARK(BM_SimulateSoftAudited);
+
+/**
+ * Same workload as BM_SimulateSoft but with an IntervalRecorder and a
+ * SetProfiler attached. With SAC_INTERVAL=OFF both hooks are compiled
+ * out and this must time identically to BM_SimulateSoft (the <=1%
+ * floor in perf_compare.py); with SAC_INTERVAL=ON it measures the
+ * per-access countdown plus the per-set counter updates.
+ */
+void
+BM_SimulateSoftInterval(benchmark::State &state)
+{
+    const auto &t = mvTrace();
+    const core::Config cfg = core::presets().get("soft");
+    for (auto _ : state) {
+        core::SoftwareAssistedCache sim(cfg);
+        telemetry::IntervalRecorder recorder(10000);
+        telemetry::SetProfiler profiler(sim.mainArray().numSets());
+        sim.attachIntervalRecorder(&recorder);
+        sim.attachSetProfiler(&profiler);
+        sim.run(t);
+        benchmark::DoNotOptimize(sim.stats().totalAccessCycles);
+        benchmark::DoNotOptimize(profiler.totalMisses());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * t.size()));
+    state.SetLabel(
+        core::SoftwareAssistedCache::intervalHooksCompiledIn()
+            ? "interval-on"
+            : "interval-compiled-out");
+}
+BENCHMARK(BM_SimulateSoftInterval);
 
 /**
  * Functional-warming pair: the same trace and configuration as

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/set_profile.hh"
 #include "src/trace/trace_source.hh"
 #include "src/util/logging.hh"
 
@@ -148,6 +149,13 @@ SoftwareAssistedCache::runBatchTmpl(const trace::Record *recs,
                 auditor_->afterAccess(*this, recs[i]);
         }
 #endif
+#if SAC_INTERVAL_ENABLED
+        if constexpr (Detail) {
+            if (interval_)
+                interval_->afterAccess(stats_,
+                                       writeBuffer_.occupancy());
+        }
+#endif
     }
 }
 
@@ -207,6 +215,13 @@ SoftwareAssistedCache::accessTmpl(const trace::Record &rec)
 
     Cycle start = std::max(now_, cacheFreeAt_);
     const Addr line = main_.lineAddrOf(rec.addr);
+
+#if SAC_INTERVAL_ENABLED
+    if constexpr (Detail) {
+        if (setProfiler_)
+            setProfiler_->onAccess(main_.setIndexOf(line));
+    }
+#endif
 
     // Land a pending prefetch that has arrived; if this very access
     // wants the in-flight line, stall until it lands. pending_.valid
@@ -403,6 +418,10 @@ SoftwareAssistedCache::handleMiss(const trace::Record &rec, Cycle start)
     if constexpr (Detail) {
         ++stats_.misses;
         classify(rec.addr, true);
+#if SAC_INTERVAL_ENABLED
+        if (setProfiler_)
+            setProfiler_->onMiss(main_.setIndexOf(line));
+#endif
     }
 
     // Which physical lines must be fetched? For a spatially tagged
@@ -559,6 +578,10 @@ SoftwareAssistedCache::insertIntoMain(
             SAC_TRACE_EVENT(tracer_, EventKind::Evict, now_,
                             victim.lineAddr * cfg_.lineBytes,
                             victim.dirty);
+#if SAC_INTERVAL_ENABLED
+            if (setProfiler_)
+                setProfiler_->onEviction(set);
+#endif
         }
         if (aux_ && cfg_.auxReceivesVictims) {
             victimToAux<Detail>(victim, transfer_cost, fill_targets);
@@ -639,6 +662,14 @@ SoftwareAssistedCache::bounceBack(
     if (resident.valid() && resident.dirty())
         pushWriteback<Detail>(cfg_.lineBytes, transfer_cost);
 
+#if SAC_INTERVAL_ENABLED
+    if constexpr (Detail) {
+        // The bounce displaces whatever the chosen way held: an
+        // eviction from the profiler's point of view.
+        if (setProfiler_ && resident.valid())
+            setProfiler_->onEviction(set);
+    }
+#endif
     resident.assign(victim);
     // The "dynamic adjustment" of Section 2.2: the bit must be set
     // again by a tagged reference before the line may bounce again.
@@ -802,6 +833,12 @@ SoftwareAssistedCache::classify(Addr addr, bool was_miss)
         break;
       case sim::MissClass::Conflict:
         ++stats_.conflictMisses;
+#if SAC_INTERVAL_ENABLED
+        if (setProfiler_) {
+            setProfiler_->onConflict(
+                main_.setIndexOf(main_.lineAddrOf(addr)));
+        }
+#endif
         break;
     }
 }
@@ -847,6 +884,10 @@ SoftwareAssistedCache::finish()
     drainWriteBuffer<true>();
     stats_.writeBufferFullStalls = writeBuffer_.fullStalls();
     finished_ = true;
+#if SAC_INTERVAL_ENABLED
+    if (interval_ && statsMode_ == StatsMode::Detailed)
+        interval_->finish(stats_, writeBuffer_.occupancy());
+#endif
 }
 
 bool

@@ -32,6 +32,7 @@
 #include "src/sim/run_stats.hh"
 #include "src/sim/write_buffer.hh"
 #include "src/telemetry/event_trace.hh"
+#include "src/telemetry/interval.hh"
 #include "src/trace/trace.hh"
 
 // CMake defines this via the SAC_AUDIT option; standalone compilations
@@ -44,6 +45,10 @@ namespace sac {
 namespace trace {
 class TraceSource;
 } // namespace trace
+
+namespace telemetry {
+class SetProfiler;
+} // namespace telemetry
 
 namespace core {
 
@@ -137,6 +142,11 @@ class SoftwareAssistedCache
         if (auditor_ && statsMode_ == StatsMode::Detailed)
             auditor_->afterAccess(*this, rec);
 #endif
+#if SAC_INTERVAL_ENABLED
+        if (interval_ && statsMode_ == StatsMode::Detailed)
+            interval_->afterAccess(stats_,
+                                   writeBuffer_.occupancy());
+#endif
     }
 
     /** Simulate a whole trace (appends to the current state). */
@@ -214,6 +224,34 @@ class SoftwareAssistedCache
     static constexpr bool auditHooksCompiledIn()
     {
         return SAC_AUDIT_ENABLED != 0;
+    }
+
+    /**
+     * Attach a periodic interval recorder: every detailed-mode access
+     * ticks it, and finish() flushes the trailing partial interval.
+     * Pass nullptr to detach. The call sites only exist when the
+     * build has SAC_INTERVAL=ON; attaching is otherwise a no-op.
+     */
+    void attachIntervalRecorder(telemetry::IntervalRecorder *r)
+    {
+        interval_ = r;
+    }
+
+    /**
+     * Attach a per-set heat profiler (sized for mainArray().numSets())
+     * recording access/miss/eviction/conflict per main-cache set in
+     * detailed mode. Pass nullptr to detach. Shares the SAC_INTERVAL
+     * compile-time gate with the interval recorder.
+     */
+    void attachSetProfiler(telemetry::SetProfiler *p)
+    {
+        setProfiler_ = p;
+    }
+
+    /** Were the SAC_INTERVAL hooks compiled into this build? */
+    static constexpr bool intervalHooksCompiledIn()
+    {
+        return SAC_INTERVAL_ENABLED != 0;
     }
 
     // --- Introspection (used by tests and check::Auditor) --------
@@ -453,6 +491,12 @@ class SoftwareAssistedCache
 
     /** Invariant auditor; null = auditing off (the common case). */
     AccessAuditor *auditor_ = nullptr;
+
+    /** Interval snapshotter; null = interval stats off (the common case). */
+    telemetry::IntervalRecorder *interval_ = nullptr;
+
+    /** Per-set heat profiler; null = heat profiling off. */
+    telemetry::SetProfiler *setProfiler_ = nullptr;
 };
 
 /** Simulate @p t under @p cfg and return the statistics. */

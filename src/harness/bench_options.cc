@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "src/telemetry/event_trace.hh"
 #include "src/util/args.hh"
 #include "src/util/thread_pool.hh"
 
@@ -101,6 +102,13 @@ BenchOptions::parse(const util::Args &args)
     opts.sampling.warmup =
         count_flag("sample-warmup", opts.sampling.warmup, 0);
 
+    opts.interval = count_flag("interval", opts.interval, 0);
+    opts.heatmap = args.has("heatmap");
+    opts.traceRing = static_cast<std::size_t>(
+        count_flag("trace-ring", opts.traceRing, 0));
+    if (opts.traceRing > 0)
+        telemetry::EventTracer::setDefaultCapacity(opts.traceRing);
+
     const auto real_flag = [&args](const char *key, double fallback) {
         if (!args.has(key))
             return fallback;
@@ -133,6 +141,14 @@ BenchOptions::validationError() const
     if (sampleTuningGiven && !sample) {
         return "--sample-window/--sample-stride/--sample-warmup/"
                "--sample-ci/--sample-error require --sample";
+    }
+    if ((interval > 0 || heatmap) && emitJsonDir.empty()) {
+        return "--interval/--heatmap write into the manifest "
+               "directory and require --emit-json";
+    }
+    if ((interval > 0 || heatmap) && sample) {
+        return "--interval/--heatmap instrument exact replay and "
+               "cannot be combined with --sample";
     }
     if (sample) {
         if (const auto err = sampling.validationError())

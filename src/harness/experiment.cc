@@ -4,11 +4,15 @@
 #include <chrono>
 #include <fstream>
 #include <future>
+#include <iostream>
 #include <optional>
 #include <sstream>
 
 #include "src/telemetry/counter_registry.hh"
+#include "src/telemetry/interval.hh"
 #include "src/telemetry/manifest.hh"
+#include "src/telemetry/set_profile.hh"
+#include "src/util/logging.hh"
 #include "src/util/thread_pool.hh"
 #include "src/workloads/workloads.hh"
 
@@ -628,9 +632,11 @@ toCsv(const util::Table &table)
     return os.str();
 }
 
-std::string
-writeCellManifest(const std::string &dir, const std::string &workload,
-                  const core::Config &cfg,
+namespace {
+
+/** The shared exact-replay cell manifest (no instrumentation). */
+telemetry::Manifest
+exactCellManifest(const std::string &workload, const core::Config &cfg,
                   const sim::RunStats &stats, double sim_seconds,
                   const util::Json *extra_timing)
 {
@@ -661,7 +667,84 @@ writeCellManifest(const std::string &dir, const std::string &workload,
     if (extra_timing && extra_timing->type() == util::Json::Type::Object)
         m.timing.set("phases", *extra_timing);
 
-    return telemetry::writeManifestFile(dir, m);
+    return m;
+}
+
+} // namespace
+
+std::string
+writeCellManifest(const std::string &dir, const std::string &workload,
+                  const core::Config &cfg,
+                  const sim::RunStats &stats, double sim_seconds,
+                  const util::Json *extra_timing)
+{
+    return telemetry::writeManifestFile(
+        dir, exactCellManifest(workload, cfg, stats, sim_seconds,
+                               extra_timing));
+}
+
+std::string
+writeInstrumentedCellManifest(const std::string &dir,
+                              const std::string &workload,
+                              const core::Config &cfg,
+                              const trace::Trace &t,
+                              const sim::RunStats &stats,
+                              const InstrumentOptions &opt,
+                              double sim_seconds,
+                              const util::Json *extra_timing)
+{
+    const bool wants = opt.intervalRecords > 0 || opt.heatmap;
+    if (!wants) {
+        return writeCellManifest(dir, workload, cfg, stats,
+                                 sim_seconds, extra_timing);
+    }
+    if (!core::SoftwareAssistedCache::intervalHooksCompiledIn()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::cerr << "warning: --interval/--heatmap requested but "
+                         "this build has SAC_INTERVAL=OFF; emitting "
+                         "plain manifests (reconfigure with "
+                         "-DSAC_INTERVAL=ON)\n";
+        }
+        return writeCellManifest(dir, workload, cfg, stats,
+                                 sim_seconds, extra_timing);
+    }
+
+    // Instrumented re-replay. The hooks observe without perturbing,
+    // so the result must reproduce the recorded run bit-for-bit.
+    core::SoftwareAssistedCache sim(cfg);
+    std::optional<telemetry::IntervalRecorder> recorder;
+    std::optional<telemetry::SetProfiler> profiler;
+    if (opt.intervalRecords > 0) {
+        recorder.emplace(opt.intervalRecords);
+        sim.attachIntervalRecorder(&*recorder);
+    }
+    if (opt.heatmap) {
+        profiler.emplace(sim.mainArray().numSets());
+        sim.attachSetProfiler(&*profiler);
+    }
+    sim.run(t);
+    SAC_ASSERT(sim.stats() == stats,
+               "instrumented replay diverged from the recorded run");
+
+    telemetry::Manifest m = exactCellManifest(
+        workload, cfg, stats, sim_seconds, extra_timing);
+    if (profiler)
+        m.profile = profiler->toJson();
+    const std::string path = telemetry::writeManifestFile(dir, m);
+    if (path.empty() || !recorder)
+        return path;
+
+    // The interval series rides next to the manifest:
+    // <workload>_<hash>.json -> <workload>_<hash>.intervals.jsonl.
+    std::string jsonl = path;
+    const std::string suffix = ".json";
+    jsonl.replace(jsonl.size() - suffix.size(), suffix.size(),
+                  ".intervals.jsonl");
+    if (!recorder->writeJsonl(jsonl, workload, cfg.name,
+                              cfg.cacheKey()))
+        return "";
+    return path;
 }
 
 std::string

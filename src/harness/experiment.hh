@@ -370,6 +370,39 @@ std::string writeCellManifest(const std::string &dir,
                               double sim_seconds = 0.0,
                               const util::Json *extra_timing = nullptr);
 
+/** What writeInstrumentedCellManifest() adds to a cell manifest. */
+struct InstrumentOptions
+{
+    /**
+     * Interval-stats period in records: > 0 writes the sibling
+     * `<manifest stem>.intervals.jsonl` time series. 0 = off.
+     */
+    std::uint64_t intervalRecords = 0;
+
+    /** Embed the per-set heat profile ("profile" manifest block). */
+    bool heatmap = false;
+};
+
+/**
+ * Write the cell manifest of an already-simulated run *with*
+ * time-resolved instrumentation: the trace is replayed once more with
+ * an IntervalRecorder / SetProfiler attached (the instrumented replay
+ * must reproduce @p stats bit-for-bit — asserted), the heat profile
+ * lands in the manifest's "profile" block and the interval series in
+ * a sibling `<stem>.intervals.jsonl` file. In builds without
+ * SAC_INTERVAL the function warns once and falls back to the plain
+ * writeCellManifest(). Returns the manifest path ("" on I/O failure).
+ */
+std::string
+writeInstrumentedCellManifest(const std::string &dir,
+                              const std::string &workload,
+                              const core::Config &cfg,
+                              const trace::Trace &t,
+                              const sim::RunStats &stats,
+                              const InstrumentOptions &opt,
+                              double sim_seconds = 0.0,
+                              const util::Json *extra_timing = nullptr);
+
 /** Render a table as RFC-4180-style CSV (quoted where needed). */
 std::string toCsv(const util::Table &table);
 

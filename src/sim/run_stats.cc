@@ -123,60 +123,10 @@ void
 RunStats::registerInto(telemetry::CounterRegistry &reg,
                        const std::string &prefix) const
 {
-    const auto set = [&](const char *name, const char *desc,
-                         std::uint64_t value) {
+    forEachCounter([&](const char *name, const char *desc,
+                       std::uint64_t value) {
         reg.counter(prefix + name, desc).value = value;
-    };
-    set("access.total", "memory references simulated", accesses);
-    set("access.reads", "read references", reads);
-    set("access.writes", "write references", writes);
-    set("cache.main.hits", "hits served by the main cache", mainHits);
-    set("cache.aux.hits",
-        "hits served by the aux (bounce-back / victim) cache",
-        auxHits);
-    set("cache.aux.prefetch_hits", "aux hits on prefetched lines",
-        auxPrefetchHits);
-    set("cache.miss.total", "demand fetches from memory", misses);
-    set("cache.miss.compulsory", "compulsory (cold) misses",
-        compulsoryMisses);
-    set("cache.miss.capacity", "capacity misses", capacityMisses);
-    set("cache.miss.conflict", "conflict misses", conflictMisses);
-    set("bypass.total", "accesses served by bypass", bypasses);
-    set("bypass.buffer_hits", "hits in the one-line bypass buffer",
-        bypassBufferHits);
-    set("traffic.lines_fetched", "physical lines from memory",
-        linesFetched);
-    set("traffic.bytes_fetched", "demand + prefetch fetch bytes",
-        bytesFetched);
-    set("traffic.bytes_written_back", "write-buffer drain bytes",
-        bytesWrittenBack);
-    set("vline.fills", "misses that fetched more than one line",
-        virtualLineFills);
-    set("vline.extra_lines", "lines fetched beyond the missed one",
-        extraLinesFetched);
-    set("swap.total", "aux hit swaps", swaps);
-    set("bounce.done", "temporal bounce-backs performed", bounces);
-    set("bounce.cancelled",
-        "bounces aimed at an in-flight miss fill target",
-        bouncesCancelled);
-    set("bounce.aborted",
-        "bounces onto a dirty line with a full write buffer",
-        bouncesAborted);
-    set("coherence.invalidations",
-        "virtual-line fills skipped for aux-resident lines",
-        coherenceInvalidations);
-    set("prefetch.issued", "prefetch requests issued",
-        prefetchesIssued);
-    set("prefetch.useful", "prefetched lines that were demanded",
-        prefetchesUseful);
-    set("prefetch.avoided",
-        "prefetches skipped because the target was resident",
-        prefetchesAvoided);
-    set("write_buffer.full_stalls",
-        "stalls forced by a full write buffer",
-        writeBufferFullStalls);
-    set("time.completion_cycle", "cycle the last access finished",
-        completionCycle);
+    });
 }
 
 std::ostream &

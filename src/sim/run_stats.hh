@@ -112,7 +112,72 @@ struct RunStats
      */
     void registerInto(telemetry::CounterRegistry &reg,
                       const std::string &prefix = "") const;
+
+    /**
+     * Invoke @p f(name, description, value) for every uint64 counter
+     * in registerInto() registration order with the same dotted names
+     * (totalAccessCycles, being a double, is not enumerated).
+     * Header-only so layers that must not link sac_sim — the interval
+     * engine in sac_telemetry — can walk the counter schema;
+     * registerInto() is implemented on top of it, which keeps the two
+     * enumerations identical by construction.
+     */
+    template <typename F>
+    void forEachCounter(F &&f) const;
 };
+
+template <typename F>
+void
+RunStats::forEachCounter(F &&f) const
+{
+    f("access.total", "memory references simulated", accesses);
+    f("access.reads", "read references", reads);
+    f("access.writes", "write references", writes);
+    f("cache.main.hits", "hits served by the main cache", mainHits);
+    f("cache.aux.hits",
+      "hits served by the aux (bounce-back / victim) cache", auxHits);
+    f("cache.aux.prefetch_hits", "aux hits on prefetched lines",
+      auxPrefetchHits);
+    f("cache.miss.total", "demand fetches from memory", misses);
+    f("cache.miss.compulsory", "compulsory (cold) misses",
+      compulsoryMisses);
+    f("cache.miss.capacity", "capacity misses", capacityMisses);
+    f("cache.miss.conflict", "conflict misses", conflictMisses);
+    f("bypass.total", "accesses served by bypass", bypasses);
+    f("bypass.buffer_hits", "hits in the one-line bypass buffer",
+      bypassBufferHits);
+    f("traffic.lines_fetched", "physical lines from memory",
+      linesFetched);
+    f("traffic.bytes_fetched", "demand + prefetch fetch bytes",
+      bytesFetched);
+    f("traffic.bytes_written_back", "write-buffer drain bytes",
+      bytesWrittenBack);
+    f("vline.fills", "misses that fetched more than one line",
+      virtualLineFills);
+    f("vline.extra_lines", "lines fetched beyond the missed one",
+      extraLinesFetched);
+    f("swap.total", "aux hit swaps", swaps);
+    f("bounce.done", "temporal bounce-backs performed", bounces);
+    f("bounce.cancelled",
+      "bounces aimed at an in-flight miss fill target",
+      bouncesCancelled);
+    f("bounce.aborted",
+      "bounces onto a dirty line with a full write buffer",
+      bouncesAborted);
+    f("coherence.invalidations",
+      "virtual-line fills skipped for aux-resident lines",
+      coherenceInvalidations);
+    f("prefetch.issued", "prefetch requests issued", prefetchesIssued);
+    f("prefetch.useful", "prefetched lines that were demanded",
+      prefetchesUseful);
+    f("prefetch.avoided",
+      "prefetches skipped because the target was resident",
+      prefetchesAvoided);
+    f("write_buffer.full_stalls",
+      "stalls forced by a full write buffer", writeBufferFullStalls);
+    f("time.completion_cycle", "cycle the last access finished",
+      static_cast<std::uint64_t>(completionCycle));
+}
 
 /** Stream the print() summary. */
 std::ostream &operator<<(std::ostream &os, const RunStats &s);

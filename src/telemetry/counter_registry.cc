@@ -1,6 +1,9 @@
 #include "src/telemetry/counter_registry.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ostream>
 #include <sstream>
 
 #include "src/util/logging.hh"
@@ -27,6 +30,39 @@ Histogram::mean() const
     if (samples == 0)
         return 0.0;
     return static_cast<double>(sum) / static_cast<double>(samples);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(samples);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (static_cast<double>(cum + buckets[i]) >= target) {
+            // Interpolate within [lo, hi): bucket 0 holds 0 and 1,
+            // bucket i >= 1 holds [2^i, 2^(i+1)). Samples are assumed
+            // uniform inside the bucket, so an exact boundary rank
+            // (e.g. the median of uniform 0..1023) lands exactly on
+            // the boundary value.
+            const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i);
+            const double hi = std::ldexp(1.0, i + 1);
+            const double frac = (target - static_cast<double>(cum)) /
+                                static_cast<double>(buckets[i]);
+            return lo + frac * (hi - lo);
+        }
+        cum += buckets[i];
+    }
+    // p rounded past the last sample: the top of the last bucket.
+    for (std::size_t i = buckets.size(); i-- > 0;) {
+        if (buckets[i] != 0)
+            return std::ldexp(1.0, i + 1);
+    }
+    return 0.0;
 }
 
 Counter &
@@ -157,8 +193,46 @@ histogramJson(const Histogram &h)
     j.set("samples", h.samples);
     j.set("sum", h.sum);
     j.set("mean", h.mean());
+    j.set("p50", h.percentile(0.50));
+    j.set("p95", h.percentile(0.95));
+    j.set("p99", h.percentile(0.99));
     j.set("log2_buckets", std::move(buckets));
     return j;
+}
+
+/** Map a dotted counter path onto a Prometheus metric name. */
+std::string
+promName(const std::string &prefix, const std::string &name)
+{
+    std::string out = prefix.empty() ? name : prefix + "_" + name;
+    for (char &ch : out) {
+        const bool ok =
+            std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
+            ch == '_' || ch == ':';
+        if (!ok)
+            ch = '_';
+    }
+    if (!out.empty() &&
+        std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Escape a description for a single-line # HELP comment. */
+std::string
+promHelp(const std::string &desc)
+{
+    std::string out;
+    out.reserve(desc.size());
+    for (const char ch : desc) {
+        if (ch == '\\')
+            out += "\\\\";
+        else if (ch == '\n')
+            out += "\\n";
+        else
+            out += ch;
+    }
+    return out;
 }
 
 } // namespace
@@ -183,6 +257,45 @@ CounterRegistry::toFlatJson() const
     for (const auto &h : histograms_)
         root.set(h.name, histogramJson(h));
     return root;
+}
+
+void
+CounterRegistry::writePrometheus(std::ostream &os,
+                                 const std::string &prefix) const
+{
+    for (const auto &c : counters_) {
+        const std::string n = promName(prefix, c.name);
+        if (!c.desc.empty())
+            os << "# HELP " << n << ' ' << promHelp(c.desc) << '\n';
+        os << "# TYPE " << n << " counter\n";
+        os << n << ' ' << c.value << '\n';
+    }
+    for (const auto &h : histograms_) {
+        const std::string n = promName(prefix, h.name);
+        if (!h.desc.empty())
+            os << "# HELP " << n << ' ' << promHelp(h.desc) << '\n';
+        os << "# TYPE " << n << " histogram\n";
+        // le is inclusive, so log2 bucket i ([2^i, 2^(i+1))) maps to
+        // le = 2^(i+1) - 1; counts are cumulative per the exposition
+        // format.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            cum += h.buckets[i];
+            os << n << "_bucket{le=\"" << ((1ull << (i + 1)) - 1)
+               << "\"} " << cum << '\n';
+        }
+        os << n << "_bucket{le=\"+Inf\"} " << h.samples << '\n';
+        os << n << "_sum " << h.sum << '\n';
+        os << n << "_count " << h.samples << '\n';
+    }
+}
+
+std::string
+CounterRegistry::toPrometheus(const std::string &prefix) const
+{
+    std::ostringstream os;
+    writePrometheus(os, prefix);
+    return os.str();
 }
 
 std::string

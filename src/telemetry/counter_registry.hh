@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,14 @@ struct Histogram
 
     /** Mean of all samples (0 when empty). */
     double mean() const;
+
+    /**
+     * The @p p quantile (p in [0, 1], e.g. 0.5/0.95/0.99) estimated
+     * by linear interpolation within the log2 bucket that crosses the
+     * target rank; exact bucket boundaries are recovered exactly
+     * (uniform 0..1023 reports p50 = 512). 0 when empty.
+     */
+    double percentile(double p) const;
 };
 
 /**
@@ -118,6 +127,21 @@ class CounterRegistry
 
     /** CSV with header "name,value,description", one counter per row. */
     std::string toCsv() const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4) of the registry:
+     * every counter becomes `<prefix>_<name>` (dots and other
+     * non-metric characters mapped to '_') with # HELP / # TYPE
+     * comments; histograms expand to the conventional cumulative
+     * _bucket{le="..."} series (le = inclusive upper bound of each
+     * log2 bucket) plus _sum and _count. Groundwork for the sweep
+     * service's /metrics endpoint.
+     */
+    void writePrometheus(std::ostream &os,
+                         const std::string &prefix = "sac") const;
+
+    /** writePrometheus() into a string. */
+    std::string toPrometheus(const std::string &prefix = "sac") const;
 
   private:
     // Deques: registration hands out references that must survive

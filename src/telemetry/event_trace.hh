@@ -88,8 +88,25 @@ struct Event
 class EventTracer
 {
   public:
+    /** A tracer of defaultCapacity() events. */
+    EventTracer() : EventTracer(defaultCapacity()) {}
+
     /** @param capacity ring size in events (rounded up to >= 2). */
-    explicit EventTracer(std::size_t capacity = 1 << 16);
+    explicit EventTracer(std::size_t capacity);
+
+    /**
+     * Ring capacity used when none is given: the process-wide
+     * override set by setDefaultCapacity() (harness `--trace-ring`),
+     * else the SAC_TRACE_RING environment variable (events, parsed
+     * per call so tests can vary it), else 65536.
+     */
+    static std::size_t defaultCapacity();
+
+    /**
+     * Set (n > 0) or clear (n = 0) the process-wide default capacity
+     * override; takes precedence over SAC_TRACE_RING.
+     */
+    static void setDefaultCapacity(std::size_t n);
 
     /** Record one event (overwrites the oldest when full). */
     void

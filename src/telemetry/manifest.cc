@@ -64,6 +64,8 @@ manifestJson(const Manifest &m)
     doc.set("counters", m.counters);
     doc.set("metrics", m.metrics);
     doc.set("timing", m.timing);
+    if (m.profile.size() > 0)
+        doc.set("profile", m.profile);
     return doc;
 }
 

@@ -40,6 +40,13 @@ struct Manifest
     util::Json counters = util::Json::object(); //!< registry snapshot
     util::Json metrics = util::Json::object();  //!< derived metrics
     util::Json timing = util::Json::object();   //!< wall-clock phases
+    /**
+     * Per-set heat profile (telemetry::SetProfiler::toJson(),
+     * "sac-set-profile-v1"). Optional: omitted from the document when
+     * it stays an empty object, so uninstrumented manifests keep
+     * their byte layout.
+     */
+    util::Json profile = util::Json::object();
 };
 
 /** `git describe` of the built tree ("unknown" outside a checkout). */

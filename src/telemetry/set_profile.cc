@@ -1,0 +1,67 @@
+#include "src/telemetry/set_profile.hh"
+
+namespace sac {
+namespace telemetry {
+
+namespace {
+
+util::Json
+countsArray(const std::vector<std::uint64_t> &v)
+{
+    util::Json arr = util::Json::array();
+    for (std::uint64_t x : v)
+        arr.push(x);
+    return arr;
+}
+
+} // namespace
+
+SetProfiler::SetProfiler(std::uint32_t num_sets)
+    : accesses_(num_sets == 0 ? 1 : num_sets, 0),
+      misses_(accesses_.size(), 0), evictions_(accesses_.size(), 0),
+      conflicts_(accesses_.size(), 0)
+{
+}
+
+std::uint32_t
+SetProfiler::hottestSet() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < numSets(); ++i) {
+        if (misses_[i] > misses_[best])
+            best = i;
+    }
+    return best;
+}
+
+util::Json
+SetProfiler::toJson() const
+{
+    util::Json j = util::Json::object();
+    j.set("schema", setProfileSchema);
+    j.set("sets", static_cast<std::uint64_t>(numSets()));
+    j.set("accesses", countsArray(accesses_));
+    j.set("misses", countsArray(misses_));
+    j.set("evictions", countsArray(evictions_));
+    j.set("conflicts", countsArray(conflicts_));
+    util::Json totals = util::Json::object();
+    totals.set("accesses", totalAccesses());
+    totals.set("misses", totalMisses());
+    totals.set("evictions", totalEvictions());
+    totals.set("conflicts", totalConflicts());
+    j.set("total", std::move(totals));
+    j.set("hottest_set", static_cast<std::uint64_t>(hottestSet()));
+    return j;
+}
+
+std::uint64_t
+SetProfiler::total(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t x : v)
+        sum += x;
+    return sum;
+}
+
+} // namespace telemetry
+} // namespace sac

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -635,6 +636,229 @@ TEST(Runner, PhasesAccountForTraceGenAndSim)
     EXPECT_GE(sweep.wallSeconds, 0.0);
     EXPECT_GE(sweep.utilization(), 0.0);
     EXPECT_LE(sweep.utilization(), 1.0 + 1e-9);
+}
+
+TEST(Histogram, PercentilesInterpolateWithinLog2Buckets)
+{
+    // 1024 uniform samples 0..1023: the median is the 512th rank,
+    // which interpolation places exactly on a value of 512.
+    telemetry::Histogram h;
+    for (std::uint64_t v = 0; v < 1024; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 512.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 972.8);
+    // Percentiles are monotone and bounded by the bucket range.
+    EXPECT_LE(h.percentile(0.50), h.percentile(0.95));
+    EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+    EXPECT_LE(h.percentile(0.99), h.percentile(1.0));
+    EXPECT_LE(h.percentile(1.0), 1024.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    // Out-of-range p clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PercentileEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(telemetry::Histogram{}.percentile(0.5), 0.0);
+    // A single sample stays inside its bucket: 7 lives in [4, 8).
+    telemetry::Histogram one;
+    one.sample(7);
+    EXPECT_GT(one.percentile(0.5), 0.0);
+    EXPECT_LE(one.percentile(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 8.0);
+    // A spike histogram reports the spike's bucket at every p.
+    telemetry::Histogram spike;
+    for (int i = 0; i < 100; ++i)
+        spike.sample(16);
+    EXPECT_GE(spike.percentile(0.01), 16.0);
+    EXPECT_LE(spike.percentile(0.99), 32.0);
+}
+
+TEST(Histogram, JsonCarriesThePercentiles)
+{
+    CounterRegistry reg;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        reg.histogram("lat", "latency").sample(v);
+    const auto doc = reg.toJson().dump(0);
+    EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+}
+
+TEST(CounterRegistry, PrometheusExpositionFormat)
+{
+    CounterRegistry reg;
+    reg.counter("cache.main.hits", "main-cache hits") += 42;
+    reg.counter("9starts.with-digit") += 1;
+    auto &h = reg.histogram("swap.latency", "swap cycles");
+    h.sample(1); // bucket 0: le 1
+    h.sample(2); // bucket 1: le 3
+    h.sample(3); // bucket 1
+
+    const std::string text = reg.toPrometheus("sac");
+    EXPECT_NE(text.find("# HELP sac_cache_main_hits main-cache hits\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE sac_cache_main_hits counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_cache_main_hits 42\n"),
+              std::string::npos);
+    // Sanitization: dots and dashes become underscores, and a name
+    // that would start with a digit is prefixed.
+    EXPECT_NE(text.find("_9starts_with_digit 1\n"), std::string::npos);
+    // Histogram buckets are cumulative with inclusive le bounds.
+    EXPECT_NE(text.find("# TYPE sac_swap_latency histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_swap_latency_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_swap_latency_bucket{le=\"3\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_swap_latency_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_swap_latency_sum 6\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("sac_swap_latency_count 3\n"),
+              std::string::npos);
+
+    // An ostream and the string helper agree; empty prefix works.
+    std::ostringstream os;
+    reg.writePrometheus(os, "sac");
+    EXPECT_EQ(os.str(), text);
+    EXPECT_NE(reg.toPrometheus("").find("cache_main_hits 42\n"),
+              std::string::npos);
+}
+
+TEST(EventTracer, RingCapacityIsRuntimeConfigurable)
+{
+    // Highest priority: an explicit constructor argument.
+    EXPECT_EQ(EventTracer(64).capacity(), 64u);
+
+    // Next: the process-wide override (what --trace-ring sets).
+    EventTracer::setDefaultCapacity(32);
+    EXPECT_EQ(EventTracer::defaultCapacity(), 32u);
+    EXPECT_EQ(EventTracer().capacity(), 32u);
+    EXPECT_EQ(EventTracer(8).capacity(), 8u); // explicit still wins
+
+    // Then the SAC_TRACE_RING environment variable.
+    EventTracer::setDefaultCapacity(0); // clear the override
+    ::setenv("SAC_TRACE_RING", "48", 1);
+    EXPECT_EQ(EventTracer::defaultCapacity(), 48u);
+    EXPECT_EQ(EventTracer().capacity(), 48u);
+    EventTracer::setDefaultCapacity(24); // override beats the env
+    EXPECT_EQ(EventTracer::defaultCapacity(), 24u);
+    EventTracer::setDefaultCapacity(0);
+
+    // Garbage and zero env values fall back to the built-in default.
+    ::setenv("SAC_TRACE_RING", "not-a-number", 1);
+    EXPECT_EQ(EventTracer::defaultCapacity(), std::size_t{1} << 16);
+    ::setenv("SAC_TRACE_RING", "0", 1);
+    EXPECT_EQ(EventTracer::defaultCapacity(), std::size_t{1} << 16);
+    ::unsetenv("SAC_TRACE_RING");
+    EXPECT_EQ(EventTracer::defaultCapacity(), std::size_t{1} << 16);
+}
+
+TEST(EventTracer, WrapsCorrectlyAtARuntimeConfiguredBoundary)
+{
+    // Regression guard for the runtime-sized ring: an odd, small
+    // capacity must still keep exactly the newest window in order.
+    EventTracer::setDefaultCapacity(5);
+    EventTracer tr;
+    ASSERT_EQ(tr.capacity(), 5u);
+    for (std::uint32_t i = 0; i < 13; ++i)
+        tr.record(EventKind::Access, i, i * 8, i);
+    EXPECT_EQ(tr.size(), 5u);
+    EXPECT_EQ(tr.recorded(), 13u);
+    EXPECT_EQ(tr.dropped(), 8u);
+    const auto events = tr.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].cycle, 8u + i);
+        EXPECT_EQ(events[i].arg, 8u + i);
+    }
+    EventTracer::setDefaultCapacity(0);
+
+    // The minimum capacity clamp holds for runtime values too.
+    EventTracer::setDefaultCapacity(1);
+    EXPECT_GE(EventTracer().capacity(), 2u);
+    EventTracer::setDefaultCapacity(0);
+}
+
+TEST(PhaseTimer, NestedScopedPhasesAccumulateIndependently)
+{
+    PhaseTimer pt;
+    {
+        telemetry::ScopedPhase outer(pt, "outer");
+        {
+            telemetry::ScopedPhase inner(pt, "inner");
+        }
+        {
+            telemetry::ScopedPhase inner(pt, "inner");
+        }
+    }
+    // The outer scope covers both inner scopes, so its time
+    // dominates; the inner phase saw two invocations.
+    EXPECT_GE(pt.seconds("outer"), pt.seconds("inner"));
+    const auto phases = pt.phases();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].name, "inner"); // first to *finish* reports first
+    EXPECT_EQ(phases[0].invocations, 2u);
+    EXPECT_EQ(phases[1].name, "outer");
+    EXPECT_EQ(phases[1].invocations, 1u);
+}
+
+TEST(PhaseTimer, SelfNestingAccumulatesEveryLevel)
+{
+    PhaseTimer pt;
+    {
+        telemetry::ScopedPhase a(pt, "sim");
+        {
+            telemetry::ScopedPhase b(pt, "sim");
+        }
+    }
+    EXPECT_EQ(pt.phases().size(), 1u);
+    EXPECT_EQ(pt.phases().at(0).invocations, 2u);
+    EXPECT_GT(pt.seconds("sim"), 0.0);
+}
+
+TEST(Runner, WorkerUtilizationAccountsBusyTimeAgainstTheWall)
+{
+    harness::Runner r;
+    std::vector<harness::Workload> ws{
+        {"A",
+         [] {
+             return workloads::makeTaggedTrace(
+                 workloads::buildMv(40));
+         },
+         nullptr},
+        {"B",
+         [] {
+             return workloads::makeTaggedTrace(
+                 workloads::buildMv(28));
+         },
+         nullptr}};
+    r.warmup(ws);
+    const std::vector<core::Config> cfgs{core::softConfig(),
+                                         core::standardConfig()};
+    r.runMatrix(ws, cfgs, harness::amatMetric(), 2);
+    const auto sweep = r.lastSweep();
+    EXPECT_EQ(sweep.jobs, 2u);
+    EXPECT_GT(sweep.wallSeconds, 0.0);
+    // Four cells were simulated, so workers accumulated busy time,
+    // and summed busy time can never exceed jobs x wall time.
+    EXPECT_GT(sweep.busySeconds, 0.0);
+    EXPECT_LE(sweep.busySeconds,
+              sweep.jobs * sweep.wallSeconds * (1.0 + 1e-9));
+    EXPECT_GT(sweep.utilization(), 0.0);
+    EXPECT_LE(sweep.utilization(), 1.0 + 1e-9);
+
+    // A serial sweep accounts the same way with one worker.
+    harness::Runner serial;
+    serial.warmup(ws);
+    serial.runMatrix(ws, cfgs, harness::amatMetric(), 1);
+    const auto s1 = serial.lastSweep();
+    EXPECT_EQ(s1.jobs, 1u);
+    EXPECT_GT(s1.busySeconds, 0.0);
+    EXPECT_LE(s1.utilization(), 1.0 + 1e-9);
 }
 
 } // namespace

@@ -17,6 +17,12 @@
 #                               # the single-pass stack engine against
 #                               # exact replay on presets + fuzz corpus,
 #                               # Mattson properties, analytic oracle
+#   tools/check.sh telemetry    # observability pipeline smoke: an
+#                               # SAC_INTERVAL=ON sweep with --interval
+#                               # and --heatmap, then sac_report.py
+#                               # check/render/diff over the manifests
+#                               # (diff must catch an injected
+#                               # regression)
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -129,11 +135,63 @@ for mode in "${modes[@]}"; do
         echo "=== [stack] OK ==="
         continue
     fi
+    if [[ "$mode" == "telemetry" ]]; then
+        # Telemetry leg: drive the full observability pipeline end to
+        # end — build with the interval/heat-profile hooks compiled in,
+        # run the interval differential tests, sweep Figure 7 with
+        # --interval/--heatmap, then validate + render the output with
+        # sac_report.py and prove `diff` catches a planted regression.
+        build_dir="build-check-telemetry"
+        echo "=== [telemetry] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="" \
+            -DSAC_AUDIT=OFF -DSAC_INTERVAL=ON \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target bench_fig07_traffic_missratio \
+            --target sac_test_interval_test \
+            --target sac_test_telemetry_test
+        echo "=== [telemetry] ctest (interval differential) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" -R 'Interval|SetProfiler|Histogram|Prometheus|EventTrace'
+        echo "=== [telemetry] instrumented sweep ==="
+        run_dir="${build_dir}/telemetry-run"
+        rm -rf "${run_dir}"
+        "${build_dir}/bench/bench_fig07_traffic_missratio" \
+            --jobs 2 --emit-json "${run_dir}" \
+            --interval 2000 --heatmap > /dev/null
+        ls "${run_dir}"/*.intervals.jsonl > /dev/null
+        echo "=== [telemetry] sac_report.py check + render ==="
+        python3 tools/sac_report.py check "${run_dir}"
+        python3 tools/sac_report.py render "${run_dir}" \
+            -o "${build_dir}/sac-report.html"
+        echo "=== [telemetry] sac_report.py diff (self = clean) ==="
+        python3 tools/sac_report.py diff "${run_dir}" "${run_dir}"
+        echo "=== [telemetry] sac_report.py diff (planted regression) ==="
+        perturbed="${build_dir}/telemetry-run-perturbed"
+        rm -rf "${perturbed}"
+        cp -r "${run_dir}" "${perturbed}"
+        python3 - "${perturbed}" <<'EOF'
+import glob, json, sys
+path = sorted(glob.glob(sys.argv[1] + "/*.json"))[0]
+with open(path) as f:
+    doc = json.load(f)
+doc["metrics"]["miss_ratio"] = doc["metrics"]["miss_ratio"] * 1.5 + 0.01
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+EOF
+        if python3 tools/sac_report.py diff "${run_dir}" "${perturbed}" \
+            > /dev/null 2>&1; then
+            echo "error: sac_report.py diff missed the planted regression" >&2
+            exit 1
+        fi
+        echo "=== [telemetry] OK ==="
+        continue
+    fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="

@@ -26,7 +26,13 @@ checks it two ways:
 Usage:
   tools/perf_compare.py check  <report.json> [--baseline FILE]
                                [--tolerance F] [--ratio-slack F]
+                               [--emit-json FILE]
   tools/perf_compare.py update <report.json> [--baseline FILE]
+
+``--emit-json FILE`` additionally writes a machine-readable
+``sac-perf-summary-v1`` document (per-benchmark ratio and drift,
+pass/fail) so CI and tools/sac_report.py can chart the perf
+trajectory instead of scraping stdout.
 
 Short runs (``--benchmark_min_time=0.1``, as in the ``perf-smoke``
 target) are noisy; pass a larger ``--tolerance`` and a nonzero
@@ -64,6 +70,11 @@ RATIO_FLOORS = [
     ("BM_SimulateSoftPrefetch", "BM_SimulateSoftPrefetchGeneral", 0.85,
      False),
     ("BM_SimulateSoftWarming", "BM_SimulateSoft", 2.0, False),
+    # The perf leg builds with SAC_INTERVAL=OFF, so the interval/
+    # heatmap hook sites must compile out entirely: attaching the
+    # recorder may cost at most 1% against the unhooked run (the
+    # acceptance gate of the time-resolved telemetry layer).
+    ("BM_SimulateSoftInterval", "BM_SimulateSoft", 0.99, False),
     ("BM_SweepSampled", "BM_SweepFullDetail", 5.0, False),
     ("BM_SweepStackSinglePass", "BM_SweepPerConfigReplay", 4.0, False),
     ("BM_StreamedSweep/2/real_time", "BM_StreamedSweep/1/real_time",
@@ -117,6 +128,8 @@ def cmd_update(args):
 def cmd_check(args):
     current, context = load_report(args.report)
     failures = []
+    summary_benchmarks = []
+    summary_ratios = []
 
     # 1. Drift against the committed baseline. Coverage mismatches in
     # either direction warn instead of fail: a renamed or added
@@ -138,6 +151,14 @@ def cmd_check(args):
         compared += 1
         floor = base_ips * (1.0 - args.tolerance)
         verdict = "ok" if ips >= floor else "REGRESSED"
+        summary_benchmarks.append({
+            "name": name,
+            "items_per_second": ips,
+            "baseline_items_per_second": base_ips,
+            "drift": ips / base_ips - 1.0,
+            "floor": floor,
+            "ok": ips >= floor,
+        })
         print(f"  {verdict:9s} {name}: {ips / 1e6:.2f} M/s "
               f"(baseline {base_ips / 1e6:.2f}, floor {floor / 1e6:.2f})")
         if ips < floor:
@@ -156,20 +177,45 @@ def cmd_check(args):
     for fast, general, floor, parallel in RATIO_FLOORS:
         if fast not in current or general not in current:
             print(f"  (skip) ratio {fast}/{general}: missing entries")
+            summary_ratios.append({"fast": fast, "slow": general,
+                                   "skipped": "missing entries"})
             continue
         if parallel and host_cpus == 1:
             print(f"  (skip) ratio {fast}/{general}: single-CPU host, "
                   f"parallel floor not meaningful")
+            summary_ratios.append({"fast": fast, "slow": general,
+                                   "skipped": "single-CPU host"})
             continue
         floor = max(0.0, floor - args.ratio_slack)
         ratio = current[fast] / current[general]
         verdict = "ok" if ratio >= floor else "REGRESSED"
+        summary_ratios.append({"fast": fast, "slow": general,
+                               "ratio": ratio, "floor": floor,
+                               "ok": ratio >= floor})
         print(f"  {verdict:9s} {fast}/{general} = {ratio:.2f}x "
               f"(floor {floor:.2f}x)")
         if ratio < floor:
             failures.append(
                 f"within-run ratio below floor: "
                 f"{fast}/{general} = {ratio:.2f}x < {floor:.2f}x")
+
+    if args.emit_json:
+        summary = {
+            "schema": "sac-perf-summary-v1",
+            "report": args.report,
+            "baseline": args.baseline,
+            "tolerance": args.tolerance,
+            "ratio_slack": args.ratio_slack,
+            "host_cpus": host_cpus,
+            "benchmarks": summary_benchmarks,
+            "ratios": summary_ratios,
+            "pass": not failures,
+            "failures": failures,
+        }
+        with open(args.emit_json, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+        print(f"  wrote machine-readable summary to {args.emit_json}")
 
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
@@ -192,6 +238,11 @@ def main():
             s.add_argument("--ratio-slack", type=float, default=0.0,
                            help="subtract from every ratio floor "
                                 "(for short, noisy smoke runs)")
+            s.add_argument("--emit-json", metavar="FILE",
+                           help="write a machine-readable "
+                                "sac-perf-summary-v1 JSON summary "
+                                "(per-benchmark drift, ratios, "
+                                "pass/fail) for CI and sac_report.py")
         s.set_defaults(fn=fn)
     args = p.parse_args()
     args.fn(args)
