@@ -214,9 +214,23 @@ suiteTable(const std::vector<core::Config> &configs,
     runner().warmup(workloads);
 
     if (options().sample) {
+        const harness::BenchOptions &o = options();
         const auto cells = runner().runSampled(
-            workloads, configs, options().sampling, jobs());
+            workloads, configs, o.sampling, jobs(), o.checkpointDir,
+            o.checkpointRebuild);
         if (!emitJsonDir().empty()) {
+            // Library-served cells carry a "checkpoint" block so a
+            // reader can tell an instant re-sweep from a cold warm.
+            util::Json ck = util::Json::object();
+            if (!o.checkpointDir.empty()) {
+                for (const char *key :
+                     {"checkpoint.hits", "checkpoint.misses",
+                      "checkpoint.stale", "checkpoint.bytes"}) {
+                    // Strip the "checkpoint." prefix inside the block.
+                    ck.set(std::string(key).substr(11),
+                           runner().checkpointCounter(key));
+                }
+            }
             for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
                 for (std::size_t ci = 0; ci < configs.size(); ++ci) {
                     if (!emittedCells()
@@ -228,8 +242,8 @@ suiteTable(const std::vector<core::Config> &configs,
                     harness::writeSampledCellManifest(
                         emitJsonDir(), workloads[wi].name,
                         configs[ci], cells[wi][ci].report,
-                        options().sampling,
-                        cells[wi][ci].simSeconds);
+                        o.sampling, cells[wi][ci].simSeconds,
+                        cells[wi][ci].fromCheckpoints ? &ck : nullptr);
                 }
             }
         }

@@ -220,6 +220,31 @@ CacheArray::reset()
     prefetchedCount_ = 0;
 }
 
+std::vector<LineState>
+CacheArray::snapshotLines() const
+{
+    const std::size_t n = static_cast<std::size_t>(sets_) * assoc_;
+    std::vector<LineState> lines;
+    lines.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        lines.push_back(stateAt(i));
+    return lines;
+}
+
+void
+CacheArray::restoreLines(const std::vector<LineState> &lines,
+                         std::uint64_t lru_clock)
+{
+    const std::size_t n = static_cast<std::size_t>(sets_) * assoc_;
+    SAC_ASSERT(lines.size() == n,
+               "restoreLines snapshot shape does not match the array");
+    // assignAt funnels through setPrefetched so prefetchedCount_
+    // tracks the restored flags incrementally.
+    for (std::size_t i = 0; i < n; ++i)
+        assignAt(i, lines[i]);
+    stampCounter_ = lru_clock;
+}
+
 std::uint32_t
 CacheArray::validCount() const
 {

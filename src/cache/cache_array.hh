@@ -219,6 +219,25 @@ class CacheArray
     std::uint32_t validCount() const;
 
     /**
+     * Snapshot every slot in set-major order (sets * assoc entries).
+     * Together with lruClock() this captures the array's complete
+     * architectural state for checkpointing.
+     */
+    std::vector<LineState> snapshotLines() const;
+
+    /** Monotonic LRU stamp source; pair with snapshotLines(). */
+    std::uint64_t lruClock() const { return stampCounter_; }
+
+    /**
+     * Restore a snapshotLines() image onto an identically shaped
+     * array. @p lines must hold exactly sets * assoc entries in
+     * set-major order; @p lru_clock reseeds the stamp counter so
+     * later touches keep strictly increasing stamps.
+     */
+    void restoreLines(const std::vector<LineState> &lines,
+                      std::uint64_t lru_clock);
+
+    /**
      * Count of resident lines with the prefetched bit, maintained
      * incrementally (the prefetch-budget check of Section 4.4 used to
      * rescan the whole array per install).

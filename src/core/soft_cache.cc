@@ -890,6 +890,53 @@ SoftwareAssistedCache::finish()
 #endif
 }
 
+sim::ArchState
+SoftwareAssistedCache::exportState() const
+{
+    sim::ArchState s;
+    s.mainLines = main_.snapshotLines();
+    s.mainLruClock = main_.lruClock();
+    s.hasAux = aux_.has_value();
+    if (aux_) {
+        s.auxLines = aux_->snapshotLines();
+        s.auxLruClock = aux_->lruClock();
+    }
+    s.writeBuffer = writeBuffer_.snapshot();
+    s.now = now_;
+    s.procReadyAt = procReadyAt_;
+    s.cacheFreeAt = cacheFreeAt_;
+    s.busFreeAt = busFreeAt_;
+    s.bypassBufferLine = bypassBufferLine_;
+    s.bypassBufferValid = bypassBufferValid_;
+    s.prefetchLine = pending_.line;
+    s.prefetchCount = pending_.count;
+    s.prefetchReadyAt = pending_.readyAt;
+    s.prefetchValid = pending_.valid;
+    return s;
+}
+
+void
+SoftwareAssistedCache::importState(const sim::ArchState &s)
+{
+    SAC_ASSERT(s.hasAux == aux_.has_value(),
+               "live-point aux presence does not match the config");
+    main_.restoreLines(s.mainLines, s.mainLruClock);
+    if (aux_)
+        aux_->restoreLines(s.auxLines, s.auxLruClock);
+    writeBuffer_.restore(s.writeBuffer);
+    now_ = s.now;
+    procReadyAt_ = s.procReadyAt;
+    cacheFreeAt_ = s.cacheFreeAt;
+    busFreeAt_ = s.busFreeAt;
+    bypassBufferLine_ = s.bypassBufferLine;
+    bypassBufferValid_ = s.bypassBufferValid;
+    pending_.line = s.prefetchLine;
+    pending_.count = s.prefetchCount;
+    pending_.readyAt = s.prefetchReadyAt;
+    pending_.valid = s.prefetchValid;
+    finished_ = false;
+}
+
 bool
 SoftwareAssistedCache::mainContains(Addr addr) const
 {

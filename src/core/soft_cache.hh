@@ -28,6 +28,7 @@
 
 #include "src/cache/cache_array.hh"
 #include "src/core/config.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/miss_classifier.hh"
 #include "src/sim/run_stats.hh"
 #include "src/sim/write_buffer.hh"
@@ -322,6 +323,25 @@ class SoftwareAssistedCache
         return PrefetchProbe{pending_.line, pending_.count,
                              pending_.readyAt};
     }
+
+    // --- Live-point checkpointing (sim::CheckpointLibrary) -------
+
+    /**
+     * Capture the complete architectural state — cache arrays with
+     * LRU clocks, write buffer, timing clocks, bypass buffer and the
+     * in-flight prefetch: exactly the state check::stateDifference
+     * compares, plus the private LRU counters needed to continue
+     * replay bit-identically. Statistics are not included (they only
+     * advance during detailed windows and are reproduced by replay).
+     */
+    sim::ArchState exportState() const;
+
+    /**
+     * Restore a state captured by exportState() on an identically
+     * configured simulator. RunStats and the miss classifier are left
+     * untouched, and the run is unsealed so finish() runs again.
+     */
+    void importState(const sim::ArchState &s);
 
   private:
     /** A main-cache slot filled by the in-flight miss. */

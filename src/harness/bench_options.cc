@@ -102,6 +102,16 @@ BenchOptions::parse(const util::Args &args)
     opts.sampling.warmup =
         count_flag("sample-warmup", opts.sampling.warmup, 0);
 
+    if (args.has("checkpoint-dir")) {
+        const std::string dir = args.getString("checkpoint-dir");
+        // A bare --checkpoint-dir (no following value) parses as the
+        // boolean "true"; there is no directory to use.
+        if (dir.empty() || dir == "true")
+            badCommandLine("--checkpoint-dir expects a directory");
+        opts.checkpointDir = dir;
+    }
+    opts.checkpointRebuild = args.has("checkpoint-rebuild");
+
     opts.interval = count_flag("interval", opts.interval, 0);
     opts.heatmap = args.has("heatmap");
     opts.traceRing = static_cast<std::size_t>(
@@ -141,6 +151,13 @@ BenchOptions::validationError() const
     if (sampleTuningGiven && !sample) {
         return "--sample-window/--sample-stride/--sample-warmup/"
                "--sample-ci/--sample-error require --sample";
+    }
+    if (!checkpointDir.empty() && !sample) {
+        return "--checkpoint-dir persists sampled warming state and "
+               "requires --sample";
+    }
+    if (checkpointRebuild && checkpointDir.empty()) {
+        return "--checkpoint-rebuild requires --checkpoint-dir";
     }
     if ((interval > 0 || heatmap) && emitJsonDir.empty()) {
         return "--interval/--heatmap write into the manifest "

@@ -62,6 +62,22 @@ struct BenchOptions
     bool sampleTuningGiven = false;
 
     /**
+     * --checkpoint-dir DIR: root of the live-point checkpoint library
+     * (sim::CheckpointLibrary). Sampled sweeps load `.saclp` files
+     * from it and skip functional warming; misses warm once and write
+     * the library for every later run. Empty = off. Requires
+     * --sample.
+     */
+    std::string checkpointDir;
+
+    /**
+     * --checkpoint-rebuild: ignore any existing library and force a
+     * warm-and-rewrite (e.g. after deliberately regenerating traces
+     * in place). Requires --checkpoint-dir.
+     */
+    bool checkpointRebuild = false;
+
+    /**
      * --interval N: record an interval-stats snapshot every N trace
      * records and write a sibling `<manifest>.intervals.jsonl` next
      * to each emitted cell manifest. 0 = off. Requires --emit-json;

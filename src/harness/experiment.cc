@@ -249,6 +249,13 @@ Runner::stackCounter(const std::string &name) const
     return stackCounters_.value(name);
 }
 
+std::uint64_t
+Runner::checkpointCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(checkpointMutex_);
+    return checkpointCounters_.value(name);
+}
+
 util::Table
 Runner::runMatrix(const std::vector<Workload> &workloads,
                   const std::vector<core::Config> &configs,
@@ -469,22 +476,97 @@ Runner::runSampled(const std::vector<Workload> &workloads,
                    const std::vector<core::Config> &configs,
                    const sim::SamplingOptions &opt, unsigned jobs)
 {
+    return runSampled(workloads, configs, opt, jobs, std::string(),
+                      false);
+}
+
+std::vector<std::vector<Runner::SampledCell>>
+Runner::runSampled(const std::vector<Workload> &workloads,
+                   const std::vector<core::Config> &configs,
+                   const sim::SamplingOptions &opt, unsigned jobs,
+                   const std::string &checkpoint_dir, bool rebuild)
+{
     const telemetry::ScopedPhase phase(phases_, "sweep-sampled");
     const sim::SampledEngine engine(opt);
+    const bool use_library =
+        !checkpoint_dir.empty() && engine.checkpointable();
 
     // Latch every trace first so the parallel phase below measures
     // sampled replay alone (and workers never race a generation).
     for (const auto &w : workloads)
         traceOf(w);
 
+    // Library identity is the trace *content*, not its name: hash
+    // once per workload, outside the parallel phase.
+    std::vector<std::uint64_t> trace_hashes(workloads.size(), 0);
+    if (use_library) {
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+            trace_hashes[wi] = sim::hashTrace(traceOf(workloads[wi]));
+    }
+
     std::vector<std::vector<SampledCell>> cells(
         workloads.size(), std::vector<SampledCell>(configs.size()));
 
     const auto run_cell = [&](std::size_t wi, std::size_t ci) {
         const auto t0 = std::chrono::steady_clock::now();
-        trace::MemoryTraceSource src(traceOf(workloads[wi]));
+        const trace::Trace &t = traceOf(workloads[wi]);
         core::SoftwareAssistedCache sim(configs[ci]);
-        cells[wi][ci].report = engine.run(src, sim);
+        if (use_library) {
+            sim::CheckpointKey key;
+            key.traceHash = trace_hashes[wi];
+            key.configKey = configs[ci].cacheKey();
+            key.window = opt.window;
+            key.stride = opt.stride;
+            key.warmup = opt.warmup;
+            const std::string path = sim::CheckpointLibrary::pathFor(
+                checkpoint_dir, t.name(), key);
+
+            sim::CheckpointLibrary lib;
+            using LoadResult = sim::CheckpointLibrary::LoadResult;
+            const LoadResult r = rebuild ? LoadResult::Missing
+                                         : lib.load(path, key);
+            std::uint64_t bytes = 0;
+            if (r == LoadResult::Hit) {
+                bytes = lib.loadedBytes();
+            } else {
+                // Warm once through the builder (a warming-only
+                // mirror of the sampled replay), persist, then run
+                // the same restore path a hit takes.
+                core::SoftwareAssistedCache warmer(configs[ci]);
+                trace::MemoryTraceSource warm_src(t);
+                engine.buildLibrary(warm_src, warmer, lib);
+                bytes = lib.save(path, key);
+            }
+            {
+                std::lock_guard<std::mutex> lock(checkpointMutex_);
+                if (r == LoadResult::Hit) {
+                    ++checkpointCounters_.counter(
+                        "checkpoint.hits",
+                        "sampled cells served from a live-point "
+                        "library");
+                } else {
+                    if (r == LoadResult::Stale)
+                        ++checkpointCounters_.counter(
+                            "checkpoint.stale",
+                            "libraries rejected as stale (key, "
+                            "version or file mismatch)");
+                    ++checkpointCounters_.counter(
+                        "checkpoint.misses",
+                        "sampled cells that warmed and wrote a "
+                        "library");
+                }
+                checkpointCounters_.counter(
+                    "checkpoint.bytes",
+                    "bytes moved through .saclp files") += bytes;
+            }
+            trace::MemoryTraceSource src(t);
+            cells[wi][ci].report =
+                engine.runCheckpointed(src, sim, lib);
+            cells[wi][ci].fromCheckpoints = true;
+        } else {
+            trace::MemoryTraceSource src(t);
+            cells[wi][ci].report = engine.run(src, sim);
+        }
         cells[wi][ci].simSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
@@ -753,13 +835,14 @@ writeSampledCellManifest(const std::string &dir,
                          const core::Config &cfg,
                          const sim::SampleReport &report,
                          const sim::SamplingOptions &opt,
-                         double sim_seconds)
+                         double sim_seconds,
+                         const util::Json *checkpoint)
 {
     telemetry::Manifest m;
     m.workload = workload;
     m.configName = cfg.name;
     m.cacheKey = cfg.cacheKey();
-    m.engine = "sampled";
+    m.engine = checkpoint ? "sampled-livepoint" : "sampled";
     m.config = cfg.toJson();
 
     telemetry::CounterRegistry reg;
@@ -798,6 +881,8 @@ writeSampledCellManifest(const std::string &dir,
     m.metrics.set("miss_ratio", report.missRatioEstimate());
     m.metrics.set("words_per_access", report.wordsPerAccessEstimate());
     m.metrics.set("sampling", std::move(sampling));
+    if (checkpoint)
+        m.metrics.set("checkpoint", *checkpoint);
 
     m.timing = util::Json::object();
     if (sim_seconds > 0.0)

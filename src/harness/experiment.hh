@@ -181,6 +181,12 @@ class Runner
     {
         sim::SampleReport report;
         double simSeconds = 0.0; //!< wall seconds of the sampled replay
+        /**
+         * The cell ran on the live-point restore path (warming
+         * replaced by checkpoint restores); manifests then carry
+         * "engine": "sampled-livepoint".
+         */
+        bool fromCheckpoints = false;
     };
 
     /**
@@ -200,6 +206,30 @@ class Runner
                const std::vector<core::Config> &configs,
                const sim::SamplingOptions &opt, unsigned jobs = 0);
 
+    /**
+     * Sampled sweep backed by a live-point checkpoint library rooted
+     * at @p checkpoint_dir (sim::CheckpointLibrary): each cell first
+     * tries to load the `.saclp` for (trace content, config family,
+     * sampling geometry). On a hit the cell replays detailed windows
+     * from restored live-points and skips functional warming
+     * entirely; on a miss (or any stale library — wrong trace hash,
+     * config, geometry, version, or a corrupt/truncated file) the
+     * cell warms once through the library builder, rewrites the file,
+     * and then runs the same restore path. Either way the resulting
+     * RunStats are bit-identical to the plain runSampled() cell (the
+     * checkpoint differential tests prove it). Outcomes land in the
+     * "checkpoint.*" counters (checkpointCounter()). Geometries with
+     * no warming gap (stride == window) and an empty @p
+     * checkpoint_dir fall back to plain runSampled() cells.
+     * @p rebuild forces warm-and-rewrite even when a valid library
+     * exists (--checkpoint-rebuild).
+     */
+    std::vector<std::vector<SampledCell>>
+    runSampled(const std::vector<Workload> &workloads,
+               const std::vector<core::Config> &configs,
+               const sim::SamplingOptions &opt, unsigned jobs,
+               const std::string &checkpoint_dir, bool rebuild);
+
     /** Number of simulations actually executed (not served cached). */
     std::size_t runsExecuted() const { return runsExecuted_.load(); }
 
@@ -213,6 +243,16 @@ class Runner
      *   stack.pass.fallback_cells exact-replay cells in stack sweeps
      */
     std::uint64_t stackCounter(const std::string &name) const;
+
+    /**
+     * Value of one of this runner's "checkpoint.*" telemetry counters
+     * (0 when never incremented):
+     *   checkpoint.hits    cells served from a valid library
+     *   checkpoint.misses  cells that warmed and wrote a library
+     *   checkpoint.stale   rejected libraries (bad key/version/file)
+     *   checkpoint.bytes   bytes moved through .saclp files
+     */
+    std::uint64_t checkpointCounter(const std::string &name) const;
 
     /**
      * Stack-store stats of (w, cfg), or nullptr when no stack pass
@@ -273,6 +313,8 @@ class Runner
         stackResults_;
     mutable std::mutex stackMutex_; //!< guards stackResults_/counters
     telemetry::CounterRegistry stackCounters_;
+    mutable std::mutex checkpointMutex_; //!< guards checkpointCounters_
+    telemetry::CounterRegistry checkpointCounters_;
     std::atomic<std::size_t> runsExecuted_{0};
     std::atomic<std::size_t> tracesGenerated_{0};
     telemetry::PhaseTimer phases_;
@@ -345,7 +387,11 @@ writeStackCellManifest(const std::string &dir,
  * Write the run manifest of one sampled sweep cell: the regular cell
  * manifest built from the cumulative detailed stats, with a
  * "sampling" object in the metrics section carrying the geometry,
- * record accounting, and each estimate with its half-width.
+ * record accounting, and each estimate with its half-width. When
+ * @p checkpoint is given (an object, typically the library-outcome
+ * counters: hits/misses/stale/bytes), the cell ran on the live-point
+ * restore path: the manifest is tagged "engine": "sampled-livepoint"
+ * and carries the object as its "checkpoint" block.
  */
 std::string
 writeSampledCellManifest(const std::string &dir,
@@ -353,7 +399,8 @@ writeSampledCellManifest(const std::string &dir,
                          const core::Config &cfg,
                          const sim::SampleReport &report,
                          const sim::SamplingOptions &opt,
-                         double sim_seconds = 0.0);
+                         double sim_seconds = 0.0,
+                         const util::Json *checkpoint = nullptr);
 
 /**
  * Write one telemetry run manifest for a sweep cell: the full

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/checkpoint.hh"
 #include "src/sim/run_stats.hh"
 #include "src/trace/record.hh"
 #include "src/trace/trace_source.hh"
@@ -333,6 +334,217 @@ class SampledEngine
             // The warmed records moved architectural state but not
             // the statistics; resnapshot so the next window's delta
             // covers exactly its own records.
+            prev = sim.stats();
+        }
+
+        sim.finish();
+        rep.recordsTotal = rep.recordsDetailed + rep.recordsWarmed +
+                           rep.recordsSkipped;
+        rep.exact = !stopped_early && rep.recordsWarmed == 0 &&
+                    rep.recordsSkipped == 0;
+        rep.detailed = sim.stats();
+        return rep;
+    }
+
+    /**
+     * True when this geometry benefits from a checkpoint library: a
+     * gap of warm/skip records exists between windows. When stride ==
+     * window every record is simulated in full detail anyway (the
+     * exact fallback), so there is no warming to persist and callers
+     * should run() directly.
+     */
+    bool checkpointable() const { return opt_.stride > opt_.window; }
+
+    /**
+     * One warming pass that fills @p lib with the live-point at the
+     * start of every detailed window, mirroring run()'s replay/skip
+     * pattern exactly: window-position records and warmup records are
+     * replayed in warming mode (architecturally bit-identical to the
+     * detailed path), skip-position records are skipped. The sim must
+     * be freshly constructed. The builder never stops early — it has
+     * no statistics to converge on — so the library covers every
+     * window any later run() or runCheckpointed() can reach,
+     * including adaptive runs that stop sooner. Requires the extended
+     * Sim concept: ArchState exportState() const.
+     */
+    template <class Sim>
+    void
+    buildLibrary(trace::TraceSource &src, Sim &sim,
+                 CheckpointLibrary &lib) const
+    {
+        lib.clear();
+        const std::uint64_t gap = opt_.stride - opt_.window;
+        const std::uint64_t warm = std::min(opt_.warmup, gap);
+        const std::uint64_t skip = gap - warm;
+
+        std::vector<trace::Record> buf(
+            std::min<std::uint64_t>(trace::TraceSource::defaultChunkRecords,
+                                    opt_.window));
+        bool more = true;
+        while (more) {
+            // Live-point at this window's start (the first one is the
+            // fresh simulator; restoring it is what makes window 0
+            // identical between the warmed and checkpointed runs).
+            lib.append(sim.exportState());
+
+            // 1. The window position, replayed in warming mode.
+            std::uint64_t got = 0;
+            while (got < opt_.window) {
+                const std::size_t want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(buf.size(),
+                                            opt_.window - got));
+                const std::size_t n = src.next(buf.data(), want);
+                if (n == 0) {
+                    more = false;
+                    break;
+                }
+                sim.runWarming(buf.data(), n);
+                got += n;
+            }
+            if (!more)
+                break;
+
+            // 2. The dead part of the period never touches state.
+            if (skip > 0) {
+                const std::uint64_t s = src.skip(skip);
+                if (s < skip)
+                    more = false;
+            }
+
+            // 3. Functional warming into the next window.
+            std::uint64_t warmed = 0;
+            while (more && warmed < warm) {
+                const std::size_t want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(buf.size(), warm - warmed));
+                const std::size_t n = src.next(buf.data(), want);
+                if (n == 0) {
+                    more = false;
+                    break;
+                }
+                sim.runWarming(buf.data(), n);
+                warmed += n;
+            }
+            if (!more) {
+                // Stream ended inside the gap: the warmed run's state
+                // at finish() includes these trailing warm records,
+                // which the checkpointed run fast-forwards past. A
+                // trailing live-point closes that hole (restored by
+                // runCheckpointed when its gap skip comes up short).
+                lib.append(sim.exportState());
+                break;
+            }
+        }
+    }
+
+    /**
+     * run() with the functional warming replaced by live-point
+     * restores: before detailed window k the simulator's architectural
+     * state is overwritten with checkpoint k, and the whole inter-
+     * window gap (skip + warmup) is fast-forwarded without touching
+     * the simulator. Statistics advance only inside detailed windows
+     * in both paths, so the resulting RunStats (and every per-window
+     * sample) are bit-identical to run() over the same source — at
+     * warming cost zero. @p lib must have loaded as Hit for the
+     * matching key (or been built by buildLibrary over the same
+     * source). Requires the extended Sim concept:
+     * void importState(const ArchState &).
+     */
+    template <class Sim>
+    SampleReport
+    runCheckpointed(trace::TraceSource &src, Sim &sim,
+                    const CheckpointLibrary &lib) const
+    {
+        SampleReport rep;
+        rep.confidence = opt_.confidence;
+
+        const std::uint64_t gap = opt_.stride - opt_.window;
+
+        std::vector<trace::Record> buf(
+            std::min<std::uint64_t>(trace::TraceSource::defaultChunkRecords,
+                                    opt_.window));
+        RunStats prev; // stats snapshot at the last window boundary
+        bool more = true;
+        bool stopped_early = false;
+        std::size_t window_index = 0;
+
+        while (more) {
+            // Restore the live-point for this window. buildLibrary
+            // appends one checkpoint per window it enters, so a
+            // matching library always covers us; an exhausted library
+            // (defensive) ends the run like an exhausted stream.
+            const ArchState *cp = lib.checkpointAt(window_index);
+            if (!cp)
+                break;
+            sim.importState(*cp);
+            ++window_index;
+
+            // 1. Detailed measurement window (identical to run()).
+            std::uint64_t got = 0;
+            while (got < opt_.window) {
+                const std::size_t want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(buf.size(),
+                                            opt_.window - got));
+                const std::size_t n = src.next(buf.data(), want);
+                if (n == 0) {
+                    more = false;
+                    break;
+                }
+                sim.runDetailed(buf.data(), n);
+                got += n;
+            }
+            rep.recordsDetailed += got;
+            if (got == opt_.window) {
+                const RunStats &cur = sim.stats();
+                const double acc = static_cast<double>(
+                    cur.accesses - prev.accesses);
+                const double misses = static_cast<double>(
+                    cur.misses - prev.misses);
+                const double cycles =
+                    cur.totalAccessCycles - prev.totalAccessCycles;
+                const double words =
+                    static_cast<double>(cur.bytesFetched -
+                                        prev.bytesFetched) /
+                    wordBytes;
+                rep.missRatio.add(misses / acc);
+                rep.amat.add(cycles / acc);
+                rep.wordsPerAccess.add(words / acc);
+                ++rep.windows;
+                prev = cur;
+
+                const bool capped = opt_.maxWindows > 0 &&
+                                    rep.windows >= opt_.maxWindows;
+                const bool converged =
+                    opt_.targetRelativeError > 0.0 &&
+                    rep.windows >= opt_.minWindows &&
+                    rep.missRatio.relativeError(opt_.confidence) <=
+                        opt_.targetRelativeError;
+                if (more && (capped || converged)) {
+                    rep.recordsSkipped += drainSkip(src);
+                    stopped_early = true;
+                    break;
+                }
+            }
+            if (!more)
+                break;
+
+            // 2. Fast-forward the whole gap: the next live-point
+            // replaces functional warming, so warm-position records
+            // are skipped too (recordsWarmed stays 0).
+            if (gap > 0) {
+                const std::uint64_t s = src.skip(gap);
+                rep.recordsSkipped += s;
+                if (s < gap) {
+                    more = false;
+                    // The stream ended inside the gap: adopt the
+                    // builder's trailing live-point so finish() seals
+                    // the same architectural state (write buffer,
+                    // clocks) the warmed run reached through the
+                    // trailing warm records.
+                    if (const ArchState *tail =
+                            lib.checkpointAt(window_index))
+                        sim.importState(*tail);
+                }
+            }
             prev = sim.stats();
         }
 

@@ -11,6 +11,7 @@
 #define SAC_SIM_WRITE_BUFFER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "src/util/types.hh"
 
@@ -62,6 +63,24 @@ class WriteBuffer
 
     /** Record that a push had to wait for a forced drain. */
     void noteFullStall() { ++fullStalls_; }
+
+    /** Checkpoint image: occupancy, counters and FIFO contents. */
+    struct Snapshot
+    {
+        /** Pending entry sizes, oldest first. */
+        std::vector<std::uint32_t> pendingBytes;
+        std::uint64_t totalBytesPushed = 0;
+        std::uint64_t fullStalls = 0;
+    };
+
+    /** Capture the buffer's architectural state. */
+    Snapshot snapshot() const;
+
+    /**
+     * Restore a snapshot taken on a buffer of the same capacity. The
+     * ring head is normalized to 0; only FIFO order is architectural.
+     */
+    void restore(const Snapshot &s);
 
   private:
     std::uint32_t capacity_;

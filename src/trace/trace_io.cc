@@ -23,15 +23,31 @@ constexpr std::uint64_t recordDiskBytes =
 
 /**
  * Bytes left in @p is from the current position, or nullopt when the
- * stream is not seekable.
+ * stream is not seekable. Unseekable (pipe-fed) streams are left
+ * readable: a failed probe seek would otherwise set failbit and
+ * poison every subsequent sequential read, so any fail state the
+ * probe itself caused is cleared and the position restored before
+ * reporting "unknown".
  */
 std::optional<std::uint64_t>
 remainingBytes(std::istream &is)
 {
-    const auto here = is.tellg();
-    if (here == std::istream::pos_type(-1))
+    if (!is)
         return std::nullopt;
+    const auto here = is.tellg();
+    if (here == std::istream::pos_type(-1)) {
+        is.clear();
+        return std::nullopt;
+    }
     is.seekg(0, std::ios::end);
+    if (!is) {
+        // Streams that can tell but not seek (single-direction
+        // filters) land here: un-poison and stay at the old position.
+        is.clear();
+        is.seekg(here);
+        is.clear();
+        return std::nullopt;
+    }
     const auto end = is.tellg();
     is.seekg(here);
     if (end == std::istream::pos_type(-1) || end < here)
@@ -144,17 +160,44 @@ TraceStreamReader::skip(std::uint64_t n)
 {
     if (!is_ || failed_)
         return 0;
-    const std::uint64_t s = std::min(n, remaining());
-    if (s == 0)
+    const std::uint64_t want = std::min(n, remaining());
+    if (want == 0)
         return 0;
-    is_->seekg(static_cast<std::streamoff>(s * recordDiskBytes),
-               std::ios::cur);
-    if (!*is_) {
-        failed_ = true;
-        return 0;
+    if (const auto bytes = remainingBytes(*is_)) {
+        // Seekable: clamp to the whole records physically present
+        // before seeking. A file stream happily seeks past EOF, so
+        // trusting the header count would claim records a truncated
+        // body does not hold and only surface on the next read.
+        const std::uint64_t present = *bytes / recordDiskBytes;
+        const std::uint64_t s = std::min(want, present);
+        if (s < want)
+            failed_ = true; // header promises more than the body holds
+        if (s == 0)
+            return 0;
+        is_->seekg(static_cast<std::streamoff>(s * recordDiskBytes),
+                   std::ios::cur);
+        if (!*is_) {
+            failed_ = true;
+            return 0;
+        }
+        read_ += s;
+        return s;
     }
-    read_ += s;
-    return s;
+    // Unseekable (pipe-fed) stream: decode and discard. read() keeps
+    // the truncation accounting honest (failed() on a short body).
+    Record scratch[256];
+    std::uint64_t skipped = 0;
+    while (skipped < want) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(want - skipped,
+                                    sizeof(scratch) /
+                                        sizeof(scratch[0])));
+        const std::size_t got = read(scratch, chunk);
+        if (got == 0)
+            break;
+        skipped += got;
+    }
+    return skipped;
 }
 
 bool

@@ -57,10 +57,13 @@ class TraceStreamReader
 
     /**
      * Fast-forward past up to @p n records. Records are packed with a
-     * fixed on-disk size, so this is one bounded relative seek, not a
-     * decode loop; a seek past the physical end of a truncated body
-     * surfaces as failed() on the following read().
-     * @return records skipped (min of @p n and remaining())
+     * fixed on-disk size, so on a seekable stream this is one bounded
+     * relative seek, clamped to the records the body physically holds
+     * (never past EOF); unseekable streams decode and discard.
+     * @return records actually skipped. A short return with
+     *         failed() == false is the clean end of the trace; with
+     *         failed() == true the body is truncated or malformed
+     *         (the header promised records that are not there).
      */
     std::uint64_t skip(std::uint64_t n);
 

@@ -60,9 +60,20 @@ class TraceSource
      * (the sampled engine's skip phase). The base implementation
      * decodes into a scratch buffer and discards; sources with random
      * access override it with a position bump.
-     * @return records skipped; < n only at end of stream
+     * @return records actually skipped. A short return means the
+     *         stream produced no more records: failed() distinguishes
+     *         the clean end of the trace (false) from a mid-stream
+     *         decode error such as a truncated body (true), so
+     *         callers never mistake lost records for a short trace.
      */
     virtual std::uint64_t skip(std::uint64_t n);
+
+    /**
+     * Did the stream end with a mid-stream error (truncated or
+     * malformed body) rather than a clean end of trace? In-memory and
+     * generated sources cannot fail; decoding sources override this.
+     */
+    virtual bool failed() const { return false; }
 
     /** Benchmark name of the underlying trace. */
     virtual const std::string &name() const = 0;
@@ -126,11 +137,16 @@ class FileTraceSource : public TraceSource
     bool ok() const { return ok_; }
 
     /** Did decoding fail mid-stream (malformed or truncated body)? */
-    bool failed() const { return reader_.failed(); }
+    bool failed() const override { return reader_.failed(); }
 
     std::size_t next(Record *out, std::size_t max) override;
 
-    /** Seek-based fast-forward (fixed on-disk record size). */
+    /**
+     * Seek-based fast-forward (fixed on-disk record size), clamped to
+     * the records the body physically holds: a truncated file yields
+     * a short return with failed() set, never a phantom skip past
+     * EOF.
+     */
     std::uint64_t skip(std::uint64_t n) override;
 
     const std::string &name() const override { return reader_.name(); }

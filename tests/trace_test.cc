@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <sstream>
+#include <streambuf>
+
+#include "src/trace/trace_source.hh"
 
 #include "src/trace/record.hh"
 #include "src/trace/timing_model.hh"
@@ -257,6 +261,214 @@ TEST(TraceIoTest, MissingFileFails)
     Trace t;
     EXPECT_FALSE(
         sac::trace::readTraceFile("/tmp/definitely_missing_sac", t));
+}
+
+// --- Skip semantics on seekable, unseekable and truncated streams ---
+
+/** On-disk bytes of one record (mirrors trace_io.cc's layout). */
+constexpr std::uint64_t diskRecordBytes = 18;
+
+/** Header bytes for a trace named @p name. */
+std::size_t
+headerBytes(const std::string &name)
+{
+    return 4 + 4 + 4 + name.size() + 8;
+}
+
+Trace
+numberedTrace(int n)
+{
+    Trace t("x");
+    for (int i = 0; i < n; ++i)
+        t.push(makeRecord(static_cast<sac::Addr>(i) * 64));
+    return t;
+}
+
+/**
+ * A pipe-like streambuf: the whole body is readable sequentially but
+ * every seek (including tellg's seekoff(0, cur)) fails, like stdin or
+ * a filter stream. Exercises the decode-and-discard skip path and the
+ * remainingBytes "cannot tell" guard.
+ */
+class UnseekableBuf : public std::streambuf
+{
+  public:
+    explicit UnseekableBuf(std::string data) : data_(std::move(data))
+    {
+        setg(data_.data(), data_.data(), data_.data() + data_.size());
+    }
+
+  protected:
+    pos_type seekoff(off_type, std::ios_base::seekdir,
+                     std::ios_base::openmode) override
+    {
+        return pos_type(off_type(-1));
+    }
+    pos_type seekpos(pos_type, std::ios_base::openmode) override
+    {
+        return pos_type(off_type(-1));
+    }
+
+  private:
+    std::string data_;
+};
+
+/**
+ * A stream that can report its position but not move it (tellg works,
+ * any repositioning fails): the branch where remainingBytes's probe
+ * seek to the end fails after a successful tellg, which used to leave
+ * failbit set and poison every subsequent read.
+ */
+class TellOnlyBuf : public std::streambuf
+{
+  public:
+    explicit TellOnlyBuf(std::string data) : data_(std::move(data))
+    {
+        setg(data_.data(), data_.data(), data_.data() + data_.size());
+    }
+
+  protected:
+    pos_type seekoff(off_type off, std::ios_base::seekdir way,
+                     std::ios_base::openmode) override
+    {
+        if (off == 0 && way == std::ios_base::cur)
+            return pos_type(gptr() - eback());
+        return pos_type(off_type(-1));
+    }
+    pos_type seekpos(pos_type, std::ios_base::openmode) override
+    {
+        return pos_type(off_type(-1));
+    }
+
+  private:
+    std::string data_;
+};
+
+std::string
+serialized(const Trace &t)
+{
+    std::stringstream ss;
+    EXPECT_TRUE(sac::trace::writeTrace(t, ss));
+    return ss.str();
+}
+
+TEST(TraceIoSkipTest, UnseekableStreamSkipsByDecodeDiscard)
+{
+    const Trace t = numberedTrace(20);
+    UnseekableBuf buf(serialized(t));
+    std::istream is(&buf);
+    sac::trace::TraceStreamReader reader;
+    ASSERT_TRUE(reader.open(is));
+
+    EXPECT_EQ(reader.skip(5), 5u);
+    EXPECT_FALSE(reader.failed());
+    // The probe must not have poisoned the stream: the next read
+    // delivers record 5, not garbage or EOF.
+    Record r;
+    ASSERT_EQ(reader.read(&r, 1), 1u);
+    EXPECT_EQ(r.addr, 5u * 64u);
+    // Skipping past the end is clamped to what remains, cleanly.
+    EXPECT_EQ(reader.skip(100), 14u);
+    EXPECT_FALSE(reader.failed());
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceIoSkipTest, TellOnlyStreamSkipsCleanly)
+{
+    const Trace t = numberedTrace(10);
+    TellOnlyBuf buf(serialized(t));
+    std::istream is(&buf);
+    sac::trace::TraceStreamReader reader;
+    ASSERT_TRUE(reader.open(is));
+
+    EXPECT_EQ(reader.skip(3), 3u);
+    EXPECT_FALSE(reader.failed());
+    EXPECT_TRUE(is.good())
+        << "the failed end-probe seek must not leave failbit set";
+    Record r;
+    ASSERT_EQ(reader.read(&r, 1), 1u);
+    EXPECT_EQ(r.addr, 3u * 64u);
+}
+
+TEST(TraceIoSkipTest, ReadTraceFromUnseekableStream)
+{
+    const Trace t = numberedTrace(12);
+    UnseekableBuf buf(serialized(t));
+    std::istream is(&buf);
+    Trace back;
+    ASSERT_TRUE(sac::trace::readTrace(is, back));
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(TraceIoSkipTest, TruncatedBodySkipClampsAndFails)
+{
+    // Header promises 20 records; the body holds 7 whole records plus
+    // half of the 8th. skip(10) must report the 7 that exist and set
+    // failed() — not seek past EOF and claim 10.
+    const Trace t = numberedTrace(20);
+    std::string data = serialized(t);
+    data.resize(headerBytes("x") + 7 * diskRecordBytes + 9);
+    std::stringstream cut(data);
+    sac::trace::TraceStreamReader reader;
+    ASSERT_TRUE(reader.open(cut));
+
+    EXPECT_EQ(reader.skip(10), 7u);
+    EXPECT_TRUE(reader.failed());
+    Record r;
+    EXPECT_EQ(reader.read(&r, 1), 0u);
+}
+
+TEST(TraceIoSkipTest, SkipWithinTruncatedBodyStaysClean)
+{
+    // Skips that stay inside the surviving records succeed without
+    // raising failed(); only outrunning the body is an error.
+    const Trace t = numberedTrace(20);
+    std::string data = serialized(t);
+    data.resize(headerBytes("x") + 7 * diskRecordBytes);
+    std::stringstream cut(data);
+    sac::trace::TraceStreamReader reader;
+    ASSERT_TRUE(reader.open(cut));
+
+    EXPECT_EQ(reader.skip(6), 6u);
+    EXPECT_FALSE(reader.failed());
+    Record r;
+    ASSERT_EQ(reader.read(&r, 1), 1u);
+    EXPECT_EQ(r.addr, 6u * 64u);
+    // 12 records are still owed but none are present.
+    EXPECT_EQ(reader.skip(5), 0u);
+    EXPECT_TRUE(reader.failed());
+}
+
+TEST(TraceIoSkipTest, FileTraceSourceSkipIsHonest)
+{
+    const Trace t = numberedTrace(20);
+    const std::string path =
+        testing::TempDir() + "/sac_trace_skip_test.sactrace";
+    ASSERT_TRUE(sac::trace::writeTraceFile(t, path));
+
+    {
+        sac::trace::FileTraceSource src(path);
+        ASSERT_TRUE(src.ok());
+        EXPECT_EQ(src.skip(8), 8u);
+        Record r;
+        ASSERT_EQ(src.next(&r, 1), 1u);
+        EXPECT_EQ(r.addr, 8u * 64u);
+        // Clean end of trace: short skip, failed() false.
+        EXPECT_EQ(src.skip(100), 11u);
+        EXPECT_FALSE(src.failed());
+    }
+
+    // Truncate the body mid-record and re-probe: the skip reports
+    // only whole surviving records and flags the truncation.
+    std::filesystem::resize_file(
+        path, headerBytes("x") + 5 * diskRecordBytes + 3);
+    sac::trace::FileTraceSource cut(path);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_EQ(cut.skip(20), 5u);
+    EXPECT_TRUE(cut.failed());
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -22,7 +22,16 @@
 #                               # and --heatmap, then sac_report.py
 #                               # check/render/diff over the manifests
 #                               # (diff must catch an injected
-#                               # regression)
+#                               # regression and survive a zero
+#                               # baseline)
+#   tools/check.sh checkpoint   # live-point library end to end: the
+#                               # Checkpoint differential tests, a
+#                               # cold sampled sweep that writes the
+#                               # .saclp library, a warm re-sweep that
+#                               # must serve every cell from it with
+#                               # byte-identical tables, and a
+#                               # corrupt-library probe that must
+#                               # silently warm and rewrite
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -184,14 +193,132 @@ EOF
             echo "error: sac_report.py diff missed the planted regression" >&2
             exit 1
         fi
+        echo "=== [telemetry] sac_report.py diff (zero baseline) ==="
+        # A baseline metric of exactly 0 used to divide to inf and fail
+        # every diff; the comparison must fall back to the absolute
+        # delta, so a drift inside the threshold still passes.
+        zero_a="${build_dir}/telemetry-run-zero-a"
+        zero_b="${build_dir}/telemetry-run-zero-b"
+        rm -rf "${zero_a}" "${zero_b}"
+        cp -r "${run_dir}" "${zero_a}"
+        cp -r "${run_dir}" "${zero_b}"
+        python3 - "${zero_a}" "${zero_b}" <<'EOF'
+import glob, json, sys
+for run, value in ((sys.argv[1], 0.0), (sys.argv[2], 0.01)):
+    path = sorted(glob.glob(run + "/*.json"))[0]
+    with open(path) as f:
+        doc = json.load(f)
+    doc["metrics"]["miss_ratio"] = value
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+EOF
+        zero_out="$(python3 tools/sac_report.py diff \
+            "${zero_a}" "${zero_b}")" || {
+            echo "error: zero-baseline diff failed (inf regression?)" >&2
+            echo "${zero_out}" >&2
+            exit 1
+        }
+        if echo "${zero_out}" | grep -qi 'inf'; then
+            echo "error: zero-baseline diff still emits inf:" >&2
+            echo "${zero_out}" >&2
+            exit 1
+        fi
         echo "=== [telemetry] OK ==="
+        continue
+    fi
+    if [[ "$mode" == "checkpoint" ]]; then
+        # Checkpoint leg: prove the live-point library end to end —
+        # the Checkpoint differential + invalidation tests, then a
+        # cold sampled sweep that builds and persists the library, a
+        # warm re-sweep that must serve every cell from it (hits > 0,
+        # zero misses) with byte-identical figure tables, and a
+        # corrupt-library probe that must silently warm and rewrite
+        # (stale counted, same tables) instead of restoring garbage.
+        build_dir="build-check-checkpoint"
+        echo "=== [checkpoint] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="" \
+            -DSAC_AUDIT=OFF \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target sac_test_checkpoint_test \
+            --target sac_test_trace_test \
+            --target bench_fig07_traffic_missratio
+        echo "=== [checkpoint] ctest (differential + invalidation) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" -R 'Checkpoint|ArchState|TraceIoSkip'
+        lib_dir="${build_dir}/checkpoint-lib"
+        rm -rf "${lib_dir}" "${build_dir}"/checkpoint-run-* \
+            "${build_dir}"/checkpoint-*.txt
+        ck_sweep() {
+            "${build_dir}/bench/bench_fig07_traffic_missratio" \
+                --jobs 2 --sample --checkpoint-dir "${lib_dir}" \
+                --emit-json "${build_dir}/checkpoint-run-$1" \
+                > "${build_dir}/checkpoint-$1.txt"
+        }
+        ck_counters() {
+            # Sum the library-outcome counters over one run's sampled
+            # manifests and assert the expected outcome mix.
+            python3 - "${build_dir}/checkpoint-run-$1" "$2" <<'EOF'
+import glob, json, sys
+run_dir, expect = sys.argv[1], sys.argv[2]
+blocks = []
+for path in sorted(glob.glob(run_dir + "/*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    ck = doc.get("metrics", {}).get("checkpoint")
+    if ck is None:
+        continue
+    if doc.get("engine") != "sampled-livepoint":
+        sys.exit(f"{path}: checkpoint block without livepoint engine")
+    blocks.append(ck)
+if not blocks:
+    sys.exit(f"{run_dir}: no sampled-livepoint manifests")
+# Every manifest of one run snapshots the same runner-wide counters.
+ck = blocks[0]
+hits, misses = ck.get("hits", 0), ck.get("misses", 0)
+stale = ck.get("stale", 0)
+if ck.get("bytes", 0) <= 0:
+    sys.exit(f"{run_dir}: checkpoint.bytes not accounted")
+if expect == "cold" and not (misses > 0 and hits == 0 and stale == 0):
+    sys.exit(f"{run_dir}: cold run expected all misses, got {ck}")
+if expect == "warm" and not (hits > 0 and misses == 0 and stale == 0):
+    sys.exit(f"{run_dir}: warm run expected all hits, got {ck}")
+if expect == "stale" and not (stale >= 1 and misses >= 1):
+    sys.exit(f"{run_dir}: stale run expected a rewrite, got {ck}")
+print(f"  {expect}: hits={hits} misses={misses} stale={stale}")
+EOF
+        }
+        echo "=== [checkpoint] cold sweep (builds the library) ==="
+        ck_sweep cold
+        ck_counters cold cold
+        echo "=== [checkpoint] warm re-sweep (must hit the library) ==="
+        ck_sweep warm
+        ck_counters warm warm
+        diff "${build_dir}/checkpoint-cold.txt" \
+            "${build_dir}/checkpoint-warm.txt"
+        echo "=== [checkpoint] corrupt-library probe (must warm) ==="
+        victim="$(find "${lib_dir}" -name '*.saclp' | head -1)"
+        [[ -n "${victim}" ]] || { echo "no .saclp written" >&2; exit 1; }
+        python3 - "${victim}" <<'EOF'
+import sys
+with open(sys.argv[1], "r+b") as f:
+    f.seek(40)
+    byte = f.read(1)
+    f.seek(40)
+    f.write(bytes([byte[0] ^ 0x20]))
+EOF
+        ck_sweep stale
+        ck_counters stale stale
+        diff "${build_dir}/checkpoint-cold.txt" \
+            "${build_dir}/checkpoint-stale.txt"
+        echo "=== [checkpoint] OK ==="
         continue
     fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|checkpoint|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="

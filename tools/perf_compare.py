@@ -76,6 +76,13 @@ RATIO_FLOORS = [
     # acceptance gate of the time-resolved telemetry layer).
     ("BM_SimulateSoftInterval", "BM_SimulateSoft", 0.99, False),
     ("BM_SweepSampled", "BM_SweepFullDetail", 5.0, False),
+    # The live-point floor: a sampled re-sweep served from a warm
+    # checkpoint library restores each window's architectural state
+    # instead of functionally warming it, so it must run >=5x the cold
+    # sampled sweep at the same deep-warmup geometry (the acceptance
+    # gate of the checkpoint library; the Checkpoint tests prove the
+    # restored runs are bit-identical in RunStats).
+    ("BM_SweepSampledCheckpointed", "BM_SweepSampled", 5.0, False),
     ("BM_SweepStackSinglePass", "BM_SweepPerConfigReplay", 4.0, False),
     ("BM_StreamedSweep/2/real_time", "BM_StreamedSweep/1/real_time",
      1.0, True),

@@ -453,13 +453,23 @@ def cmd_diff(args):
             vb = mb["metrics"].get(metric)
             if va is None or vb is None:
                 continue
-            base = max(abs(va), 1e-12)
-            rel = (vb - va) / base
+            if abs(va) > 1e-9:
+                rel = (vb - va) / abs(va)
+                shown = f"{100 * rel:+.2f}%"
+            else:
+                # Zero (or vanishing) baseline: a relative delta would
+                # divide by ~0 and turn any drift into an astronomical
+                # percentage (or inf). Compare the absolute delta
+                # against the same threshold instead — for ratios and
+                # cycle counts near 0, "moved by more than the
+                # threshold" is the meaningful regression test.
+                rel = vb - va
+                shown = f"Δ{rel:+.6g} abs"
             verdict = "ok" if rel <= args.threshold else "REGRESSED"
             if rel > args.threshold or args.verbose:
                 print(f"  {verdict:9s} {key[0]} · {key[1]} · "
                       f"{metric}: {va:.6g} -> {vb:.6g} "
-                      f"({100 * rel:+.2f}%)")
+                      f"({shown})")
             if rel > args.threshold:
                 regressions.append((key, metric, va, vb, rel))
     if regressions:
