@@ -34,7 +34,7 @@ main(int argc, char **argv)
         const std::uint32_t sizes[] = {2, 4, 8, 16, 32, 64};
         std::vector<core::Config> configs;
         for (const auto n : sizes) {
-            auto c = core::softConfig();
+            auto c = core::presets().get("soft");
             c.auxLines = n;
             c.name = "BB=" + std::to_string(n * 32) + "B";
             configs.push_back(c);
@@ -46,7 +46,7 @@ main(int argc, char **argv)
     {
         std::vector<core::Config> configs;
         for (const std::uint32_t assoc : {1u, 2u, 4u, 0u}) {
-            auto c = core::softConfig();
+            auto c = core::presets().get("soft");
             c.auxAssoc = assoc;
             c.name = assoc == 0 ? "BB full-assoc"
                                 : "BB " + std::to_string(assoc) +
@@ -60,7 +60,7 @@ main(int argc, char **argv)
     {
         std::vector<core::Config> configs;
         for (const Cycle t : {2u, 3u, 5u}) {
-            auto c = core::softConfig();
+            auto c = core::presets().get("soft");
             c.timing.auxHitTime = t;
             c.name = "BB access " + std::to_string(t) + "cy";
             configs.push_back(c);
@@ -70,9 +70,9 @@ main(int argc, char **argv)
 
     std::cout << "\nDynamic temporal-bit reset (AMAT, Soft.)\n\n";
     {
-        auto on = core::softConfig();
+        auto on = core::presets().get("soft");
         on.name = "reset on (paper)";
-        auto off = core::softConfig();
+        auto off = core::presets().get("soft");
         off.resetTemporalBitOnBounce = false;
         off.name = "reset off";
         bench::suiteTable({on, off}, bench::amatOf).print(std::cout);
@@ -80,9 +80,9 @@ main(int argc, char **argv)
 
     std::cout << "\nVirtual-line coherence check (words/ref, Soft.)\n\n";
     {
-        auto on = core::softConfig();
+        auto on = core::presets().get("soft");
         on.name = "check on (paper)";
-        auto off = core::softConfig();
+        auto off = core::presets().get("soft");
         off.virtualLineCoherenceCheck = false;
         off.name = "check off";
         bench::suiteTable({on, off}, bench::wordsOf).print(std::cout);
@@ -90,7 +90,7 @@ main(int argc, char **argv)
 
     std::cout << "\nVariable-length virtual lines (AMAT; Section 3.2 "
                  "extension)\n\n";
-    bench::suiteTable({core::softConfig(), core::variableSoftConfig()},
+    bench::suiteTable({core::presets().get("soft"), core::presets().get("variable")},
                       bench::amatOf)
         .print(std::cout);
 
@@ -104,7 +104,7 @@ main(int argc, char **argv)
             table.set(row, 0, std::to_string(lat));
             std::size_t col = 1;
             for (const std::uint32_t degree : {1u, 2u, 4u}) {
-                auto c = core::softPrefetchConfig();
+                auto c = core::presets().get("soft-prefetch");
                 c.timing.memoryLatency = lat;
                 c.prefetchDegree = degree;
                 c.name = "pf d" + std::to_string(degree) + " l" +
@@ -120,10 +120,10 @@ main(int argc, char **argv)
                  "(AMAT; paper Section 3.2:\n16-byte and 32-byte "
                  "physical lines proved similar)\n\n";
     {
-        auto half = core::softConfig();
+        auto half = core::presets().get("soft");
         half.lineBytes = 16;
         half.name = "Soft. Ls=16";
-        auto full = core::softConfig();
+        auto full = core::presets().get("soft");
         full.name = "Soft. Ls=32";
         bench::suiteTable({half, full}, bench::amatOf)
             .print(std::cout);
@@ -133,7 +133,7 @@ main(int argc, char **argv)
     {
         std::vector<core::Config> configs;
         for (const std::uint32_t n : {1u, 2u, 8u, 32u}) {
-            auto c = core::softConfig();
+            auto c = core::presets().get("soft");
             c.writeBufferEntries = n;
             c.name = "WB " + std::to_string(n);
             configs.push_back(c);
@@ -168,14 +168,14 @@ main(int argc, char **argv)
                                      rate.label;
             table.setNumber(
                 row, 1,
-                bench::runCell(t, core::standardConfig(), cell)
+                bench::runCell(t, core::presets().get("standard"), cell)
                     .amat());
             table.setNumber(
                 row, 2,
-                bench::runCell(t, core::softConfig(), cell).amat());
+                bench::runCell(t, core::presets().get("soft"), cell).amat());
             table.setNumber(
                 row, 3,
-                bench::runCell(t, core::softPrefetchConfig(), cell)
+                bench::runCell(t, core::presets().get("soft-prefetch"), cell)
                     .amat());
         }
         table.print(std::cout);

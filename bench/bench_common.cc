@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/harness/experiment.hh"
+#include "src/harness/sweep.hh"
 #include "src/util/thread_pool.hh"
 
 namespace sac {
@@ -210,114 +211,22 @@ util::Table
 suiteTable(const std::vector<core::Config> &configs,
            const harness::Metric &m)
 {
+    // Thin adapter: one SweepRequest expresses the whole bench
+    // command line; Runner::run() routes, sweeps, and emits the
+    // manifests (engine tags, suite totals, instrumentation).
     const auto workloads = harness::paperWorkloads();
     runner().warmup(workloads);
 
-    if (options().sample) {
-        const harness::BenchOptions &o = options();
-        const auto cells = runner().runSampled(
-            workloads, configs, o.sampling, jobs(), o.checkpointDir,
-            o.checkpointRebuild);
-        if (!emitJsonDir().empty()) {
-            // Library-served cells carry a "checkpoint" block so a
-            // reader can tell an instant re-sweep from a cold warm.
-            util::Json ck = util::Json::object();
-            if (!o.checkpointDir.empty()) {
-                for (const char *key :
-                     {"checkpoint.hits", "checkpoint.misses",
-                      "checkpoint.stale", "checkpoint.bytes"}) {
-                    // Strip the "checkpoint." prefix inside the block.
-                    ck.set(std::string(key).substr(11),
-                           runner().checkpointCounter(key));
-                }
-            }
-            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-                for (std::size_t ci = 0; ci < configs.size(); ++ci) {
-                    if (!emittedCells()
-                             .emplace(workloads[wi].name,
-                                      configs[ci].cacheKey())
-                             .second) {
-                        continue;
-                    }
-                    harness::writeSampledCellManifest(
-                        emitJsonDir(), workloads[wi].name,
-                        configs[ci], cells[wi][ci].report,
-                        o.sampling, cells[wi][ci].simSeconds,
-                        cells[wi][ci].fromCheckpoints ? &ck : nullptr);
-                }
-            }
-        }
-        return harness::sampledMatrix(workloads, configs, cells, m);
+    harness::SweepRequest request = harness::SweepRequest::
+        fromBenchOptions(options(), workloads, configs, m);
+    request.telemetry.dedup = &emittedCells();
+    const harness::SweepResult result = runner().run(request);
+    if (result.manifestFailures > 0) {
+        std::cerr << "failed to write run manifest under '"
+                  << emitJsonDir() << "'\n";
+        std::exit(1);
     }
-
-    util::Table table =
-        runner().runMatrix(workloads, configs, m, jobs());
-    if (!emitJsonDir().empty()) {
-        // One manifest per sweep cell, plus one aggregate per
-        // configuration folding the whole suite with RunStats::+=.
-        // Cells this sweep served from a single stack pass (mirror
-        // runMatrix's partition rule) are recorded as such instead of
-        // being exact-replayed just for the manifest; those configs
-        // get no suite-total, whose timing aggregate a stack pass
-        // cannot provide.
-        std::size_t family_size = 0;
-        if (harness::stackDerivableMetric(m)) {
-            for (const auto &cfg : configs) {
-                if (harness::stackFamilyEligible(cfg))
-                    ++family_size;
-            }
-            if (family_size < 2)
-                family_size = 0;
-        }
-        const auto sweep = runner().lastSweep();
-        util::Json phases = runner().phases().toJson();
-        phases.set("sweep_jobs",
-                   static_cast<std::uint64_t>(sweep.jobs));
-        phases.set("worker_utilization", sweep.utilization());
-        for (const auto &cfg : configs) {
-            sim::RunStats suite_total;
-            double suite_seconds = 0.0;
-            bool stack_served = false;
-            for (const auto &w : workloads) {
-                const sim::RunStats *stack =
-                    family_size > 0 &&
-                            harness::stackFamilyEligible(cfg)
-                        ? runner().stackStats(w, cfg)
-                        : nullptr;
-                if (stack != nullptr) {
-                    stack_served = true;
-                    if (emittedCells()
-                            .emplace(w.name, cfg.cacheKey())
-                            .second &&
-                        harness::writeStackCellManifest(
-                            emitJsonDir(), w.name, cfg, *stack,
-                            family_size)
-                            .empty()) {
-                        std::cerr << "failed to write run manifest "
-                                     "under '"
-                                  << emitJsonDir() << "'\n";
-                        std::exit(1);
-                    }
-                    continue;
-                }
-                const auto &cell = runner().cell(w, cfg);
-                emitCellManifest(w.name, cfg, cell.stats,
-                                 cell.simSeconds);
-                suite_total += cell.stats;
-                suite_seconds += cell.simSeconds;
-            }
-            if (!stack_served &&
-                emittedCells()
-                    .emplace("suite-total", cfg.cacheKey())
-                    .second) {
-                harness::writeCellManifest(emitJsonDir(),
-                                           "suite-total", cfg,
-                                           suite_total, suite_seconds,
-                                           &phases);
-            }
-        }
-    }
-    return table;
+    return result.table;
 }
 
 void

@@ -21,16 +21,16 @@ main(int argc, char **argv)
 
     std::cout << "\nFigure 8a: influence of the virtual line size "
                  "(AMAT)\n\n";
-    bench::suiteTable({core::softConfig(32), core::softConfig(64),
-                       core::softConfig(128), core::softConfig(256)},
+    bench::suiteTable({core::softWithVirtualLineSize(32), core::softWithVirtualLineSize(64),
+                       core::softWithVirtualLineSize(128), core::softWithVirtualLineSize(256)},
                       bench::amatOf)
         .print(std::cout);
 
     std::cout << "\nFigure 8b: influence of the physical line size "
                  "(AMAT)\n\n";
-    bench::suiteTable({core::standardConfig(32), core::standardConfig(64),
-                       core::standardConfig(128),
-                       core::standardConfig(256), core::softConfig()},
+    bench::suiteTable({core::standardWithLineSize(32), core::standardWithLineSize(64),
+                       core::standardWithLineSize(128),
+                       core::standardWithLineSize(256), core::presets().get("soft")},
                       bench::amatOf)
         .print(std::cout);
 

@@ -43,11 +43,11 @@ main(int argc, char **argv)
         table.set(row, 0, b.name);
         for (std::size_t c = 0; c < std::size(points); ++c) {
             const auto stand = bench::cachedRun(
-                b.name, core::scaledConfig(core::standardConfig(),
+                b.name, core::scaledConfig(core::presets().get("standard"),
                                            points[c].bytes,
                                            points[c].line));
             const auto soft = bench::cachedRun(
-                b.name, core::scaledConfig(core::softConfig(),
+                b.name, core::scaledConfig(core::presets().get("soft"),
                                            points[c].bytes,
                                            points[c].line));
             const double removed =
@@ -68,7 +68,7 @@ main(int argc, char **argv)
     for (const std::uint64_t kb : {4, 8, 16, 32}) {
         for (const std::uint32_t ways : {1u, 2u}) {
             core::Config cfg = core::scaledConfig(
-                core::standardConfig(), kb * 1024, 32);
+                core::presets().get("standard"), kb * 1024, 32);
             cfg.assoc = ways;
             cfg.name += "/" + std::to_string(ways) + "w";
             cfg.validate();

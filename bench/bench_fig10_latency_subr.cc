@@ -28,8 +28,8 @@ main(int argc, char **argv)
         const auto t = workloads::makeTaggedTrace(b.build());
         const std::string cell = b.name + "-kernel";
         const auto stand =
-            bench::runCell(t, core::standardConfig(), cell);
-        const auto soft = bench::runCell(t, core::softConfig(), cell);
+            bench::runCell(t, core::presets().get("standard"), cell);
+        const auto soft = bench::runCell(t, core::presets().get("soft"), cell);
         const auto row = ta.addRow();
         ta.set(row, 0, b.name);
         ta.setNumber(row, 1, stand.amat());
@@ -50,8 +50,8 @@ main(int argc, char **argv)
         const auto row = tb.addRow();
         tb.set(row, 0, b.name);
         for (std::size_t c = 0; c < std::size(latencies); ++c) {
-            auto stand = core::standardConfig();
-            auto soft = core::softConfig();
+            auto stand = core::presets().get("standard");
+            auto soft = core::presets().get("soft");
             stand.timing.memoryLatency = latencies[c];
             soft.timing.memoryLatency = latencies[c];
             stand.name += " lat" + std::to_string(latencies[c]);

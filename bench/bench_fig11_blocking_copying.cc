@@ -34,11 +34,11 @@ main(int argc, char **argv)
         const std::string cell =
             "BlockedMV-b" + std::to_string(b);
         ta.setNumber(row, 1,
-                     bench::runCell(t, core::standardConfig(), cell)
+                     bench::runCell(t, core::presets().get("standard"), cell)
                          .amat());
         ta.setNumber(
             row, 2,
-            bench::runCell(t, core::softConfig(), cell).amat());
+            bench::runCell(t, core::presets().get("soft"), cell).amat());
     }
     ta.print(std::cout);
 
@@ -61,20 +61,20 @@ main(int argc, char **argv)
             "CopiedMM-copy-ld" + std::to_string(ld);
         tb.setNumber(
             row, 1,
-            bench::runCell(plain, core::standardConfig(), plain_cell)
+            bench::runCell(plain, core::presets().get("standard"), plain_cell)
                 .amat());
         tb.setNumber(
             row, 2,
-            bench::runCell(copied, core::standardConfig(),
+            bench::runCell(copied, core::presets().get("standard"),
                            copied_cell)
                 .amat());
         tb.setNumber(
             row, 3,
-            bench::runCell(plain, core::softConfig(), plain_cell)
+            bench::runCell(plain, core::presets().get("soft"), plain_cell)
                 .amat());
         tb.setNumber(
             row, 4,
-            bench::runCell(copied, core::softConfig(), copied_cell)
+            bench::runCell(copied, core::presets().get("soft"), copied_cell)
                 .amat());
     }
     tb.print(std::cout);

@@ -31,16 +31,16 @@ main(int argc, char **argv)
     for (const auto &b : workloads::paperBenchmarks()) {
         const auto &t = bench::benchmarkTrace(b.name);
         const double stand =
-            bench::cachedRun(b.name, core::standardConfig()).amat();
+            bench::cachedRun(b.name, core::presets().get("standard")).amat();
         const double none =
             bench::runCell(analysis::stripAllTags(t),
-                           core::softConfig(), b.name + "-notags")
+                           core::presets().get("soft"), b.name + "-notags")
                 .amat();
         const double compiler =
-            bench::cachedRun(b.name, core::softConfig()).amat();
+            bench::cachedRun(b.name, core::presets().get("soft")).amat();
         const double profile =
             bench::runCell(locality::retagFromProfile(t),
-                           core::softConfig(),
+                           core::presets().get("soft"),
                            b.name + "-profiletags")
                 .amat();
         const auto row = table.addRow();

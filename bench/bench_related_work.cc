@@ -32,7 +32,7 @@ main(int argc, char **argv)
         const auto row = table.addRow();
         table.set(row, 0, b.name);
         table.setNumber(
-            row, 1, bench::cachedRun(b.name, core::standardConfig())
+            row, 1, bench::cachedRun(b.name, core::presets().get("standard"))
                         .amat());
         std::size_t col = 2;
         for (const std::uint32_t n : {1u, 4u, 8u}) {
@@ -47,10 +47,10 @@ main(int argc, char **argv)
                 .amat());
         table.setNumber(
             row, 6,
-            bench::cachedRun(b.name, core::softConfig()).amat());
+            bench::cachedRun(b.name, core::presets().get("soft")).amat());
         table.setNumber(
             row, 7,
-            bench::cachedRun(b.name, core::softPrefetchConfig())
+            bench::cachedRun(b.name, core::presets().get("soft-prefetch"))
                 .amat());
     }
     table.print(std::cout);

@@ -33,8 +33,8 @@ main(int argc, char **argv)
     for (const auto &b : workloads::paperBenchmarks()) {
         const auto &t = bench::benchmarkTrace(b.name);
         const double stand =
-            bench::cachedRun(b.name, core::standardConfig()).amat();
-        const auto soft_cfg = core::softConfig();
+            bench::cachedRun(b.name, core::presets().get("standard")).amat();
+        const auto soft_cfg = core::presets().get("soft");
         auto amat_of = [&](const trace::Trace &tr,
                            const std::string &variant) {
             return bench::runCell(tr, soft_cfg,

@@ -464,7 +464,7 @@ stackSweepConfigs()
         for (const std::uint64_t kb : {4, 8, 16, 32}) {
             for (const std::uint32_t ways : {1u, 2u}) {
                 core::Config cfg = core::scaledConfig(
-                    core::standardConfig(), kb * 1024, 32);
+                    core::presets().get("standard"), kb * 1024, 32);
                 cfg.assoc = ways;
                 cfg.name += " A=" + std::to_string(ways);
                 cfg.validate();

@@ -30,9 +30,9 @@ main()
         const auto t = workloads::makeTaggedTrace(
             workloads::buildBlockedMv(600, b));
         const double stand =
-            core::simulateTrace(t, core::standardConfig()).amat();
+            core::simulateTrace(t, core::presets().get("standard")).amat();
         const double soft =
-            core::simulateTrace(t, core::softConfig()).amat();
+            core::simulateTrace(t, core::presets().get("soft")).amat();
         const auto row = ta.addRow();
         ta.set(row, 0, std::to_string(b));
         ta.setNumber(row, 1, stand);
@@ -65,16 +65,16 @@ main()
         tb.set(row, 0, std::to_string(ld));
         tb.setNumber(
             row, 1,
-            core::simulateTrace(plain, core::standardConfig()).amat());
+            core::simulateTrace(plain, core::presets().get("standard")).amat());
         tb.setNumber(
             row, 2,
-            core::simulateTrace(copied, core::standardConfig()).amat());
+            core::simulateTrace(copied, core::presets().get("standard")).amat());
         tb.setNumber(
             row, 3,
-            core::simulateTrace(plain, core::softConfig()).amat());
+            core::simulateTrace(plain, core::presets().get("soft")).amat());
         tb.setNumber(
             row, 4,
-            core::simulateTrace(copied, core::softConfig()).amat());
+            core::simulateTrace(copied, core::presets().get("soft")).amat());
     }
     tb.print(std::cout);
     std::cout << "\nCopying trades fixed overhead for robustness "

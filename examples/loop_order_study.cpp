@@ -70,9 +70,9 @@ main()
         const auto t = workloads::makeTaggedTrace(std::move(program),
                                                   0x10, &analysis);
         const double stand =
-            core::simulateTrace(t, core::standardConfig()).amat();
+            core::simulateTrace(t, core::presets().get("standard")).amat();
         const double soft =
-            core::simulateTrace(t, core::softConfig()).amat();
+            core::simulateTrace(t, core::presets().get("soft")).amat();
         const auto row = table.addRow();
         table.set(row, 0, good ? "ji (stride-1)" : "ij (stride-m)");
         table.set(row, 1,

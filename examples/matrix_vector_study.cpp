@@ -37,16 +37,16 @@ main()
         sweep.set(row, 1, std::to_string(n * 8));
         sweep.setNumber(
             row, 2,
-            core::simulateTrace(t, core::standardConfig()).amat());
+            core::simulateTrace(t, core::presets().get("standard")).amat());
         sweep.setNumber(
             row, 3,
-            core::simulateTrace(t, core::victimConfig()).amat());
+            core::simulateTrace(t, core::presets().get("victim")).amat());
         sweep.setNumber(
             row, 4,
-            core::simulateTrace(t, core::softTemporalOnlyConfig())
+            core::simulateTrace(t, core::presets().get("soft-temporal"))
                 .amat());
         sweep.setNumber(
-            row, 5, core::simulateTrace(t, core::softConfig()).amat());
+            row, 5, core::simulateTrace(t, core::presets().get("soft")).amat());
     }
     sweep.print(std::cout);
 
@@ -62,7 +62,7 @@ main()
 
     // 3. Mechanism anatomy at N = 500: what each event counter says.
     std::cout << "\nMechanism anatomy at N = 500 (Soft.):\n\n";
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     sim.run(t);
     sim.stats().print(std::cout);
 

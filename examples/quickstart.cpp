@@ -54,7 +54,7 @@ main()
     // 3. Simulate both cache organizations on the same trace.
     util::Table table({"config", "AMAT", "miss ratio", "words/ref"});
     for (const auto &cfg :
-         {core::standardConfig(), core::softConfig()}) {
+         {core::presets().get("standard"), core::presets().get("soft")}) {
         const sim::RunStats stats = core::simulateTrace(trace, cfg);
         const auto row = table.addRow();
         table.set(row, 0, cfg.name);

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * sacd — the sweep service daemon. Serves framed JSON sweep requests
+ * (submit / status / metrics / shutdown) on a Unix-domain socket,
+ * sharing one harness::Runner across every client so overlapping
+ * lattices reuse traces, exact cells, stack passes, sampled replays
+ * and checkpoint libraries. Drive it with sacctl.
+ *
+ *   sacd --socket=/tmp/sacd.sock [--workers=N] [--queue-cap=N]
+ *
+ * SIGTERM/SIGINT (or a client "shutdown" request) trigger a graceful
+ * drain: admitted sweeps finish and stream their results before the
+ * socket is released.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "src/service/server.hh"
+#include "src/util/thread_pool.hh"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+bool
+flagValue(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    const std::string prefix = name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: sacd --socket=PATH [--workers=N] [--queue-cap=N]\n"
+        << "  --socket=PATH    Unix socket to serve on (required)\n"
+        << "  --workers=N      concurrent sweep executors (default: "
+        << sac::util::ThreadPool::defaultThreads() << ")\n"
+        << "  --queue-cap=N    admission bound on queued+active sweeps"
+           " (default: 8)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sac::service::ServerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (flagValue(arg, "--socket", value)) {
+            options.socketPath = value;
+        } else if (flagValue(arg, "--workers", value)) {
+            options.workers =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (flagValue(arg, "--queue-cap", value)) {
+            options.maxQueue = std::stoul(value);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (options.socketPath.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    // Streaming to a client that disappeared must surface as a failed
+    // write (handled per frame), never a process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sac::service::SweepServer server(options);
+    if (!server.start())
+        return 1;
+    std::cout << "sacd: serving on " << options.socketPath
+              << std::endl;
+
+    // Wake regularly so a delivered SIGTERM is noticed promptly even
+    // when no client ever sends a "shutdown" request.
+    while (!g_stop.load() && !server.shutdownRequested())
+        server.waitForShutdown(100);
+
+    std::cout << "sacd: draining" << std::endl;
+    server.drain();
+    std::cout << "sacd: stopped" << std::endl;
+    return 0;
+}

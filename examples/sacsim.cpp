@@ -69,7 +69,7 @@ buildConfig(const util::Args &args,
     // --preset resolves through the registry (BenchOptions already
     // rejected unknown names); the remaining flags override fields.
     core::Config cfg =
-        opts.preset ? *opts.preset : core::standardConfig();
+        opts.preset ? *opts.preset : core::presets().get("standard");
     const std::string preset =
         opts.preset ? opts.presetName : "standard";
 

@@ -59,13 +59,13 @@ main()
         table.set(row, 0, std::to_string(nnz));
         table.setNumber(
             row, 1,
-            core::simulateTrace(plain, core::standardConfig()).amat());
+            core::simulateTrace(plain, core::presets().get("standard")).amat());
         table.setNumber(
             row, 2,
-            core::simulateTrace(plain, core::softConfig()).amat());
+            core::simulateTrace(plain, core::presets().get("soft")).amat());
         table.setNumber(
             row, 3,
-            core::simulateTrace(tagged, core::softConfig()).amat());
+            core::simulateTrace(tagged, core::presets().get("soft")).amat());
     }
     table.print(std::cout);
 

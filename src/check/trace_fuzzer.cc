@@ -50,7 +50,7 @@ TraceFuzzer::caseSeed(std::uint64_t index) const
 core::Config
 TraceFuzzer::fuzzConfig(util::Rng &rng)
 {
-    core::Config cfg = core::standardConfig();
+    core::Config cfg = core::presets().get("standard");
     cfg.name = "fuzz";
 
     // The oracle's scope (ReferenceModel::supports): direct-mapped

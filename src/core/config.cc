@@ -292,103 +292,25 @@ presets()
     return registry;
 }
 
-// --- Back-compat factory wrappers (now thin preset lookups) --------
+// --- Derived-variant factories (presets() covers the fixed points) -
 
 Config
-standardConfig()
+standardWithLineSize(std::uint32_t line_bytes)
 {
-    return presets().get("standard");
-}
-
-Config
-standardConfig(std::uint32_t line_bytes)
-{
-    Config c = standardConfig();
+    Config c = presets().get("standard");
     c.lineBytes = line_bytes;
     c.name = "Stand. (Ls=" + std::to_string(line_bytes) + ")";
     return c;
 }
 
 Config
-victimConfig()
+softWithVirtualLineSize(std::uint32_t virtual_line_bytes)
 {
-    return presets().get("victim");
-}
-
-Config
-softConfig()
-{
-    return presets().get("soft");
-}
-
-Config
-softTemporalOnlyConfig()
-{
-    return presets().get("soft-temporal");
-}
-
-Config
-softSpatialOnlyConfig()
-{
-    return presets().get("soft-spatial");
-}
-
-Config
-softConfig(std::uint32_t virtual_line_bytes)
-{
-    Config c = softConfig();
+    Config c = presets().get("soft");
     c.virtualLineBytes = virtual_line_bytes;
     c.virtualLines = virtual_line_bytes > c.lineBytes;
     c.name = "Soft. (Vl=" + std::to_string(virtual_line_bytes) + ")";
     return c;
-}
-
-Config
-variableSoftConfig()
-{
-    return presets().get("variable");
-}
-
-Config
-bypassConfig(bool through_buffer)
-{
-    return presets().get(through_buffer ? "bypass-buffer" : "bypass");
-}
-
-Config
-twoWayConfig()
-{
-    return presets().get("2way");
-}
-
-Config
-twoWayVictimConfig()
-{
-    return presets().get("2way-victim");
-}
-
-Config
-softTwoWayConfig()
-{
-    return presets().get("soft-2way");
-}
-
-Config
-simplifiedSoftTwoWayConfig()
-{
-    return presets().get("simplified-soft-2way");
-}
-
-Config
-standardPrefetchConfig()
-{
-    return presets().get("standard-prefetch");
-}
-
-Config
-softPrefetchConfig()
-{
-    return presets().get("soft-prefetch");
 }
 
 Config

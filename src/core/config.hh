@@ -284,53 +284,17 @@ class PresetRegistry
 /** The process-wide preset registry (built on first use). */
 const PresetRegistry &presets();
 
-/** The paper's Standard baseline: 8 KB, 32 B lines, direct-mapped. */
-Config standardConfig();
+// The one-line factory wrappers (standardConfig(), softConfig(), ...)
+// are gone: every fixed paper configuration is a presets() lookup
+// (core::presets().get("standard"), .get("soft"), ...). Only the
+// derived variants below survive as functions — they compute a new
+// configuration instead of naming a registered one.
 
 /** Standard cache with a different physical line size (Fig 8b). */
-Config standardConfig(std::uint32_t line_bytes);
-
-/** Standard + victim cache of 8 lines (Fig 3b). */
-Config victimConfig();
-
-/** Full software assistance (Soft.): virtual lines + bounce-back. */
-Config softConfig();
-
-/** Software assistance for temporal locality only (Fig 6a/7). */
-Config softTemporalOnlyConfig();
-
-/** Software assistance for spatial locality only (Fig 6a/7). */
-Config softSpatialOnlyConfig();
+Config standardWithLineSize(std::uint32_t line_bytes);
 
 /** Soft. with a different virtual line size (Fig 8a). */
-Config softConfig(std::uint32_t virtual_line_bytes);
-
-/**
- * Soft. with variable-length virtual lines (Section 3.2 extension):
- * per-reference spatial levels choose 64..256-byte virtual lines.
- */
-Config variableSoftConfig();
-
-/** Bypassing of non-temporal references (Fig 3a). */
-Config bypassConfig(bool through_buffer);
-
-/** Plain 2-way set-associative cache (Fig 9b). */
-Config twoWayConfig();
-
-/** 2-way + victim cache (Fig 9b). */
-Config twoWayVictimConfig();
-
-/** Full software control on a 2-way cache (Fig 9b). */
-Config softTwoWayConfig();
-
-/** Simplified software control: 2-way, replacement priority only. */
-Config simplifiedSoftTwoWayConfig();
-
-/** Standard cache with hardware next-line prefetching (Fig 12). */
-Config standardPrefetchConfig();
-
-/** Soft. combined with software-assisted prefetching (Fig 12). */
-Config softPrefetchConfig();
+Config softWithVirtualLineSize(std::uint32_t virtual_line_bytes);
 
 /** Scale a configuration to another cache size/line (Fig 9a). */
 Config scaledConfig(Config base, std::uint64_t cache_bytes,

@@ -152,6 +152,12 @@ BenchOptions::validationError() const
         return "--sample-window/--sample-stride/--sample-warmup/"
                "--sample-ci/--sample-error require --sample";
     }
+    if ((interval > 0 || heatmap) && !checkpointDir.empty()) {
+        return "--interval/--heatmap instrument an exact re-replay "
+               "and cannot be combined with --checkpoint-dir: "
+               "restored checkpoint state skips the accesses the "
+               "instrumentation would observe";
+    }
     if (!checkpointDir.empty() && !sample) {
         return "--checkpoint-dir persists sampled warming state and "
                "requires --sample";

@@ -8,10 +8,9 @@
 #include <optional>
 #include <sstream>
 
+#include "src/harness/sweep.hh"
 #include "src/telemetry/counter_registry.hh"
-#include "src/telemetry/interval.hh"
 #include "src/telemetry/manifest.hh"
-#include "src/telemetry/set_profile.hh"
 #include "src/util/logging.hh"
 #include "src/util/thread_pool.hh"
 #include "src/workloads/workloads.hh"
@@ -188,6 +187,19 @@ void
 Runner::runStackFamily(const Workload &w,
                        const std::vector<const core::Config *> &family)
 {
+    // Serialize passes per workload: a concurrent sweep requesting
+    // the same family waits here, then finds the store filled and
+    // skips its own traversal (cells shared, one pass total).
+    std::mutex *pass_mutex = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(stackMutex_);
+        auto &slot = stackPassMutexes_[w.name];
+        if (!slot)
+            slot = std::make_unique<std::mutex>();
+        pass_mutex = slot.get();
+    }
+    std::lock_guard<std::mutex> pass_lock(*pass_mutex);
+
     std::size_t missing = 0;
     {
         std::lock_guard<std::mutex> lock(stackMutex_);
@@ -261,6 +273,15 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
                   const std::vector<core::Config> &configs,
                   const Metric &metric, unsigned jobs)
 {
+    return runMatrixWith(workloads, configs, metric, jobs, true);
+}
+
+util::Table
+Runner::runMatrixWith(const std::vector<Workload> &workloads,
+                      const std::vector<core::Config> &configs,
+                      const Metric &metric, unsigned jobs,
+                      bool allow_stack)
+{
     const auto sweep_start = std::chrono::steady_clock::now();
     // Per-worker busy time: summed wall time of the cell tasks
     // (nanoseconds so workers can accumulate without a double CAS).
@@ -280,7 +301,7 @@ Runner::runMatrix(const std::vector<Workload> &workloads,
     // one gains nothing over a replay, so dispatch needs two members.
     std::vector<const core::Config *> family;
     std::vector<const core::Config *> exact;
-    if (stackDerivableMetric(metric)) {
+    if (allow_stack && stackDerivableMetric(metric)) {
         for (const auto &cfg : configs) {
             (stackFamilyEligible(cfg) ? family : exact).push_back(&cfg);
         }
@@ -480,6 +501,122 @@ Runner::runSampled(const std::vector<Workload> &workloads,
                       false);
 }
 
+Runner::SampledCell
+Runner::computeSampledCell(const Workload &w, const core::Config &cfg,
+                           const sim::SamplingOptions &opt,
+                           const std::string &checkpoint_dir,
+                           bool rebuild, std::uint64_t trace_hash)
+{
+    const sim::SampledEngine engine(opt);
+    SampledCell out;
+    const auto t0 = std::chrono::steady_clock::now();
+    const trace::Trace &t = traceOf(w);
+    core::SoftwareAssistedCache sim(cfg);
+    if (!checkpoint_dir.empty()) {
+        sim::CheckpointKey key;
+        key.traceHash = trace_hash;
+        key.configKey = cfg.cacheKey();
+        key.window = opt.window;
+        key.stride = opt.stride;
+        key.warmup = opt.warmup;
+        const std::string path = sim::CheckpointLibrary::pathFor(
+            checkpoint_dir, t.name(), key);
+
+        sim::CheckpointLibrary lib;
+        using LoadResult = sim::CheckpointLibrary::LoadResult;
+        const LoadResult r =
+            rebuild ? LoadResult::Missing : lib.load(path, key);
+        std::uint64_t bytes = 0;
+        if (r == LoadResult::Hit) {
+            bytes = lib.loadedBytes();
+        } else {
+            // Warm once through the builder (a warming-only mirror of
+            // the sampled replay), persist, then run the same restore
+            // path a hit takes.
+            core::SoftwareAssistedCache warmer(cfg);
+            trace::MemoryTraceSource warm_src(t);
+            engine.buildLibrary(warm_src, warmer, lib);
+            bytes = lib.save(path, key);
+        }
+        {
+            std::lock_guard<std::mutex> lock(checkpointMutex_);
+            if (r == LoadResult::Hit) {
+                ++checkpointCounters_.counter(
+                    "checkpoint.hits",
+                    "sampled cells served from a live-point "
+                    "library");
+            } else {
+                if (r == LoadResult::Stale)
+                    ++checkpointCounters_.counter(
+                        "checkpoint.stale",
+                        "libraries rejected as stale (key, "
+                        "version or file mismatch)");
+                ++checkpointCounters_.counter(
+                    "checkpoint.misses",
+                    "sampled cells that warmed and wrote a "
+                    "library");
+            }
+            checkpointCounters_.counter(
+                "checkpoint.bytes",
+                "bytes moved through .saclp files") += bytes;
+        }
+        trace::MemoryTraceSource src(t);
+        out.report = engine.runCheckpointed(src, sim, lib);
+        out.fromCheckpoints = true;
+    } else {
+        trace::MemoryTraceSource src(t);
+        out.report = engine.run(src, sim);
+    }
+    out.simSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    runsExecuted_.fetch_add(1);
+    return out;
+}
+
+namespace {
+
+/** Cache key of one sampled cell: identity + geometry + library. */
+std::string
+sampledCellKey(const std::string &workload,
+               const std::string &cache_key,
+               const sim::SamplingOptions &opt,
+               const std::string &checkpoint_dir)
+{
+    std::ostringstream os;
+    os << workload << '\x1f' << cache_key << '\x1f' << opt.window
+       << ',' << opt.stride << ',' << opt.warmup << ','
+       << opt.confidence << ',' << opt.targetRelativeError << ','
+       << opt.minWindows << ',' << opt.maxWindows << '\x1f'
+       << checkpoint_dir;
+    return os.str();
+}
+
+} // namespace
+
+const Runner::SampledCell &
+Runner::sampledCellShared(const Workload &w, const core::Config &cfg,
+                          const sim::SamplingOptions &opt,
+                          const std::string &checkpoint_dir,
+                          std::uint64_t trace_hash)
+{
+    const std::string key =
+        sampledCellKey(w.name, cfg.cacheKey(), opt, checkpoint_dir);
+    Slot<SampledCell> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = sampledResults_[key];
+        if (!entry)
+            entry = std::make_unique<Slot<SampledCell>>();
+        slot = entry.get();
+    }
+    std::call_once(slot->once, [&] {
+        slot->value = computeSampledCell(w, cfg, opt, checkpoint_dir,
+                                         false, trace_hash);
+    });
+    return slot->value;
+}
+
 std::vector<std::vector<Runner::SampledCell>>
 Runner::runSampled(const std::vector<Workload> &workloads,
                    const std::vector<core::Config> &configs,
@@ -487,9 +624,11 @@ Runner::runSampled(const std::vector<Workload> &workloads,
                    const std::string &checkpoint_dir, bool rebuild)
 {
     const telemetry::ScopedPhase phase(phases_, "sweep-sampled");
-    const sim::SampledEngine engine(opt);
+    const sim::SampledEngine engine(opt); // validates opt up front
     const bool use_library =
         !checkpoint_dir.empty() && engine.checkpointable();
+    const std::string library_dir =
+        use_library ? checkpoint_dir : std::string();
 
     // Latch every trace first so the parallel phase below measures
     // sampled replay alone (and workers never race a generation).
@@ -507,71 +646,17 @@ Runner::runSampled(const std::vector<Workload> &workloads,
     std::vector<std::vector<SampledCell>> cells(
         workloads.size(), std::vector<SampledCell>(configs.size()));
 
+    // --checkpoint-rebuild must warm-and-rewrite, so it bypasses the
+    // shared cell store (and never poisons it with its fresh result —
+    // a later plain run should still latch its own).
     const auto run_cell = [&](std::size_t wi, std::size_t ci) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const trace::Trace &t = traceOf(workloads[wi]);
-        core::SoftwareAssistedCache sim(configs[ci]);
-        if (use_library) {
-            sim::CheckpointKey key;
-            key.traceHash = trace_hashes[wi];
-            key.configKey = configs[ci].cacheKey();
-            key.window = opt.window;
-            key.stride = opt.stride;
-            key.warmup = opt.warmup;
-            const std::string path = sim::CheckpointLibrary::pathFor(
-                checkpoint_dir, t.name(), key);
-
-            sim::CheckpointLibrary lib;
-            using LoadResult = sim::CheckpointLibrary::LoadResult;
-            const LoadResult r = rebuild ? LoadResult::Missing
-                                         : lib.load(path, key);
-            std::uint64_t bytes = 0;
-            if (r == LoadResult::Hit) {
-                bytes = lib.loadedBytes();
-            } else {
-                // Warm once through the builder (a warming-only
-                // mirror of the sampled replay), persist, then run
-                // the same restore path a hit takes.
-                core::SoftwareAssistedCache warmer(configs[ci]);
-                trace::MemoryTraceSource warm_src(t);
-                engine.buildLibrary(warm_src, warmer, lib);
-                bytes = lib.save(path, key);
-            }
-            {
-                std::lock_guard<std::mutex> lock(checkpointMutex_);
-                if (r == LoadResult::Hit) {
-                    ++checkpointCounters_.counter(
-                        "checkpoint.hits",
-                        "sampled cells served from a live-point "
-                        "library");
-                } else {
-                    if (r == LoadResult::Stale)
-                        ++checkpointCounters_.counter(
-                            "checkpoint.stale",
-                            "libraries rejected as stale (key, "
-                            "version or file mismatch)");
-                    ++checkpointCounters_.counter(
-                        "checkpoint.misses",
-                        "sampled cells that warmed and wrote a "
-                        "library");
-                }
-                checkpointCounters_.counter(
-                    "checkpoint.bytes",
-                    "bytes moved through .saclp files") += bytes;
-            }
-            trace::MemoryTraceSource src(t);
-            cells[wi][ci].report =
-                engine.runCheckpointed(src, sim, lib);
-            cells[wi][ci].fromCheckpoints = true;
-        } else {
-            trace::MemoryTraceSource src(t);
-            cells[wi][ci].report = engine.run(src, sim);
-        }
-        cells[wi][ci].simSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-        runsExecuted_.fetch_add(1);
+        cells[wi][ci] =
+            rebuild ? computeSampledCell(workloads[wi], configs[ci],
+                                         opt, library_dir, true,
+                                         trace_hashes[wi])
+                    : sampledCellShared(workloads[wi], configs[ci],
+                                        opt, library_dir,
+                                        trace_hashes[wi]);
     };
 
     const std::size_t n_cells = workloads.size() * configs.size();
@@ -714,45 +799,9 @@ toCsv(const util::Table &table)
     return os.str();
 }
 
-namespace {
-
-/** The shared exact-replay cell manifest (no instrumentation). */
-telemetry::Manifest
-exactCellManifest(const std::string &workload, const core::Config &cfg,
-                  const sim::RunStats &stats, double sim_seconds,
-                  const util::Json *extra_timing)
-{
-    telemetry::Manifest m;
-    m.workload = workload;
-    m.configName = cfg.name;
-    m.cacheKey = cfg.cacheKey();
-    m.engine = "exact-replay";
-    m.config = cfg.toJson();
-
-    telemetry::CounterRegistry reg;
-    stats.registerInto(reg);
-    m.counters = reg.toJson();
-
-    m.metrics = util::Json::object();
-    m.metrics.set("amat", stats.amat());
-    m.metrics.set("miss_ratio", stats.missRatio());
-    m.metrics.set("hit_ratio", stats.hitRatio());
-    m.metrics.set("main_hit_share", stats.mainHitShare());
-    m.metrics.set("aux_hit_share", stats.auxHitShare());
-    m.metrics.set("words_per_access",
-                  stats.wordsFetchedPerAccess());
-    m.metrics.set("total_access_cycles", stats.totalAccessCycles);
-
-    m.timing = util::Json::object();
-    if (sim_seconds > 0.0)
-        m.timing.set("sim_seconds", sim_seconds);
-    if (extra_timing && extra_timing->type() == util::Json::Type::Object)
-        m.timing.set("phases", *extra_timing);
-
-    return m;
-}
-
-} // namespace
+// The legacy per-engine writers are thin wrappers over the unified
+// writeCellManifest(dir, ManifestCell, EngineTag) in sweep.cc; they
+// remain for one release (see the @deprecated notes in the header).
 
 std::string
 writeCellManifest(const std::string &dir, const std::string &workload,
@@ -760,9 +809,13 @@ writeCellManifest(const std::string &dir, const std::string &workload,
                   const sim::RunStats &stats, double sim_seconds,
                   const util::Json *extra_timing)
 {
-    return telemetry::writeManifestFile(
-        dir, exactCellManifest(workload, cfg, stats, sim_seconds,
-                               extra_timing));
+    ManifestCell cell;
+    cell.workload = workload;
+    cell.config = &cfg;
+    cell.stats = &stats;
+    cell.simSeconds = sim_seconds;
+    cell.extraTiming = extra_timing;
+    return writeCellManifest(dir, cell, EngineTag::ExactReplay);
 }
 
 std::string
@@ -775,58 +828,15 @@ writeInstrumentedCellManifest(const std::string &dir,
                               double sim_seconds,
                               const util::Json *extra_timing)
 {
-    const bool wants = opt.intervalRecords > 0 || opt.heatmap;
-    if (!wants) {
-        return writeCellManifest(dir, workload, cfg, stats,
-                                 sim_seconds, extra_timing);
-    }
-    if (!core::SoftwareAssistedCache::intervalHooksCompiledIn()) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
-            std::cerr << "warning: --interval/--heatmap requested but "
-                         "this build has SAC_INTERVAL=OFF; emitting "
-                         "plain manifests (reconfigure with "
-                         "-DSAC_INTERVAL=ON)\n";
-        }
-        return writeCellManifest(dir, workload, cfg, stats,
-                                 sim_seconds, extra_timing);
-    }
-
-    // Instrumented re-replay. The hooks observe without perturbing,
-    // so the result must reproduce the recorded run bit-for-bit.
-    core::SoftwareAssistedCache sim(cfg);
-    std::optional<telemetry::IntervalRecorder> recorder;
-    std::optional<telemetry::SetProfiler> profiler;
-    if (opt.intervalRecords > 0) {
-        recorder.emplace(opt.intervalRecords);
-        sim.attachIntervalRecorder(&*recorder);
-    }
-    if (opt.heatmap) {
-        profiler.emplace(sim.mainArray().numSets());
-        sim.attachSetProfiler(&*profiler);
-    }
-    sim.run(t);
-    SAC_ASSERT(sim.stats() == stats,
-               "instrumented replay diverged from the recorded run");
-
-    telemetry::Manifest m = exactCellManifest(
-        workload, cfg, stats, sim_seconds, extra_timing);
-    if (profiler)
-        m.profile = profiler->toJson();
-    const std::string path = telemetry::writeManifestFile(dir, m);
-    if (path.empty() || !recorder)
-        return path;
-
-    // The interval series rides next to the manifest:
-    // <workload>_<hash>.json -> <workload>_<hash>.intervals.jsonl.
-    std::string jsonl = path;
-    const std::string suffix = ".json";
-    jsonl.replace(jsonl.size() - suffix.size(), suffix.size(),
-                  ".intervals.jsonl");
-    if (!recorder->writeJsonl(jsonl, workload, cfg.name,
-                              cfg.cacheKey()))
-        return "";
-    return path;
+    ManifestCell cell;
+    cell.workload = workload;
+    cell.config = &cfg;
+    cell.stats = &stats;
+    cell.trace = &t;
+    cell.instrument = opt;
+    cell.simSeconds = sim_seconds;
+    cell.extraTiming = extra_timing;
+    return writeCellManifest(dir, cell, EngineTag::ExactReplay);
 }
 
 std::string
@@ -838,57 +848,16 @@ writeSampledCellManifest(const std::string &dir,
                          double sim_seconds,
                          const util::Json *checkpoint)
 {
-    telemetry::Manifest m;
-    m.workload = workload;
-    m.configName = cfg.name;
-    m.cacheKey = cfg.cacheKey();
-    m.engine = checkpoint ? "sampled-livepoint" : "sampled";
-    m.config = cfg.toJson();
-
-    telemetry::CounterRegistry reg;
-    report.detailed.registerInto(reg);
-    m.counters = reg.toJson();
-
-    const auto interval = [&report](double estimate,
-                                    const sim::SampleStats &s) {
-        util::Json j = util::Json::object();
-        j.set("estimate", estimate);
-        j.set("half_width", report.halfWidthOf(s));
-        j.set("windows", s.count());
-        return j;
-    };
-
-    util::Json sampling = util::Json::object();
-    sampling.set("window", opt.window);
-    sampling.set("stride", opt.stride);
-    sampling.set("warmup", opt.warmup);
-    sampling.set("confidence", report.confidence);
-    sampling.set("windows", report.windows);
-    sampling.set("records_total", report.recordsTotal);
-    sampling.set("records_detailed", report.recordsDetailed);
-    sampling.set("records_warmed", report.recordsWarmed);
-    sampling.set("records_skipped", report.recordsSkipped);
-    sampling.set("exact", report.exact);
-    sampling.set("miss_ratio", interval(report.missRatioEstimate(),
-                                        report.missRatio));
-    sampling.set("amat", interval(report.amatEstimate(), report.amat));
-    sampling.set("words_per_access",
-                 interval(report.wordsPerAccessEstimate(),
-                          report.wordsPerAccess));
-
-    m.metrics = util::Json::object();
-    m.metrics.set("amat", report.amatEstimate());
-    m.metrics.set("miss_ratio", report.missRatioEstimate());
-    m.metrics.set("words_per_access", report.wordsPerAccessEstimate());
-    m.metrics.set("sampling", std::move(sampling));
-    if (checkpoint)
-        m.metrics.set("checkpoint", *checkpoint);
-
-    m.timing = util::Json::object();
-    if (sim_seconds > 0.0)
-        m.timing.set("sim_seconds", sim_seconds);
-
-    return telemetry::writeManifestFile(dir, m);
+    ManifestCell cell;
+    cell.workload = workload;
+    cell.config = &cfg;
+    cell.report = &report;
+    cell.sampling = &opt;
+    cell.checkpoint = checkpoint;
+    cell.simSeconds = sim_seconds;
+    return writeCellManifest(dir, cell,
+                             checkpoint ? EngineTag::SampledLivepoint
+                                        : EngineTag::Sampled);
 }
 
 std::string
@@ -898,35 +867,13 @@ writeStackCellManifest(const std::string &dir,
                        const sim::RunStats &stats,
                        std::size_t family_size, double pass_seconds)
 {
-    telemetry::Manifest m;
-    m.workload = workload;
-    m.configName = cfg.name;
-    m.cacheKey = cfg.cacheKey();
-    m.engine = "stack-single-pass";
-    m.config = cfg.toJson();
-
-    telemetry::CounterRegistry reg;
-    stats.registerInto(reg);
-    m.counters = reg.toJson();
-
-    // Count-derived metrics only: a stack pass yields no cycles, so
-    // amat/total_access_cycles would be bogus zeros and are omitted.
-    m.metrics = util::Json::object();
-    m.metrics.set("miss_ratio", stats.missRatio());
-    m.metrics.set("hit_ratio", stats.hitRatio());
-    m.metrics.set("main_hit_share", stats.mainHitShare());
-    m.metrics.set("aux_hit_share", stats.auxHitShare());
-    m.metrics.set("words_per_access", stats.wordsFetchedPerAccess());
-    util::Json stack = util::Json::object();
-    stack.set("family_size",
-              static_cast<std::uint64_t>(family_size));
-    m.metrics.set("stack", std::move(stack));
-
-    m.timing = util::Json::object();
-    if (pass_seconds > 0.0)
-        m.timing.set("pass_seconds", pass_seconds);
-
-    return telemetry::writeManifestFile(dir, m);
+    ManifestCell cell;
+    cell.workload = workload;
+    cell.config = &cfg;
+    cell.stats = &stats;
+    cell.stackFamilySize = family_size;
+    cell.simSeconds = pass_seconds;
+    return writeCellManifest(dir, cell, EngineTag::StackSinglePass);
 }
 
 bool

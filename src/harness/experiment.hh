@@ -31,6 +31,9 @@
 namespace sac {
 namespace harness {
 
+struct SweepRequest;
+struct SweepResult;
+
 /** A metric extracted from one simulation run. */
 struct Metric
 {
@@ -116,6 +119,20 @@ class Runner
      */
     const sim::RunStats &run(const Workload &w,
                              const core::Config &cfg);
+
+    /**
+     * THE sweep entry point: execute one batched request, routing
+     * each (workload, config) cell to the fastest eligible engine
+     * (see EngineSelect in sweep.hh), emit the requested telemetry,
+     * and return the rendered table plus the per-cell routing record.
+     * Tables and manifests are byte-identical to the legacy
+     * runMatrix()/runSampled()+writer sequence for the same options
+     * (the SweepRequestDifferential tests prove it). The request must
+     * be valid (SweepRequest::validationError()); thread-safe like
+     * every other entry — concurrent requests share the trace, cell,
+     * stack and sampled caches.
+     */
+    SweepResult run(const SweepRequest &request);
 
     /** Like run(), including the cell's wall-clock cost. */
     const CellResult &cell(const Workload &w,
@@ -296,6 +313,40 @@ class Runner
     void runStackFamily(const Workload &w,
                         const std::vector<const core::Config *> &family);
 
+    /**
+     * runMatrix() with the stack dispatch gated: @p allow_stack false
+     * forces every cell onto exact replay (EngineSelect::Exact).
+     */
+    util::Table runMatrixWith(const std::vector<Workload> &workloads,
+                              const std::vector<core::Config> &configs,
+                              const Metric &metric, unsigned jobs,
+                              bool allow_stack);
+
+    /**
+     * Simulate one sampled cell (optionally over the live-point
+     * library at @p checkpoint_dir). Always executes; the cache is
+     * sampledCellShared()'s.
+     */
+    SampledCell computeSampledCell(const Workload &w,
+                                   const core::Config &cfg,
+                                   const sim::SamplingOptions &opt,
+                                   const std::string &checkpoint_dir,
+                                   bool rebuild,
+                                   std::uint64_t trace_hash);
+
+    /**
+     * The once-latched sampled cell of (w, cfg, geometry, library):
+     * concurrent requests for the same cell share one sampled replay
+     * — and, on the live-point path, one library build. Keyed on the
+     * full sampling geometry plus the checkpoint directory, so a
+     * plain and a checkpointed run of the same cell never alias.
+     */
+    const SampledCell &
+    sampledCellShared(const Workload &w, const core::Config &cfg,
+                      const sim::SamplingOptions &opt,
+                      const std::string &checkpoint_dir,
+                      std::uint64_t trace_hash);
+
     std::mutex mutex_; //!< guards the two slot maps (not the slots)
     std::map<std::string, std::unique_ptr<Slot<trace::Trace>>>
         traces_;
@@ -311,7 +362,23 @@ class Runner
      */
     std::map<std::pair<std::string, std::string>, sim::RunStats>
         stackResults_;
+    /**
+     * Sampled-cell cache, keyed by sampledCellKey() (workload,
+     * cacheKey, geometry, checkpoint dir). Separate from results_ for
+     * the same reason stackResults_ is: an estimate must never be
+     * served where an exact CellResult is expected.
+     */
+    std::map<std::string, std::unique_ptr<Slot<SampledCell>>>
+        sampledResults_;
     mutable std::mutex stackMutex_; //!< guards stackResults_/counters
+    /**
+     * One pass mutex per workload (created under stackMutex_): the
+     * whole check-store / traverse / fill-store sequence of
+     * runStackFamily() holds it, so concurrent sweeps over the same
+     * workload share one traversal instead of racing to duplicate it.
+     */
+    std::map<std::string, std::unique_ptr<std::mutex>>
+        stackPassMutexes_;
     telemetry::CounterRegistry stackCounters_;
     mutable std::mutex checkpointMutex_; //!< guards checkpointCounters_
     telemetry::CounterRegistry checkpointCounters_;
@@ -374,6 +441,10 @@ sim::RunStats stackStatsFor(const sim::StackDistanceEngine &eng,
  * "engine": "stack-single-pass", with the count-derived metrics and
  * a "stack" object recording the family size. Timing metrics are
  * omitted — a stack pass does not model cycles.
+ *
+ * @deprecated Thin wrapper over writeCellManifest(dir, ManifestCell,
+ * EngineTag::StackSinglePass) (sweep.hh); will be removed next
+ * release.
  */
 std::string
 writeStackCellManifest(const std::string &dir,
@@ -392,6 +463,10 @@ writeStackCellManifest(const std::string &dir,
  * counters: hits/misses/stale/bytes), the cell ran on the live-point
  * restore path: the manifest is tagged "engine": "sampled-livepoint"
  * and carries the object as its "checkpoint" block.
+ *
+ * @deprecated Thin wrapper over writeCellManifest(dir, ManifestCell,
+ * EngineTag::Sampled / ::SampledLivepoint) (sweep.hh); will be
+ * removed next release.
  */
 std::string
 writeSampledCellManifest(const std::string &dir,
@@ -439,6 +514,10 @@ struct InstrumentOptions
  * a sibling `<stem>.intervals.jsonl` file. In builds without
  * SAC_INTERVAL the function warns once and falls back to the plain
  * writeCellManifest(). Returns the manifest path ("" on I/O failure).
+ *
+ * @deprecated Thin wrapper over writeCellManifest(dir, ManifestCell,
+ * EngineTag::ExactReplay) with cell.trace/instrument set (sweep.hh);
+ * will be removed next release.
  */
 std::string
 writeInstrumentedCellManifest(const std::string &dir,

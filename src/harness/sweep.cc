@@ -1,0 +1,573 @@
+#include "src/harness/sweep.hh"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/telemetry/counter_registry.hh"
+#include "src/telemetry/interval.hh"
+#include "src/telemetry/set_profile.hh"
+#include "src/util/logging.hh"
+
+namespace sac {
+namespace harness {
+
+const char *
+engineSelectName(EngineSelect engine)
+{
+    switch (engine) {
+    case EngineSelect::Auto:
+        return "auto";
+    case EngineSelect::Exact:
+        return "exact";
+    case EngineSelect::Sampled:
+        return "sampled";
+    case EngineSelect::SampledLivepoint:
+        return "sampled-livepoint";
+    case EngineSelect::Stack:
+        return "stack";
+    }
+    return "auto";
+}
+
+std::optional<EngineSelect>
+engineSelectFromName(const std::string &name)
+{
+    for (const EngineSelect e :
+         {EngineSelect::Auto, EngineSelect::Exact, EngineSelect::Sampled,
+          EngineSelect::SampledLivepoint, EngineSelect::Stack}) {
+        if (name == engineSelectName(e))
+            return e;
+    }
+    return std::nullopt;
+}
+
+const char *
+engineName(EngineTag tag)
+{
+    switch (tag) {
+    case EngineTag::ExactReplay:
+        return "exact-replay";
+    case EngineTag::Sampled:
+        return "sampled";
+    case EngineTag::SampledLivepoint:
+        return "sampled-livepoint";
+    case EngineTag::StackSinglePass:
+        return "stack-single-pass";
+    }
+    return "exact-replay";
+}
+
+namespace {
+
+/** Shared head of every cell manifest: identity, config, counters. */
+telemetry::Manifest
+manifestHead(const ManifestCell &cell, EngineTag tag,
+             const sim::RunStats &counted)
+{
+    telemetry::Manifest m;
+    m.workload = cell.workload;
+    m.configName = cell.config->name;
+    m.cacheKey = cell.config->cacheKey();
+    m.engine = engineName(tag);
+    m.config = cell.config->toJson();
+
+    telemetry::CounterRegistry reg;
+    counted.registerInto(reg);
+    m.counters = reg.toJson();
+    return m;
+}
+
+/**
+ * Render @p cell, running the instrumented re-replay when requested
+ * (exact cells with a trace); @p recorder receives the interval
+ * recorder so writeCellManifest() can emit the sidecar series.
+ */
+telemetry::Manifest
+renderCell(const ManifestCell &cell, EngineTag tag,
+           std::optional<telemetry::IntervalRecorder> &recorder)
+{
+    SAC_ASSERT(cell.config != nullptr,
+               "ManifestCell without a configuration");
+
+    if (tag == EngineTag::Sampled || tag == EngineTag::SampledLivepoint) {
+        SAC_ASSERT(cell.report != nullptr && cell.sampling != nullptr,
+                   "sampled ManifestCell needs report + sampling");
+        const sim::SampleReport &report = *cell.report;
+        const sim::SamplingOptions &opt = *cell.sampling;
+        telemetry::Manifest m = manifestHead(cell, tag, report.detailed);
+
+        const auto interval = [&report](double estimate,
+                                        const sim::SampleStats &s) {
+            util::Json j = util::Json::object();
+            j.set("estimate", estimate);
+            j.set("half_width", report.halfWidthOf(s));
+            j.set("windows", s.count());
+            return j;
+        };
+
+        util::Json sampling = util::Json::object();
+        sampling.set("window", opt.window);
+        sampling.set("stride", opt.stride);
+        sampling.set("warmup", opt.warmup);
+        sampling.set("confidence", report.confidence);
+        sampling.set("windows", report.windows);
+        sampling.set("records_total", report.recordsTotal);
+        sampling.set("records_detailed", report.recordsDetailed);
+        sampling.set("records_warmed", report.recordsWarmed);
+        sampling.set("records_skipped", report.recordsSkipped);
+        sampling.set("exact", report.exact);
+        sampling.set("miss_ratio", interval(report.missRatioEstimate(),
+                                            report.missRatio));
+        sampling.set("amat",
+                     interval(report.amatEstimate(), report.amat));
+        sampling.set("words_per_access",
+                     interval(report.wordsPerAccessEstimate(),
+                              report.wordsPerAccess));
+
+        m.metrics = util::Json::object();
+        m.metrics.set("amat", report.amatEstimate());
+        m.metrics.set("miss_ratio", report.missRatioEstimate());
+        m.metrics.set("words_per_access",
+                      report.wordsPerAccessEstimate());
+        m.metrics.set("sampling", std::move(sampling));
+        if (cell.checkpoint)
+            m.metrics.set("checkpoint", *cell.checkpoint);
+
+        m.timing = util::Json::object();
+        if (cell.simSeconds > 0.0)
+            m.timing.set("sim_seconds", cell.simSeconds);
+        return m;
+    }
+
+    SAC_ASSERT(cell.stats != nullptr,
+               "exact/stack ManifestCell needs stats");
+    const sim::RunStats &stats = *cell.stats;
+
+    if (tag == EngineTag::StackSinglePass) {
+        telemetry::Manifest m = manifestHead(cell, tag, stats);
+        // Count-derived metrics only: a stack pass yields no cycles,
+        // so amat/total_access_cycles would be bogus zeros.
+        m.metrics = util::Json::object();
+        m.metrics.set("miss_ratio", stats.missRatio());
+        m.metrics.set("hit_ratio", stats.hitRatio());
+        m.metrics.set("main_hit_share", stats.mainHitShare());
+        m.metrics.set("aux_hit_share", stats.auxHitShare());
+        m.metrics.set("words_per_access",
+                      stats.wordsFetchedPerAccess());
+        util::Json stack = util::Json::object();
+        stack.set("family_size",
+                  static_cast<std::uint64_t>(cell.stackFamilySize));
+        m.metrics.set("stack", std::move(stack));
+
+        m.timing = util::Json::object();
+        if (cell.simSeconds > 0.0)
+            m.timing.set("pass_seconds", cell.simSeconds);
+        return m;
+    }
+
+    // Exact replay, optionally with the instrumented re-replay.
+    telemetry::Manifest m = manifestHead(cell, tag, stats);
+    m.metrics = util::Json::object();
+    m.metrics.set("amat", stats.amat());
+    m.metrics.set("miss_ratio", stats.missRatio());
+    m.metrics.set("hit_ratio", stats.hitRatio());
+    m.metrics.set("main_hit_share", stats.mainHitShare());
+    m.metrics.set("aux_hit_share", stats.auxHitShare());
+    m.metrics.set("words_per_access", stats.wordsFetchedPerAccess());
+    m.metrics.set("total_access_cycles", stats.totalAccessCycles);
+
+    m.timing = util::Json::object();
+    if (cell.simSeconds > 0.0)
+        m.timing.set("sim_seconds", cell.simSeconds);
+    if (cell.extraTiming &&
+        cell.extraTiming->type() == util::Json::Type::Object)
+        m.timing.set("phases", *cell.extraTiming);
+
+    const bool wants = cell.trace != nullptr &&
+                       (cell.instrument.intervalRecords > 0 ||
+                        cell.instrument.heatmap);
+    if (!wants)
+        return m;
+    if (!core::SoftwareAssistedCache::intervalHooksCompiledIn()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::cerr << "warning: --interval/--heatmap requested but "
+                         "this build has SAC_INTERVAL=OFF; emitting "
+                         "plain manifests (reconfigure with "
+                         "-DSAC_INTERVAL=ON)\n";
+        }
+        return m;
+    }
+
+    // Instrumented re-replay. The hooks observe without perturbing,
+    // so the result must reproduce the recorded run bit-for-bit.
+    core::SoftwareAssistedCache sim(*cell.config);
+    std::optional<telemetry::SetProfiler> profiler;
+    if (cell.instrument.intervalRecords > 0) {
+        recorder.emplace(cell.instrument.intervalRecords);
+        sim.attachIntervalRecorder(&*recorder);
+    }
+    if (cell.instrument.heatmap) {
+        profiler.emplace(sim.mainArray().numSets());
+        sim.attachSetProfiler(&*profiler);
+    }
+    sim.run(*cell.trace);
+    SAC_ASSERT(sim.stats() == stats,
+               "instrumented replay diverged from the recorded run");
+    if (profiler)
+        m.profile = profiler->toJson();
+    return m;
+}
+
+} // namespace
+
+telemetry::Manifest
+renderCellManifest(const ManifestCell &cell, EngineTag tag)
+{
+    std::optional<telemetry::IntervalRecorder> recorder;
+    return renderCell(cell, tag, recorder);
+}
+
+std::string
+writeCellManifest(const std::string &dir, const ManifestCell &cell,
+                  EngineTag tag)
+{
+    std::optional<telemetry::IntervalRecorder> recorder;
+    const telemetry::Manifest m = renderCell(cell, tag, recorder);
+    const std::string path = telemetry::writeManifestFile(dir, m);
+    if (path.empty() || !recorder)
+        return path;
+
+    // The interval series rides next to the manifest:
+    // <workload>_<hash>.json -> <workload>_<hash>.intervals.jsonl.
+    std::string jsonl = path;
+    const std::string suffix = ".json";
+    jsonl.replace(jsonl.size() - suffix.size(), suffix.size(),
+                  ".intervals.jsonl");
+    if (!recorder->writeJsonl(jsonl, cell.workload, cell.config->name,
+                              cell.config->cacheKey()))
+        return "";
+    return path;
+}
+
+std::optional<std::string>
+SweepRequest::validationError() const
+{
+    if (workloads.empty())
+        return std::string("request has no workloads");
+    if (configs.empty())
+        return std::string("request has no configurations");
+    if (!metric.extract)
+        return std::string("request has no metric");
+    const bool sampled = engine == EngineSelect::Sampled ||
+                         engine == EngineSelect::SampledLivepoint;
+    if (engine == EngineSelect::SampledLivepoint &&
+        checkpointDir.empty()) {
+        return std::string(
+            "engine sampled-livepoint requires a checkpoint directory");
+    }
+    if (engine == EngineSelect::Sampled && !checkpointDir.empty()) {
+        return std::string("engine sampled ignores the checkpoint "
+                           "directory; use sampled-livepoint");
+    }
+    if (!checkpointDir.empty() && !sampled) {
+        return std::string(
+            "a checkpoint directory requires a sampled engine");
+    }
+    if (checkpointRebuild && checkpointDir.empty()) {
+        return std::string(
+            "checkpoint rebuild requires a checkpoint directory");
+    }
+    if ((telemetry.intervalRecords > 0 || telemetry.heatmap) &&
+        sampled) {
+        return std::string("interval/heatmap instrumentation replays "
+                           "exactly and cannot combine with a sampled "
+                           "engine");
+    }
+    if (engine == EngineSelect::Stack &&
+        !stackDerivableMetric(metric)) {
+        return "metric '" + metric.name +
+               "' is not stack-derivable; use engine auto or exact";
+    }
+    if (sampled) {
+        if (const auto err = sampling.validationError())
+            return "sampling: " + *err;
+    }
+    return std::nullopt;
+}
+
+SweepRequest
+SweepRequest::fromBenchOptions(const BenchOptions &options,
+                               std::vector<Workload> workloads,
+                               std::vector<core::Config> configs,
+                               Metric metric)
+{
+    SweepRequest req;
+    req.workloads = std::move(workloads);
+    req.configs = std::move(configs);
+    req.metric = std::move(metric);
+    req.jobs = options.jobs;
+    if (options.sample) {
+        req.engine = options.checkpointDir.empty()
+                         ? EngineSelect::Sampled
+                         : EngineSelect::SampledLivepoint;
+    }
+    req.sampling = options.sampling;
+    req.checkpointDir = options.checkpointDir;
+    req.checkpointRebuild = options.checkpointRebuild;
+    req.telemetry.manifestDir = options.emitJsonDir;
+    req.telemetry.intervalRecords = options.interval;
+    req.telemetry.heatmap = options.heatmap;
+    req.telemetry.suiteTotals = true;
+    return req;
+}
+
+namespace {
+
+/** Serialize the manifest document exactly as writeManifestFile(). */
+std::string
+manifestDocument(const telemetry::Manifest &m)
+{
+    std::ostringstream os;
+    telemetry::manifestJson(m).write(os, 2);
+    os << '\n';
+    return os.str();
+}
+
+/** Per-run emission state shared by the engine-specific paths. */
+struct Emitter
+{
+    const SweepTelemetry &telemetry;
+    SweepResult &result;
+
+    bool
+    active() const
+    {
+        return !telemetry.manifestDir.empty() ||
+               static_cast<bool>(telemetry.sink);
+    }
+
+    /** Claim (workload, cacheKey) in the dedup set (true = emit). */
+    bool
+    claim(const std::string &workload, const std::string &cache_key)
+    {
+        return !telemetry.dedup ||
+               telemetry.dedup->emplace(workload, cache_key).second;
+    }
+
+    /**
+     * Emit one cell: write under manifestDir and/or stream through
+     * the sink. @p record (when given) receives the file/path.
+     */
+    void
+    emit(const ManifestCell &cell, EngineTag tag,
+         SweepResult::Cell *record)
+    {
+        const std::string file = telemetry::manifestFileName(
+            cell.workload, cell.config->cacheKey());
+        std::string path;
+        if (telemetry.sink) {
+            // Render once, stream the exact bytes a file would hold,
+            // then materialize those same bytes when a directory was
+            // also requested. (The interval sidecar is CLI-only and
+            // never combines with a sink.)
+            const telemetry::Manifest m =
+                renderCellManifest(cell, tag);
+            const std::string doc = manifestDocument(m);
+            telemetry.sink(file, doc);
+            if (!telemetry.manifestDir.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(
+                    telemetry.manifestDir, ec);
+                const std::filesystem::path p =
+                    std::filesystem::path(telemetry.manifestDir) /
+                    file;
+                std::ofstream os(p);
+                os << doc;
+                path = os ? p.string() : std::string();
+            } else {
+                path = file; // streamed only; count as written
+            }
+        } else if (!telemetry.manifestDir.empty()) {
+            path = writeCellManifest(telemetry.manifestDir, cell, tag);
+        }
+        if (path.empty())
+            ++result.manifestFailures;
+        else
+            ++result.manifestsWritten;
+        if (record) {
+            record->manifestFile = file;
+            if (path != file)
+                record->manifestPath = path;
+        }
+    }
+};
+
+} // namespace
+
+SweepResult
+Runner::run(const SweepRequest &request)
+{
+    if (const auto err = request.validationError())
+        SAC_ASSERT(false, "invalid SweepRequest: ", *err);
+
+    SweepResult out;
+    Emitter emitter{request.telemetry, out};
+    const bool sampled =
+        request.engine == EngineSelect::Sampled ||
+        request.engine == EngineSelect::SampledLivepoint;
+    const std::size_t n_w = request.workloads.size();
+    const std::size_t n_c = request.configs.size();
+    out.cells.resize(n_w * n_c);
+    const auto record = [&](std::size_t wi,
+                            std::size_t ci) -> SweepResult::Cell & {
+        SweepResult::Cell &r = out.cells[wi * n_c + ci];
+        r.workload = request.workloads[wi].name;
+        r.configName = request.configs[ci].name;
+        r.cacheKey = request.configs[ci].cacheKey();
+        return r;
+    };
+
+    if (sampled) {
+        const auto cells = runSampled(
+            request.workloads, request.configs, request.sampling,
+            request.jobs,
+            request.engine == EngineSelect::SampledLivepoint
+                ? request.checkpointDir
+                : std::string(),
+            request.checkpointRebuild);
+        out.table = sampledMatrix(request.workloads, request.configs,
+                                  cells, request.metric);
+
+        // Library-served cells carry a "checkpoint" block so a reader
+        // can tell an instant re-sweep from a cold warm.
+        util::Json ck = util::Json::object();
+        if (!request.checkpointDir.empty()) {
+            for (const char *key :
+                 {"checkpoint.hits", "checkpoint.misses",
+                  "checkpoint.stale", "checkpoint.bytes"}) {
+                // Strip the "checkpoint." prefix inside the block.
+                ck.set(std::string(key).substr(11),
+                       checkpointCounter(key));
+            }
+        }
+        for (std::size_t wi = 0; wi < n_w; ++wi) {
+            for (std::size_t ci = 0; ci < n_c; ++ci) {
+                const SampledCell &cell = cells[wi][ci];
+                const EngineTag tag =
+                    cell.fromCheckpoints ? EngineTag::SampledLivepoint
+                                         : EngineTag::Sampled;
+                SweepResult::Cell &r = record(wi, ci);
+                r.engine = tag;
+                if (!emitter.active() ||
+                    !emitter.claim(r.workload, r.cacheKey))
+                    continue;
+                ManifestCell mc;
+                mc.workload = r.workload;
+                mc.config = &request.configs[ci];
+                mc.report = &cell.report;
+                mc.sampling = &request.sampling;
+                mc.checkpoint = cell.fromCheckpoints ? &ck : nullptr;
+                mc.simSeconds = cell.simSeconds;
+                emitter.emit(mc, tag, &r);
+            }
+        }
+        return out;
+    }
+
+    // Exact path (Auto routes stack families; Exact forbids them).
+    const bool allow_stack = request.engine != EngineSelect::Exact;
+    out.table = runMatrixWith(request.workloads, request.configs,
+                              request.metric, request.jobs,
+                              allow_stack);
+    out.timing = lastSweep();
+
+    // Mirror runMatrixWith's partition rule so stack-served cells are
+    // recorded (and emitted) as such instead of being exact-replayed
+    // just for the manifest.
+    std::size_t family_size = 0;
+    if (allow_stack && stackDerivableMetric(request.metric)) {
+        for (const auto &cfg : request.configs) {
+            if (stackFamilyEligible(cfg))
+                ++family_size;
+        }
+        if (family_size < 2)
+            family_size = 0;
+    }
+
+    const bool instrument = request.telemetry.intervalRecords > 0 ||
+                            request.telemetry.heatmap;
+    util::Json phases;
+    if (emitter.active() && request.telemetry.suiteTotals) {
+        const SweepTiming sweep = out.timing;
+        phases = phases_.toJson();
+        phases.set("sweep_jobs",
+                   static_cast<std::uint64_t>(sweep.jobs));
+        phases.set("worker_utilization", sweep.utilization());
+    }
+
+    for (std::size_t ci = 0; ci < n_c; ++ci) {
+        const core::Config &cfg = request.configs[ci];
+        sim::RunStats suite_total;
+        double suite_seconds = 0.0;
+        bool stack_served = false;
+        for (std::size_t wi = 0; wi < n_w; ++wi) {
+            const Workload &w = request.workloads[wi];
+            const sim::RunStats *stack =
+                family_size > 0 && stackFamilyEligible(cfg)
+                    ? stackStats(w, cfg)
+                    : nullptr;
+            SweepResult::Cell &r = record(wi, ci);
+            if (stack != nullptr) {
+                stack_served = true;
+                r.engine = EngineTag::StackSinglePass;
+                if (emitter.active() &&
+                    emitter.claim(r.workload, r.cacheKey)) {
+                    ManifestCell mc;
+                    mc.workload = r.workload;
+                    mc.config = &cfg;
+                    mc.stats = stack;
+                    mc.stackFamilySize = family_size;
+                    emitter.emit(mc, EngineTag::StackSinglePass, &r);
+                }
+                continue;
+            }
+            r.engine = EngineTag::ExactReplay;
+            if (!emitter.active())
+                continue;
+            const CellResult &cell = this->cell(w, cfg);
+            if (emitter.claim(r.workload, r.cacheKey)) {
+                ManifestCell mc;
+                mc.workload = r.workload;
+                mc.config = &cfg;
+                mc.stats = &cell.stats;
+                mc.simSeconds = cell.simSeconds;
+                if (instrument)
+                    mc.trace = &traceOf(w);
+                mc.instrument = {request.telemetry.intervalRecords,
+                                 request.telemetry.heatmap};
+                emitter.emit(mc, EngineTag::ExactReplay, &r);
+            }
+            suite_total += cell.stats;
+            suite_seconds += cell.simSeconds;
+        }
+        if (emitter.active() && request.telemetry.suiteTotals &&
+            !stack_served &&
+            emitter.claim("suite-total", cfg.cacheKey())) {
+            ManifestCell mc;
+            mc.workload = "suite-total";
+            mc.config = &cfg;
+            mc.stats = &suite_total;
+            mc.simSeconds = suite_seconds;
+            mc.extraTiming = &phases;
+            emitter.emit(mc, EngineTag::ExactReplay, nullptr);
+        }
+    }
+    return out;
+}
+
+} // namespace harness
+} // namespace sac

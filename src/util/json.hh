@@ -1,9 +1,10 @@
 /**
  * @file
  * Minimal ordered JSON document builder used by the telemetry layer
- * (counter serialization, run manifests, Chrome trace exports). Only
- * writing is supported; object members keep insertion order so every
- * emitted document is byte-stable across runs.
+ * (counter serialization, run manifests, Chrome trace exports) and,
+ * since the sweep service exists, a strict parser for the documents
+ * the wire protocol carries. Object members keep insertion order so
+ * every emitted document is byte-stable across runs.
  */
 
 #ifndef SAC_UTIL_JSON_HH
@@ -11,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,7 +52,52 @@ class Json
     /** An empty JSON array ([]). */
     static Json array();
 
+    /**
+     * Parse @p text as one JSON document (strict: no comments, no
+     * trailing commas, nothing but whitespace after the value).
+     * Returns nullopt on malformed input, with a position-qualified
+     * diagnostic in @p error when given. Numbers parse as Int when
+     * they fit a signed 64-bit integer, Uint when only an unsigned
+     * one, Double otherwise.
+     */
+    static std::optional<Json> parse(const std::string &text,
+                                     std::string *error = nullptr);
+
     Type type() const { return type_; }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isString() const { return type_ == Type::String; }
+    bool isBool() const { return type_ == Type::Bool; }
+
+    /** Is this any of the three number kinds? */
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+
+    /** String payload, or @p fallback for non-strings. */
+    const std::string &asString(const std::string &fallback = "") const
+    {
+        return type_ == Type::String ? string_ : fallback;
+    }
+
+    /** Bool payload, or @p fallback for non-bools. */
+    bool asBool(bool fallback = false) const
+    {
+        return type_ == Type::Bool ? bool_ : fallback;
+    }
+
+    /** Numeric payload as a signed integer (doubles truncate). */
+    std::int64_t asInt(std::int64_t fallback = 0) const;
+
+    /** Numeric payload as an unsigned integer (negatives clamp to 0). */
+    std::uint64_t asUint(std::uint64_t fallback = 0) const;
+
+    /** Numeric payload as a double. */
+    double asDouble(double fallback = 0.0) const;
 
     /**
      * Add (or overwrite) member @p key of an object. Calling set() on
@@ -67,6 +114,18 @@ class Json
     /** Member lookup; nullptr when absent or not an object. */
     const Json *find(const std::string &key) const;
     Json *find(const std::string &key);
+
+    /** Element @p i of an array; panics when out of range. */
+    const Json &at(std::size_t i) const;
+
+    /** All elements of an array (empty for non-arrays). */
+    const std::vector<Json> &elements() const { return elements_; }
+
+    /** All members of an object (empty for non-objects). */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
 
     /** Serialize with @p indent spaces per level (0 = compact). */
     std::string dump(int indent = 2) const;

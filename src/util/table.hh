@@ -22,6 +22,12 @@ namespace util {
 class Table
 {
   public:
+    /**
+     * An empty placeholder table (no columns, prints nothing) for
+     * value types that receive a real table later (e.g. SweepResult).
+     */
+    Table() = default;
+
     /** Create a table with the given column headers. */
     explicit Table(std::vector<std::string> headers);
 

@@ -76,10 +76,10 @@ TEST_P(BenchmarkInvariants, AccountingClosesUnderAllKeyConfigs)
 {
     const auto &t = traceOf();
     for (const auto &cfg :
-         {core::standardConfig(), core::victimConfig(),
-          core::softConfig(), core::softPrefetchConfig(),
-          core::variableSoftConfig(),
-          core::simplifiedSoftTwoWayConfig()}) {
+         {core::presets().get("standard"), core::presets().get("victim"),
+          core::presets().get("soft"), core::presets().get("soft-prefetch"),
+          core::presets().get("variable"),
+          core::presets().get("simplified-soft-2way")}) {
         const auto s = core::simulateTrace(t, cfg);
         EXPECT_EQ(s.accesses, t.size()) << cfg.name;
         EXPECT_EQ(s.mainHits + s.auxHits + s.misses + s.bypasses +
@@ -97,8 +97,8 @@ TEST_P(BenchmarkInvariants, AccountingClosesUnderAllKeyConfigs)
 TEST_P(BenchmarkInvariants, SoftNeverLosesToStandard)
 {
     const auto &t = traceOf();
-    const auto stand = core::simulateTrace(t, core::standardConfig());
-    const auto soft = core::simulateTrace(t, core::softConfig());
+    const auto stand = core::simulateTrace(t, core::presets().get("standard"));
+    const auto soft = core::simulateTrace(t, core::presets().get("soft"));
     EXPECT_LE(soft.amat(), stand.amat() * 1.01);
 }
 
@@ -107,8 +107,8 @@ TEST_P(BenchmarkInvariants, ClassifierInsensitiveToConfig)
     // Compulsory misses depend only on the trace and the line size,
     // never on the cache organization (for non-bypass configs).
     const auto &t = traceOf();
-    const auto a = core::simulateTrace(t, core::standardConfig());
-    const auto b = core::simulateTrace(t, core::twoWayConfig());
+    const auto a = core::simulateTrace(t, core::presets().get("standard"));
+    const auto b = core::simulateTrace(t, core::presets().get("2way"));
     EXPECT_EQ(a.compulsoryMisses, b.compulsoryMisses);
 }
 

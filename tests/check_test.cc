@@ -45,7 +45,7 @@ struct Arrays
 core::Config
 auditedConfig()
 {
-    core::Config cfg = core::softConfig();
+    core::Config cfg = core::presets().get("soft");
     return cfg;
 }
 
@@ -102,7 +102,7 @@ TEST(Auditor, DetectsSetMismatch)
 
 TEST(Auditor, DetectsTemporalBitWithoutTags)
 {
-    core::Config cfg = core::standardConfig(); // temporalBits off
+    core::Config cfg = core::presets().get("standard"); // temporalBits off
     cache::CacheArray main(cfg.cacheSizeBytes, cfg.lineBytes,
                            cfg.assoc);
     main.insert(main.lineAddrOf(0x1000), cache::ReplacementPolicy::Lru);
@@ -118,7 +118,7 @@ TEST(Auditor, DetectsTemporalBitWithoutTags)
 
 TEST(Auditor, DetectsDuplicateWayAndLruClash)
 {
-    core::Config cfg = core::twoWayConfig();
+    core::Config cfg = core::presets().get("2way");
     cache::CacheArray main(cfg.cacheSizeBytes, cfg.lineBytes,
                            cfg.assoc);
     const Addr line = main.lineAddrOf(0x2000);
@@ -189,7 +189,7 @@ TEST(Auditor, PanicModeAbortsWithCycleAndAddress)
 TEST(Auditor, CleanSimulationAuditsSilently)
 {
     const auto t = workloads::makeBenchmarkTrace("MV");
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     Auditor auditor(Auditor::OnViolation::Record);
     sim.attachAuditor(&auditor);
     sim.run(t);

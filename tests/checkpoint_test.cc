@@ -52,7 +52,11 @@ TEST(CacheArraySnapshotTest, RoundTripRestoresLinesAndClock)
     a.find(0x11)->setDirty(true);
     a.find(0x21)->setTemporal(true);
     a.find(0x2)->setPrefetched(true);
-    a.touch(a.setIndexOf(0x1), *a.findWay(0x1));
+    // 0x1 was evicted by the set-1 conflicts above (16 sets, 2 ways);
+    // bump a line that is still resident.
+    const auto touched = a.findWay(0x11);
+    ASSERT_TRUE(touched.has_value());
+    a.touch(a.setIndexOf(0x11), *touched);
 
     const auto lines = a.snapshotLines();
     ASSERT_EQ(lines.size(),

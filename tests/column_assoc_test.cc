@@ -128,7 +128,7 @@ TEST(ColumnAssoc, DirtyDemotedLinesWriteBackWhenClobbered)
 TEST(ColumnAssoc, RemovesConflictMissesOnMv)
 {
     const auto t = workloads::makeBenchmarkTrace("MV");
-    const auto dm = core::simulateTrace(t, core::standardConfig());
+    const auto dm = core::simulateTrace(t, core::presets().get("standard"));
     core::ColumnAssocConfig cfg;
     const auto ca = core::simulateColumnAssoc(t, cfg);
     // "Most conflict misses are eliminated" (paper Section 5).
@@ -143,7 +143,7 @@ TEST(ColumnAssoc, DoesNotDealWithPollution)
     const auto t = workloads::makeBenchmarkTrace("MV");
     const auto ca =
         core::simulateColumnAssoc(t, core::ColumnAssocConfig{});
-    const auto soft = core::simulateTrace(t, core::softConfig());
+    const auto soft = core::simulateTrace(t, core::presets().get("soft"));
     EXPECT_LT(soft.amat(), ca.amat());
 }
 

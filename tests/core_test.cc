@@ -49,7 +49,7 @@ rec(Addr addr, std::uint16_t delta = 1, bool write = false,
 Config
 smallSoft()
 {
-    Config c = core::softConfig();
+    Config c = core::presets().get("soft");
     c.cacheSizeBytes = 256;
     c.auxLines = 4;
     c.virtualLines = false;
@@ -70,7 +70,7 @@ smallSoftVl()
 Config
 smallVictim()
 {
-    Config c = core::victimConfig();
+    Config c = core::presets().get("victim");
     c.cacheSizeBytes = 256;
     c.auxLines = 4;
     return c;
@@ -78,7 +78,7 @@ smallVictim()
 
 TEST(CoreTiming, SingleMissLatencyIsOnePlusPenalty)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));
     sim.finish();
     // 1 (hit check) + 20 (latency) + 2 (32 B over a 16 B/cy bus).
@@ -88,7 +88,7 @@ TEST(CoreTiming, SingleMissLatencyIsOnePlusPenalty)
 
 TEST(CoreTiming, HitAfterMissCostsOneCycle)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));
     sim.access(rec(lineAddr(0) + 8));
     sim.finish();
@@ -128,7 +128,7 @@ TEST(CoreTiming, SwapLockDelaysNextAccess)
 
 TEST(CoreTiming, IssueDeltasSeparateAccesses)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));
     sim.access(rec(lineAddr(0), 50)); // issued long after the miss
     sim.finish();
@@ -137,7 +137,7 @@ TEST(CoreTiming, IssueDeltasSeparateAccesses)
 
 TEST(CoreWrites, WriteAllocatesAndWritesBackOnEviction)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0), 1, true)); // write miss, allocate
     EXPECT_TRUE(sim.mainContains(lineAddr(0)));
     sim.access(rec(lineAddr(256))); // same set: dirty line 0 evicted
@@ -147,7 +147,7 @@ TEST(CoreWrites, WriteAllocatesAndWritesBackOnEviction)
 
 TEST(CoreWrites, CleanEvictionWritesNothing)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));
     sim.access(rec(lineAddr(256)));
     sim.finish();
@@ -202,7 +202,7 @@ TEST(CoreVirtualLines, NonSpatialMissFetchesOneLine)
 
 TEST(CoreVirtualLines, StandardConfigIgnoresSpatialTags)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0), 1, false, false, true));
     sim.finish();
     EXPECT_EQ(sim.stats().linesFetched, 1u);
@@ -377,14 +377,14 @@ TEST(CoreTemporalBits, UntaggedAccessLeavesBitUnchanged)
 
 TEST(CoreTemporalBits, DisabledWhenConfigOff)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(2), 1, false, true));
     EXPECT_FALSE(sim.mainTemporalBit(lineAddr(2)));
 }
 
 TEST(CoreBypass, NonTemporalReadDoesNotAllocate)
 {
-    SoftwareAssistedCache sim(core::bypassConfig(false));
+    SoftwareAssistedCache sim(core::presets().get("bypass"));
     sim.access(rec(lineAddr(0)));
     sim.finish();
     EXPECT_EQ(sim.stats().bypasses, 1u);
@@ -397,7 +397,7 @@ TEST(CoreBypass, NonTemporalReadDoesNotAllocate)
 
 TEST(CoreBypass, TemporalReferencesStillAllocate)
 {
-    SoftwareAssistedCache sim(core::bypassConfig(false));
+    SoftwareAssistedCache sim(core::presets().get("bypass"));
     sim.access(rec(lineAddr(0), 1, false, true));
     sim.finish();
     EXPECT_EQ(sim.stats().misses, 1u);
@@ -406,7 +406,7 @@ TEST(CoreBypass, TemporalReferencesStillAllocate)
 
 TEST(CoreBypass, BufferedBypassRecoversSpatialLocality)
 {
-    SoftwareAssistedCache sim(core::bypassConfig(true));
+    SoftwareAssistedCache sim(core::presets().get("bypass-buffer"));
     for (Addr off = 0; off < 32; off += 8)
         sim.access(rec(lineAddr(0) + off));
     sim.finish();
@@ -419,7 +419,7 @@ TEST(CoreBypass, BufferedBypassRecoversSpatialLocality)
 
 TEST(CoreBypass, BufferThrashesOnInterleavedStreams)
 {
-    SoftwareAssistedCache sim(core::bypassConfig(true));
+    SoftwareAssistedCache sim(core::presets().get("bypass-buffer"));
     // Two interleaved streams evict each other from the one-line
     // buffer: every access refetches.
     for (int i = 0; i < 4; ++i) {
@@ -433,7 +433,7 @@ TEST(CoreBypass, BufferThrashesOnInterleavedStreams)
 
 TEST(CoreBypass, NonTemporalWriteGoesThroughWriteBuffer)
 {
-    SoftwareAssistedCache sim(core::bypassConfig(false));
+    SoftwareAssistedCache sim(core::presets().get("bypass"));
     sim.access(rec(lineAddr(0), 1, true));
     sim.finish();
     EXPECT_EQ(sim.stats().bypasses, 1u);
@@ -443,7 +443,7 @@ TEST(CoreBypass, NonTemporalWriteGoesThroughWriteBuffer)
 
 TEST(CorePrefetch, SpatialMissTriggersNextLinePrefetch)
 {
-    SoftwareAssistedCache sim(core::softPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("soft-prefetch"));
     sim.access(rec(lineAddr(0), 1, false, false, true));
     sim.finish();
     // Virtual block {0,1} fetched; line 2 prefetched.
@@ -453,7 +453,7 @@ TEST(CorePrefetch, SpatialMissTriggersNextLinePrefetch)
 
 TEST(CorePrefetch, PrefetchedLineHitsInAuxAndChains)
 {
-    SoftwareAssistedCache sim(core::softPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("soft-prefetch"));
     sim.access(rec(lineAddr(0), 1, false, false, true));
     // Far enough in the future for the prefetch to land.
     sim.access(rec(lineAddr(2), 200, false, false, true));
@@ -467,7 +467,7 @@ TEST(CorePrefetch, PrefetchedLineHitsInAuxAndChains)
 
 TEST(CorePrefetch, DemandStallsOnInFlightPrefetch)
 {
-    SoftwareAssistedCache sim(core::softPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("soft-prefetch"));
     sim.access(rec(lineAddr(0), 1, false, false, true));
     // Issued immediately after: the prefetch of line 2 is still in
     // flight, so the access waits for it instead of re-fetching.
@@ -479,7 +479,7 @@ TEST(CorePrefetch, DemandStallsOnInFlightPrefetch)
 
 TEST(CorePrefetch, SpatialOnlyGateRespectsTags)
 {
-    SoftwareAssistedCache sim(core::softPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("soft-prefetch"));
     sim.access(rec(lineAddr(0), 1, false, false, false));
     sim.finish();
     EXPECT_EQ(sim.stats().prefetchesIssued, 0u);
@@ -487,7 +487,7 @@ TEST(CorePrefetch, SpatialOnlyGateRespectsTags)
 
 TEST(CorePrefetch, StandardPrefetchFiresOnEveryMiss)
 {
-    SoftwareAssistedCache sim(core::standardPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard-prefetch"));
     sim.access(rec(lineAddr(0)));
     sim.finish();
     EXPECT_EQ(sim.stats().prefetchesIssued, 1u);
@@ -495,7 +495,7 @@ TEST(CorePrefetch, StandardPrefetchFiresOnEveryMiss)
 
 TEST(CorePrefetch, StandardPrefetchVictimsDoNotEnterAux)
 {
-    SoftwareAssistedCache sim(core::standardPrefetchConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard-prefetch"));
     sim.access(rec(lineAddr(0)));
     sim.access(rec(lineAddr(256))); // evicts line 0
     sim.finish();
@@ -504,7 +504,7 @@ TEST(CorePrefetch, StandardPrefetchVictimsDoNotEnterAux)
 
 TEST(CoreReplacement, SimplifiedSoftPrefersNonTemporalVictims)
 {
-    Config cfg = core::simplifiedSoftTwoWayConfig();
+    Config cfg = core::presets().get("simplified-soft-2way");
     cfg.cacheSizeBytes = 512; // 8 sets x 2 ways
     cfg.virtualLines = false;
     SoftwareAssistedCache sim(cfg);
@@ -519,7 +519,7 @@ TEST(CoreReplacement, SimplifiedSoftPrefersNonTemporalVictims)
 
 TEST(CoreReplacement, PlainTwoWayEvictsLru)
 {
-    Config cfg = core::twoWayConfig();
+    Config cfg = core::presets().get("2way");
     cfg.cacheSizeBytes = 512;
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(2), 1, false, true));
@@ -546,7 +546,7 @@ TEST(CoreStats, HitMissBypassPartitionAccesses)
 
 TEST(CoreStats, MissClassesSumToMisses)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     for (Addr i = 0; i < 2000; ++i)
         sim.access(rec(lineAddr((i * 7) % 512) + (i % 4) * 8));
     sim.finish();
@@ -563,8 +563,8 @@ TEST(CoreStats, DeterministicAcrossRuns)
         t.push(rec(lineAddr((i * 13) % 64) + (i % 4) * 8,
                    static_cast<std::uint16_t>(1 + i % 7), i % 3 == 0,
                    i % 4 == 0, i % 2 == 0));
-    const auto a = core::simulateTrace(t, core::softConfig());
-    const auto b = core::simulateTrace(t, core::softConfig());
+    const auto a = core::simulateTrace(t, core::presets().get("soft"));
+    const auto b = core::simulateTrace(t, core::presets().get("soft"));
     EXPECT_EQ(a.totalAccessCycles, b.totalAccessCycles);
     EXPECT_EQ(a.misses, b.misses);
     EXPECT_EQ(a.bounces, b.bounces);
@@ -573,7 +573,7 @@ TEST(CoreStats, DeterministicAcrossRuns)
 
 TEST(CoreConfig, ValidateRejectsBadGeometry)
 {
-    Config c = core::standardConfig();
+    Config c = core::presets().get("standard");
     c.lineBytes = 48; // not a power of two
     EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
                 "power of two");
@@ -581,14 +581,14 @@ TEST(CoreConfig, ValidateRejectsBadGeometry)
 
 TEST(CoreConfig, ValidateRejectsBounceBackWithoutAux)
 {
-    Config c = core::standardConfig();
+    Config c = core::presets().get("standard");
     c.bounceBack = true;
     EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "aux");
 }
 
 TEST(CoreConfig, ValidateRejectsBadVirtualLine)
 {
-    Config c = core::softConfig();
+    Config c = core::presets().get("soft");
     c.virtualLineBytes = 48;
     EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
                 "virtual line");
@@ -597,27 +597,27 @@ TEST(CoreConfig, ValidateRejectsBadVirtualLine)
 TEST(CoreConfig, FactoryConfigsAreValid)
 {
     // Every named configuration must pass validation.
-    core::standardConfig().validate();
-    core::standardConfig(64).validate();
-    core::victimConfig().validate();
-    core::softConfig().validate();
-    core::softTemporalOnlyConfig().validate();
-    core::softSpatialOnlyConfig().validate();
-    core::softConfig(128).validate();
-    core::bypassConfig(false).validate();
-    core::bypassConfig(true).validate();
-    core::twoWayConfig().validate();
-    core::twoWayVictimConfig().validate();
-    core::softTwoWayConfig().validate();
-    core::simplifiedSoftTwoWayConfig().validate();
-    core::standardPrefetchConfig().validate();
-    core::softPrefetchConfig().validate();
-    core::scaledConfig(core::softConfig(), 65536, 64).validate();
+    core::presets().get("standard").validate();
+    core::standardWithLineSize(64).validate();
+    core::presets().get("victim").validate();
+    core::presets().get("soft").validate();
+    core::presets().get("soft-temporal").validate();
+    core::presets().get("soft-spatial").validate();
+    core::softWithVirtualLineSize(128).validate();
+    core::presets().get("bypass").validate();
+    core::presets().get("bypass-buffer").validate();
+    core::presets().get("2way").validate();
+    core::presets().get("2way-victim").validate();
+    core::presets().get("soft-2way").validate();
+    core::presets().get("simplified-soft-2way").validate();
+    core::presets().get("standard-prefetch").validate();
+    core::presets().get("soft-prefetch").validate();
+    core::scaledConfig(core::presets().get("soft"), 65536, 64).validate();
 }
 
 TEST(CoreConfig, ScaledConfigAdjustsVirtualLine)
 {
-    const Config c = core::scaledConfig(core::softConfig(), 65536, 64);
+    const Config c = core::scaledConfig(core::presets().get("soft"), 65536, 64);
     EXPECT_EQ(c.cacheSizeBytes, 65536u);
     EXPECT_EQ(c.lineBytes, 64u);
     EXPECT_GE(c.virtualLineBytes, 128u);
@@ -625,7 +625,7 @@ TEST(CoreConfig, ScaledConfigAdjustsVirtualLine)
 
 TEST(CoreLifecycle, AccessAfterFinishPanics)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));
     sim.finish();
     EXPECT_DEATH(sim.access(rec(lineAddr(1))), "finish");
@@ -633,7 +633,7 @@ TEST(CoreLifecycle, AccessAfterFinishPanics)
 
 TEST(CoreLifecycle, FinishIsIdempotent)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0), 1, true));
     sim.access(rec(lineAddr(256)));
     sim.finish();

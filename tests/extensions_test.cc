@@ -107,7 +107,7 @@ TEST(SpatialLevel, FlowsIntoTraceRecords)
 
 TEST(VariableVl, FetchSpansTwoToTheLevel)
 {
-    Config cfg = core::variableSoftConfig();
+    Config cfg = core::presets().get("variable");
     {
         SoftwareAssistedCache sim(cfg);
         sim.access(rec(lineAddr(8), 1, false, false, 3));
@@ -131,7 +131,7 @@ TEST(VariableVl, FetchSpansTwoToTheLevel)
 
 TEST(VariableVl, CapRespectsConfig)
 {
-    Config cfg = core::variableSoftConfig();
+    Config cfg = core::presets().get("variable");
     cfg.virtualLineBytes = 64; // cap at 2 lines
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0), 1, false, false, 3));
@@ -141,7 +141,7 @@ TEST(VariableVl, CapRespectsConfig)
 
 TEST(VariableVl, FixedModeIgnoresLevels)
 {
-    SoftwareAssistedCache sim(core::softConfig()); // fixed 64 B
+    SoftwareAssistedCache sim(core::presets().get("soft")); // fixed 64 B
     sim.access(rec(lineAddr(0), 1, false, false, 3));
     sim.finish();
     EXPECT_EQ(sim.stats().linesFetched, 2u);
@@ -149,7 +149,7 @@ TEST(VariableVl, FixedModeIgnoresLevels)
 
 TEST(VariableVl, ValidationRequiresVirtualLines)
 {
-    Config cfg = core::standardConfig();
+    Config cfg = core::presets().get("standard");
     cfg.variableVirtualLines = true;
     EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
                 "variable virtual lines");
@@ -158,9 +158,9 @@ TEST(VariableVl, ValidationRequiresVirtualLines)
 TEST(VariableVl, HelpsLongStreamWorkloads)
 {
     const auto &t = workloads::makeBenchmarkTrace("MV");
-    const auto fixed = core::simulateTrace(t, core::softConfig());
+    const auto fixed = core::simulateTrace(t, core::presets().get("soft"));
     const auto variable =
-        core::simulateTrace(t, core::variableSoftConfig());
+        core::simulateTrace(t, core::presets().get("variable"));
     // MV streams are long: level-3 fills amortize the latency better.
     EXPECT_LT(variable.amat(), fixed.amat());
 }
@@ -169,7 +169,7 @@ TEST(VariableVl, HelpsLongStreamWorkloads)
 
 TEST(AuxAssoc, FourWayBounceBackStillWorks)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.auxAssoc = 4; // 8 lines = 2 sets x 4 ways
     cfg.virtualLines = false;
     SoftwareAssistedCache sim(cfg);
@@ -184,7 +184,7 @@ TEST(AuxAssoc, FourWayBounceBackStillWorks)
 
 TEST(AuxAssoc, ValidationRejectsBadShapes)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.auxAssoc = 3; // does not divide 8
     EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "divide");
     cfg.auxLines = 12;
@@ -195,7 +195,7 @@ TEST(AuxAssoc, ValidationRejectsBadShapes)
 
 TEST(AuxAssoc, SetAssociativeAuxClosesAccounting)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.auxAssoc = 2;
     const auto t = workloads::makeBenchmarkTrace("DYF");
     const auto s = core::simulateTrace(t, cfg);
@@ -206,9 +206,9 @@ TEST(AuxAssoc, FullyAssociativePerformsAtLeastAsWellOnAverage)
 {
     // The paper: a 4-way bounce-back cache performs reasonably well.
     const auto &t = workloads::makeBenchmarkTrace("MV");
-    Config four = core::softConfig();
+    Config four = core::presets().get("soft");
     four.auxAssoc = 4;
-    const auto full = core::simulateTrace(t, core::softConfig());
+    const auto full = core::simulateTrace(t, core::presets().get("soft"));
     const auto fw = core::simulateTrace(t, four);
     EXPECT_LT(std::abs(full.amat() - fw.amat()), 0.5);
 }
@@ -217,7 +217,7 @@ TEST(AuxAssoc, FullyAssociativePerformsAtLeastAsWellOnAverage)
 
 TEST(PrefetchDegree, FetchesSeveralLinesPerRequest)
 {
-    Config cfg = core::softPrefetchConfig();
+    Config cfg = core::presets().get("soft-prefetch");
     cfg.prefetchDegree = 2;
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0), 1, false, false, 1));
@@ -229,7 +229,7 @@ TEST(PrefetchDegree, FetchesSeveralLinesPerRequest)
 
 TEST(PrefetchDegree, BothPrefetchedLinesAreUsable)
 {
-    Config cfg = core::softPrefetchConfig();
+    Config cfg = core::presets().get("soft-prefetch");
     cfg.prefetchDegree = 2;
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0), 1, false, false, 1));
@@ -242,7 +242,7 @@ TEST(PrefetchDegree, BothPrefetchedLinesAreUsable)
 
 TEST(PrefetchDegree, ZeroDegreeRejected)
 {
-    Config cfg = core::softPrefetchConfig();
+    Config cfg = core::presets().get("soft-prefetch");
     cfg.prefetchDegree = 0;
     EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "degree");
 }
@@ -251,7 +251,7 @@ TEST(PrefetchDegree, ZeroDegreeRejected)
 
 TEST(ResetAblation, WithoutResetBitSurvivesBounce)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.cacheSizeBytes = 256;
     cfg.auxLines = 4;
     cfg.virtualLines = false;
@@ -275,7 +275,7 @@ TEST(ResetAblation, WithoutResetBitSurvivesBounce)
 
 TEST(CoherenceAblation, WithoutCheckResidentLinesAreRefetched)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.virtualLineCoherenceCheck = false;
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(1)));
@@ -289,9 +289,9 @@ TEST(CoherenceAblation, WithoutCheckResidentLinesAreRefetched)
 TEST(CoherenceAblation, CheckSavesTraffic)
 {
     const auto &t = workloads::makeBenchmarkTrace("BDN");
-    Config no_check = core::softConfig();
+    Config no_check = core::presets().get("soft");
     no_check.virtualLineCoherenceCheck = false;
-    const auto with = core::simulateTrace(t, core::softConfig());
+    const auto with = core::simulateTrace(t, core::presets().get("soft"));
     const auto without = core::simulateTrace(t, no_check);
     EXPECT_LE(with.bytesFetched, without.bytesFetched);
 }
@@ -301,7 +301,7 @@ TEST(AuxAssoc, DirectMappedAuxDiscardsMismappedSwapVictim)
     // With a direct-mapped aux cache, the line displaced by a swap
     // usually cannot live in the vacated aux slot (wrong aux set):
     // it is discarded, and written back first when dirty.
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.auxAssoc = 1; // 8 aux sets of 1 way
     cfg.virtualLines = false;
     SoftwareAssistedCache sim(cfg);
@@ -320,7 +320,7 @@ TEST(AuxAssoc, DirectMappedAuxDiscardsMismappedSwapVictim)
 
 TEST(AuxAssoc, MismappedDirtySwapVictimIsWrittenBack)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.cacheSizeBytes = 256; // 8 main sets
     cfg.auxLines = 4;
     cfg.auxAssoc = 1; // 4 aux sets of 1 way

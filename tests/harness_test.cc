@@ -59,9 +59,9 @@ TEST(HarnessRunner, ResultsAreCachedPerConfig)
 {
     Runner r;
     const auto w = tinyWorkload();
-    r.run(w, core::standardConfig());
-    r.run(w, core::standardConfig());
-    r.run(w, core::softConfig());
+    r.run(w, core::presets().get("standard"));
+    r.run(w, core::presets().get("standard"));
+    r.run(w, core::presets().get("soft"));
     EXPECT_EQ(r.runsExecuted(), 2u);
 }
 
@@ -71,8 +71,8 @@ TEST(HarnessRunner, SameLabelDifferentConfigDoesNotAlias)
     // configurations sharing a display name get separate cells.
     Runner r;
     const auto w = tinyWorkload();
-    auto small = core::standardConfig();
-    auto large = core::standardConfig();
+    auto small = core::presets().get("standard");
+    auto large = core::presets().get("standard");
     large.cacheSizeBytes = 64 * 1024;
     ASSERT_EQ(small.name, large.name);
     ASSERT_NE(small.cacheKey(), large.cacheKey());
@@ -84,8 +84,8 @@ TEST(HarnessRunner, SameLabelDifferentConfigDoesNotAlias)
 
 TEST(ConfigCacheKey, IgnoresNameAndCoversEveryKnob)
 {
-    auto a = core::softConfig();
-    auto b = core::softConfig();
+    auto a = core::presets().get("soft");
+    auto b = core::presets().get("soft");
     b.name = "renamed";
     EXPECT_EQ(a.cacheKey(), b.cacheKey());
 
@@ -110,7 +110,7 @@ TEST(HarnessRunner, MatrixShapeAndContents)
     const std::vector<Workload> ws{tinyWorkload("a"),
                                    tinyWorkload("b")};
     const auto table = r.matrix(
-        ws, {core::standardConfig(), core::softConfig()},
+        ws, {core::presets().get("standard"), core::presets().get("soft")},
         harness::amatMetric());
     EXPECT_EQ(table.rows(), 2u);
     EXPECT_EQ(table.cols(), 3u);

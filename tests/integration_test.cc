@@ -37,8 +37,8 @@ TEST(Integration, SoftBeatsStandardOnEveryBenchmark)
 {
     for (const auto &b : workloads::paperBenchmarks()) {
         const auto t = workloads::makeBenchmarkTrace(b.name);
-        const auto stand = simulateTrace(t, core::standardConfig());
-        const auto soft = simulateTrace(t, core::softConfig());
+        const auto stand = simulateTrace(t, core::presets().get("standard"));
+        const auto soft = simulateTrace(t, core::presets().get("soft"));
         EXPECT_LE(soft.amat(), stand.amat() * 1.01) << b.name;
         EXPECT_LE(soft.missRatio(), stand.missRatio() * 1.05) << b.name;
     }
@@ -47,10 +47,10 @@ TEST(Integration, SoftBeatsStandardOnEveryBenchmark)
 TEST(Integration, CombinedBeatsEachMechanismAloneOnMv)
 {
     const auto &t = mvTrace();
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto temp = simulateTrace(t, core::softTemporalOnlyConfig());
-    const auto spat = simulateTrace(t, core::softSpatialOnlyConfig());
-    const auto soft = simulateTrace(t, core::softConfig());
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto temp = simulateTrace(t, core::presets().get("soft-temporal"));
+    const auto spat = simulateTrace(t, core::presets().get("soft-spatial"));
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
     EXPECT_LT(temp.amat(), stand.amat());
     EXPECT_LT(spat.amat(), stand.amat());
     EXPECT_LE(soft.amat(), temp.amat());
@@ -61,8 +61,8 @@ TEST(Integration, MvMissRatioReductionIsLarge)
 {
     // The paper reports up to a 62% miss-ratio reduction for MV.
     const auto &t = mvTrace();
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto soft = simulateTrace(t, core::softConfig());
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
     EXPECT_LT(soft.missRatio(), stand.missRatio() * 0.6);
 }
 
@@ -70,7 +70,7 @@ TEST(Integration, MostHitsAreMainCacheHits)
 {
     // Figure 6b: the bounce-back mechanism keeps hot data in the
     // main cache, so aux hits stay a small share.
-    const auto soft = simulateTrace(mvTrace(), core::softConfig());
+    const auto soft = simulateTrace(mvTrace(), core::presets().get("soft"));
     EXPECT_GT(soft.mainHitShare(), 0.85);
 }
 
@@ -79,20 +79,20 @@ TEST(Integration, RawBypassIsWorseThanStandard)
     // Figure 3a: bypassing cannot exploit spatial locality and
     // performs poorly.
     const auto &t = mvTrace();
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto bypass = simulateTrace(t, core::bypassConfig(false));
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto bypass = simulateTrace(t, core::presets().get("bypass"));
     EXPECT_GT(bypass.amat(), stand.amat() * 1.5);
     // The buffered variant recovers part of the loss.
-    const auto buffered = simulateTrace(t, core::bypassConfig(true));
+    const auto buffered = simulateTrace(t, core::presets().get("bypass-buffer"));
     EXPECT_LT(buffered.amat(), bypass.amat());
 }
 
 TEST(Integration, VictimCacheHelpsButLessThanSoft)
 {
     const auto &t = mvTrace();
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto victim = simulateTrace(t, core::victimConfig());
-    const auto soft = simulateTrace(t, core::softConfig());
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto victim = simulateTrace(t, core::presets().get("victim"));
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
     EXPECT_LE(victim.amat(), stand.amat());
     EXPECT_LT(soft.amat(), victim.amat());
 }
@@ -102,8 +102,8 @@ TEST(Integration, SoftTrafficStaysNearStandard)
     // Figure 7a: virtual lines alone raise traffic; the combined
     // mechanism barely does.
     const auto &t = mvTrace();
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto soft = simulateTrace(t, core::softConfig());
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
     EXPECT_LT(soft.wordsFetchedPerAccess(),
               stand.wordsFetchedPerAccess() * 1.25);
 }
@@ -115,8 +115,8 @@ TEST(Integration, GainGrowsWithMemoryLatency)
     const auto &t = mvTrace();
     double prev_gap = -1e9;
     for (const Cycle lat : {10u, 20u, 30u}) {
-        auto stand = core::standardConfig();
-        auto soft = core::softConfig();
+        auto stand = core::presets().get("standard");
+        auto soft = core::presets().get("soft");
         stand.timing.memoryLatency = lat;
         soft.timing.memoryLatency = lat;
         const double gap = simulateTrace(t, stand).amat() -
@@ -132,9 +132,9 @@ TEST(Integration, LargerCachesBenefitLess)
     const auto &t = mvTrace();
     auto removed = [&](std::uint64_t bytes, std::uint32_t line) {
         const auto stand = simulateTrace(
-            t, core::scaledConfig(core::standardConfig(), bytes, line));
+            t, core::scaledConfig(core::presets().get("standard"), bytes, line));
         const auto soft = simulateTrace(
-            t, core::scaledConfig(core::softConfig(), bytes, line));
+            t, core::scaledConfig(core::presets().get("soft"), bytes, line));
         return 1.0 - static_cast<double>(soft.misses) /
                          static_cast<double>(stand.misses);
     };
@@ -149,10 +149,10 @@ TEST(Integration, SetAssociativeSoftControlHelps)
     // Figure 9b: software control still improves a 2-way cache, and
     // the simplified (replacement-priority) variant is competitive.
     const auto &t = mvTrace();
-    const auto two_way = simulateTrace(t, core::twoWayConfig());
-    const auto soft2 = simulateTrace(t, core::softTwoWayConfig());
+    const auto two_way = simulateTrace(t, core::presets().get("2way"));
+    const auto soft2 = simulateTrace(t, core::presets().get("soft-2way"));
     const auto simpl =
-        simulateTrace(t, core::simplifiedSoftTwoWayConfig());
+        simulateTrace(t, core::presets().get("simplified-soft-2way"));
     EXPECT_LT(soft2.amat(), two_way.amat());
     EXPECT_LT(simpl.amat(), two_way.amat());
 }
@@ -161,8 +161,8 @@ TEST(Integration, PrefetchingHidesVectorMisses)
 {
     // Figure 12: prefetching lowers AMAT further on streaming codes.
     const auto &t = mvTrace();
-    const auto soft = simulateTrace(t, core::softConfig());
-    const auto soft_pf = simulateTrace(t, core::softPrefetchConfig());
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
+    const auto soft_pf = simulateTrace(t, core::presets().get("soft-prefetch"));
     EXPECT_LT(soft_pf.amat(), soft.amat());
     EXPECT_GT(soft_pf.prefetchesUseful, 0u);
 }
@@ -172,8 +172,8 @@ TEST(Integration, SpMvScarceLocalityIsExploited)
     // Section 4.1: avoiding pollution by the matrix and index arrays
     // exploits the scarce reuse of X.
     const auto t = workloads::makeBenchmarkTrace("SpMV");
-    const auto stand = simulateTrace(t, core::standardConfig());
-    const auto soft = simulateTrace(t, core::softConfig());
+    const auto stand = simulateTrace(t, core::presets().get("standard"));
+    const auto soft = simulateTrace(t, core::presets().get("soft"));
     EXPECT_LT(soft.amat(), stand.amat() * 0.95);
 }
 
@@ -183,8 +183,8 @@ TEST(Integration, BlockingToleratesLargerBlocksWithSoft)
     // blocks. Compare AMAT at a large block size.
     const auto big = workloads::makeTaggedTrace(
         workloads::buildBlockedMv(600, 300));
-    const auto stand = simulateTrace(big, core::standardConfig());
-    const auto soft = simulateTrace(big, core::softConfig());
+    const auto stand = simulateTrace(big, core::presets().get("standard"));
+    const auto soft = simulateTrace(big, core::presets().get("soft"));
     EXPECT_LT(soft.amat(), stand.amat());
 }
 
@@ -192,8 +192,8 @@ TEST(Integration, TraceReplayMatchesIncrementalRuns)
 {
     // simulateTrace == manual access loop + finish.
     const auto t = workloads::makeBenchmarkTrace("DYF");
-    const auto batch = simulateTrace(t, core::softConfig());
-    core::SoftwareAssistedCache sim(core::softConfig());
+    const auto batch = simulateTrace(t, core::presets().get("soft"));
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     for (const auto &r : t)
         sim.access(r);
     sim.finish();

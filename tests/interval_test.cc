@@ -202,7 +202,7 @@ TEST(IntervalDifferential, DeltasSumExactlyToTheFinalRunStats)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(48));
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     IntervalRecorder rec(500);
     SetProfiler prof(sim.mainArray().numSets());
     sim.attachIntervalRecorder(&rec);
@@ -232,7 +232,7 @@ TEST(IntervalDifferential, AttachingInstrumentationDoesNotPerturb)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(40));
-    const auto cfg = core::softConfig();
+    const auto cfg = core::presets().get("soft");
     const sim::RunStats plain = core::simulateTrace(t, cfg);
 
     core::SoftwareAssistedCache sim(cfg);
@@ -248,7 +248,7 @@ TEST(IntervalDifferential, WarmingModeRecordsNothing)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(32));
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     IntervalRecorder rec(10);
     SetProfiler prof(sim.mainArray().numSets());
     sim.attachIntervalRecorder(&rec);
@@ -264,7 +264,7 @@ TEST(SetProfilerDifferential, TotalsMatchTheRunStatsCounters)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(48));
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     SetProfiler prof(sim.mainArray().numSets());
     sim.attachSetProfiler(&prof);
     sim.run(t);
@@ -281,7 +281,7 @@ TEST(InstrumentedManifest, WritesProfileBlockAndIntervalSeries)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(40));
-    const auto cfg = core::softConfig();
+    const auto cfg = core::presets().get("soft");
     const auto stats = core::simulateTrace(t, cfg);
     const std::string dir =
         testing::TempDir() + "sac_instrumented_manifest_test";
@@ -316,7 +316,7 @@ TEST(InstrumentedManifest, NoInstrumentationRequestedWritesPlain)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(32));
-    const auto cfg = core::softConfig();
+    const auto cfg = core::presets().get("soft");
     const auto stats = core::simulateTrace(t, cfg);
     const std::string dir =
         testing::TempDir() + "sac_plain_manifest_test";
@@ -338,7 +338,7 @@ TEST(InstrumentedManifest, CompiledOutBuildFallsBackToPlainManifest)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(32));
-    const auto cfg = core::softConfig();
+    const auto cfg = core::presets().get("soft");
     const auto stats = core::simulateTrace(t, cfg);
     const std::string dir =
         testing::TempDir() + "sac_fallback_manifest_test";

@@ -57,28 +57,28 @@ std::vector<Config>
 allConfigs()
 {
     return {
-        core::standardConfig(),
-        core::victimConfig(),
-        core::softConfig(),
-        core::softTemporalOnlyConfig(),
-        core::softSpatialOnlyConfig(),
-        core::softPrefetchConfig(),
-        core::standardPrefetchConfig(),
-        core::bypassConfig(false),
-        core::bypassConfig(true),
-        core::twoWayConfig(),
-        core::twoWayVictimConfig(),
-        core::softTwoWayConfig(),
-        core::simplifiedSoftTwoWayConfig(),
-        core::variableSoftConfig(),
+        core::presets().get("standard"),
+        core::presets().get("victim"),
+        core::presets().get("soft"),
+        core::presets().get("soft-temporal"),
+        core::presets().get("soft-spatial"),
+        core::presets().get("soft-prefetch"),
+        core::presets().get("standard-prefetch"),
+        core::presets().get("bypass"),
+        core::presets().get("bypass-buffer"),
+        core::presets().get("2way"),
+        core::presets().get("2way-victim"),
+        core::presets().get("soft-2way"),
+        core::presets().get("simplified-soft-2way"),
+        core::presets().get("variable"),
         [] {
-            auto c = core::softConfig();
+            auto c = core::presets().get("soft");
             c.auxAssoc = 4;
             c.name = "Soft. 4-way BB";
             return c;
         }(),
         [] {
-            auto c = core::softPrefetchConfig();
+            auto c = core::presets().get("soft-prefetch");
             c.prefetchDegree = 2;
             c.name = "Soft.+PF d2";
             return c;
@@ -179,7 +179,7 @@ TEST_P(VlSweep, FetchAccountingConsistent)
 {
     const std::uint32_t vl = GetParam();
     const auto t = randomTrace(99, 30000);
-    const auto cfg = core::softConfig(vl);
+    const auto cfg = core::softWithVirtualLineSize(vl);
     const auto s = simulateTrace(t, cfg);
 
     EXPECT_EQ(s.bytesFetched,
@@ -207,7 +207,7 @@ class LatencySweep : public testing::TestWithParam<int>
 TEST_P(LatencySweep, AmatIncreasesWithLatency)
 {
     const auto t = randomTrace(7, 15000);
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.timing.memoryLatency = static_cast<Cycle>(GetParam());
     const auto s = simulateTrace(t, cfg);
 
@@ -227,7 +227,7 @@ class AuxSweep : public testing::TestWithParam<std::uint32_t>
 
 TEST_P(AuxSweep, BounceBackScalesWithAuxSize)
 {
-    Config cfg = core::softConfig();
+    Config cfg = core::presets().get("soft");
     cfg.auxLines = GetParam();
     const auto t = randomTrace(11, 15000);
     const auto s = simulateTrace(t, cfg);
@@ -256,7 +256,7 @@ TEST_P(WriteRatioSweep, WritebackOnlyWithWrites)
         r.delta = 1;
         t.push(r);
     }
-    const auto s = simulateTrace(t, core::softConfig());
+    const auto s = simulateTrace(t, core::presets().get("soft"));
     if (pct == 0)
         EXPECT_EQ(s.bytesWrittenBack, 0u);
     else
@@ -271,8 +271,8 @@ INSTANTIATE_TEST_SUITE_P(WriteRatios, WriteRatioSweep,
 std::vector<Config>
 paperSweepConfigs()
 {
-    return {core::standardConfig(), core::softTemporalOnlyConfig(),
-            core::softSpatialOnlyConfig(), core::softConfig()};
+    return {core::presets().get("standard"), core::presets().get("soft-temporal"),
+            core::presets().get("soft-spatial"), core::presets().get("soft")};
 }
 
 /**
@@ -314,8 +314,8 @@ TEST(ParallelSweep, MatrixAndRunMatrixAreByteIdentical)
 TEST(ParallelSweep, SingleJobDegeneratesToSerial)
 {
     const auto workloads = harness::paperWorkloads();
-    const std::vector<Config> configs{core::standardConfig(),
-                                      core::softConfig()};
+    const std::vector<Config> configs{core::presets().get("standard"),
+                                      core::presets().get("soft")};
     const auto metric = harness::missRatioMetric();
 
     harness::Runner serial;
@@ -344,8 +344,8 @@ TEST(ParallelSweep, JobCountDoesNotChangeBytes)
                       nullptr});
     }
     const std::vector<Config> configs{
-        core::standardConfig(), core::victimConfig(),
-        core::softConfig(), core::variableSoftConfig()};
+        core::presets().get("standard"), core::presets().get("victim"),
+        core::presets().get("soft"), core::presets().get("variable")};
     const auto metric = harness::wordsPerAccessMetric();
 
     harness::Runner serial;

@@ -27,28 +27,28 @@ std::vector<Config>
 oracleConfigs()
 {
     std::vector<Config> out{
-        core::standardConfig(),
-        core::victimConfig(),
-        core::softConfig(),
-        core::softTemporalOnlyConfig(),
-        core::softSpatialOnlyConfig(),
-        core::softConfig(128),
-        core::variableSoftConfig(),
+        core::presets().get("standard"),
+        core::presets().get("victim"),
+        core::presets().get("soft"),
+        core::presets().get("soft-temporal"),
+        core::presets().get("soft-spatial"),
+        core::softWithVirtualLineSize(128),
+        core::presets().get("variable"),
     };
     // Ablations of the bounce-back details the oracle also models.
-    Config no_reset = core::softConfig();
+    Config no_reset = core::presets().get("soft");
     no_reset.name = "Soft. no-reset";
     no_reset.resetTemporalBitOnBounce = false;
     out.push_back(no_reset);
-    Config no_cc = core::softConfig();
+    Config no_cc = core::presets().get("soft");
     no_cc.name = "Soft. no-coherence";
     no_cc.virtualLineCoherenceCheck = false;
     out.push_back(no_cc);
-    Config tiny_wb = core::softConfig();
+    Config tiny_wb = core::presets().get("soft");
     tiny_wb.name = "Soft. wb=1";
     tiny_wb.writeBufferEntries = 1;
     out.push_back(tiny_wb);
-    Config big_aux = core::softConfig();
+    Config big_aux = core::presets().get("soft");
     big_aux.name = "Soft. aux=32";
     big_aux.auxLines = 32;
     out.push_back(big_aux);
@@ -112,12 +112,12 @@ TEST(ReferenceModelOracle, SupportsExactlyTheModeledSubset)
 {
     for (const auto &cfg : oracleConfigs())
         EXPECT_TRUE(sim::ReferenceModel::supports(cfg)) << cfg.name;
-    EXPECT_FALSE(sim::ReferenceModel::supports(core::twoWayConfig()));
+    EXPECT_FALSE(sim::ReferenceModel::supports(core::presets().get("2way")));
     EXPECT_FALSE(
-        sim::ReferenceModel::supports(core::bypassConfig(false)));
+        sim::ReferenceModel::supports(core::presets().get("bypass")));
     EXPECT_FALSE(
-        sim::ReferenceModel::supports(core::softPrefetchConfig()));
-    Config set_assoc_aux = core::softConfig();
+        sim::ReferenceModel::supports(core::presets().get("soft-prefetch")));
+    Config set_assoc_aux = core::presets().get("soft");
     set_assoc_aux.auxAssoc = 4;
     EXPECT_FALSE(sim::ReferenceModel::supports(set_assoc_aux));
 }

@@ -220,6 +220,23 @@ TEST(BenchOptionsSampleTest, ValidationErrorOnContradictoryFlags)
               std::string::npos);
     EXPECT_NE(opts.validationError()->find("stride"),
               std::string::npos);
+
+    // Instrumentation against a restored checkpoint: the re-replay
+    // the instrumentation would observe never happens.
+    opts = {};
+    opts.sample = true;
+    opts.emitJsonDir = "out";
+    opts.checkpointDir = "ckpt";
+    opts.heatmap = true;
+    ASSERT_TRUE(opts.validationError().has_value());
+    EXPECT_NE(opts.validationError()->find("--checkpoint-dir"),
+              std::string::npos);
+
+    opts.heatmap = false;
+    opts.interval = 1000;
+    ASSERT_TRUE(opts.validationError().has_value());
+    EXPECT_NE(opts.validationError()->find("--checkpoint-dir"),
+              std::string::npos);
 }
 
 TEST(BenchOptionsSampleDeathTest, ParseRejectsContradictoryFlags)
@@ -238,6 +255,13 @@ TEST(BenchOptionsSampleDeathTest, ParseRejectsContradictoryFlags)
     const char *bad_ci[] = {"prog", "--sample", "--sample-ci=huh"};
     EXPECT_EXIT(harness::BenchOptions::parse(3, bad_ci),
                 testing::ExitedWithCode(2), "expects a number");
+
+    const char *heatmap_vs_checkpoint[] = {
+        "prog",           "--sample",          "--emit-json=out",
+        "--checkpoint-dir=ckpt", "--heatmap"};
+    EXPECT_EXIT(harness::BenchOptions::parse(5, heatmap_vs_checkpoint),
+                testing::ExitedWithCode(2),
+                "cannot be combined with --checkpoint-dir");
 }
 
 // ---------------------------------------------------------------------

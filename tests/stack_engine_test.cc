@@ -76,7 +76,7 @@ eightCellFamily()
     std::vector<core::Config> out;
     for (const std::uint64_t kb : {4, 8, 16, 32}) {
         for (const std::uint32_t ways : {1u, 2u})
-            out.push_back(latticePoint(core::standardConfig(),
+            out.push_back(latticePoint(core::presets().get("standard"),
                                        kb * 1024, ways));
     }
     return out;
@@ -205,8 +205,8 @@ TEST(StackDifferential, StandardFamilyPresetsAcrossTheLattice)
     const std::vector<core::Config> bases = {
         core::presets().get("standard"),
         core::presets().get("2way"),
-        core::standardConfig(16),
-        core::standardConfig(64),
+        core::standardWithLineSize(16),
+        core::standardWithLineSize(64),
     };
     for (const auto &base : bases) {
         ASSERT_TRUE(harness::stackFamilyEligible(base)) << base.name;
@@ -381,7 +381,7 @@ TEST(StackRegression, CacheKeySeparatesFieldsTheStackPassFolds)
     // knobs (they cannot change standard-path miss counts). The
     // result caches and manifests must still keep such configs apart:
     // cacheKey() serializes every simulation-relevant field.
-    const core::Config a = core::standardConfig();
+    const core::Config a = core::presets().get("standard");
     core::Config b = a;
     b.writeBufferEntries = 64;
     core::Config c = a;
@@ -403,7 +403,7 @@ TEST(StackRegression, CacheKeySeparatesFieldsTheStackPassFolds)
 
 TEST(StackRegression, FoldedConfigsGetDistinctManifestCells)
 {
-    core::Config a = core::standardConfig();
+    core::Config a = core::presets().get("standard");
     core::Config b = a;
     b.writeBufferEntries = 64;
     b.name = "Stand. wb=64";
@@ -455,7 +455,7 @@ TEST(StackFamily, EligibilityFollowsTheStandardFeaturePath)
     EXPECT_FALSE(harness::stackFamilyEligible(
         core::presets().get("soft-prefetch")));
     EXPECT_FALSE(
-        harness::stackFamilyEligible(core::bypassConfig(false)));
+        harness::stackFamilyEligible(core::presets().get("bypass")));
     // Standard feature path, but a different replacement policy: the
     // non-temporal preference must disqualify.
     EXPECT_FALSE(harness::stackFamilyEligible(
@@ -541,7 +541,7 @@ TEST(StackFamily, MixedSweepSplitsFamilyFromFallback)
     for (const std::uint64_t kb : {4, 8})
         for (const std::uint32_t ways : {1u, 2u})
             configs.push_back(
-                latticePoint(core::standardConfig(), kb * 1024, ways));
+                latticePoint(core::presets().get("standard"), kb * 1024, ways));
     configs.push_back(core::presets().get("soft"));
     configs.push_back(core::presets().get("victim"));
 
@@ -564,7 +564,7 @@ TEST(StackFamily, SingleEligibleConfigIsNotWorthAPass)
 {
     // A family of one gains nothing over a replay: no stack dispatch.
     harness::Runner r;
-    r.runMatrix({mvWorkload()}, {core::standardConfig()},
+    r.runMatrix({mvWorkload()}, {core::presets().get("standard")},
                 harness::missRatioMetric(), 1);
     EXPECT_EQ(r.stackCounter("stack.pass.traversals"), 0u);
     EXPECT_EQ(r.runsExecuted(), 1u);

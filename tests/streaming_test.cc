@@ -245,7 +245,7 @@ TEST(Dispatch, FuzzCasesPassThroughBothPaths)
 
 TEST(ConfigValidation, RejectsVirtualLineNotMultipleOfLine)
 {
-    Config c = core::standardConfig();
+    Config c = core::presets().get("standard");
     c.virtualLines = true;
     c.lineBytes = 32;
     c.virtualLineBytes = 48;
@@ -254,7 +254,7 @@ TEST(ConfigValidation, RejectsVirtualLineNotMultipleOfLine)
 
 TEST(ConfigValidation, RejectsVirtualLineSmallerThanLine)
 {
-    Config c = core::standardConfig();
+    Config c = core::presets().get("standard");
     c.virtualLines = true;
     c.lineBytes = 32;
     c.virtualLineBytes = 16;
@@ -265,7 +265,7 @@ TEST(ConfigValidation, RejectsNonPowerOfTwoLineMultiple)
 {
     // 96 = 3 lines: a multiple, but handleMiss aligns virtual blocks
     // with a power-of-two mask, so 3-line blocks would misalign.
-    Config c = core::standardConfig();
+    Config c = core::presets().get("standard");
     c.virtualLines = true;
     c.lineBytes = 32;
     c.virtualLineBytes = 96;
@@ -298,8 +298,8 @@ TEST(ConfigBuilder, BuildsTheSoftConfiguration)
                              .temporalBits()
                              .virtualLines(64)
                              .build();
-    EXPECT_EQ(built.cacheKey(), core::softConfig().cacheKey());
-    EXPECT_EQ(built.name, core::softConfig().name);
+    EXPECT_EQ(built.cacheKey(), core::presets().get("soft").cacheKey());
+    EXPECT_EQ(built.name, core::presets().get("soft").name);
 }
 
 TEST(ConfigBuilder, BuildUncheckedSkipsValidation)
@@ -334,21 +334,21 @@ TEST(PresetRegistry, PresetsMatchLegacyFactories)
 {
     const auto &reg = core::presets();
     EXPECT_EQ(reg.get("standard").cacheKey(),
-              core::standardConfig().cacheKey());
+              core::presets().get("standard").cacheKey());
     EXPECT_EQ(reg.get("victim").cacheKey(),
-              core::victimConfig().cacheKey());
+              core::presets().get("victim").cacheKey());
     EXPECT_EQ(reg.get("soft").cacheKey(),
-              core::softConfig().cacheKey());
+              core::presets().get("soft").cacheKey());
     EXPECT_EQ(reg.get("variable").cacheKey(),
-              core::variableSoftConfig().cacheKey());
+              core::presets().get("variable").cacheKey());
     EXPECT_EQ(reg.get("bypass").cacheKey(),
-              core::bypassConfig(false).cacheKey());
+              core::presets().get("bypass").cacheKey());
     EXPECT_EQ(reg.get("bypass-buffer").cacheKey(),
-              core::bypassConfig(true).cacheKey());
+              core::presets().get("bypass-buffer").cacheKey());
     EXPECT_EQ(reg.get("soft-prefetch").cacheKey(),
-              core::softPrefetchConfig().cacheKey());
+              core::presets().get("soft-prefetch").cacheKey());
     EXPECT_EQ(reg.get("simplified-soft-2way").cacheKey(),
-              core::simplifiedSoftTwoWayConfig().cacheKey());
+              core::presets().get("simplified-soft-2way").cacheKey());
 }
 
 } // namespace

@@ -351,8 +351,8 @@ TEST(RunStats, AggregateOfRealRunsPreservesDerivedMetricInputs)
         workloads::makeTaggedTrace(workloads::buildMv(40));
     const auto t2 =
         workloads::makeTaggedTrace(workloads::buildMv(60));
-    const auto s1 = core::simulateTrace(t1, core::softConfig());
-    const auto s2 = core::simulateTrace(t2, core::softConfig());
+    const auto s1 = core::simulateTrace(t1, core::presets().get("soft"));
+    const auto s2 = core::simulateTrace(t2, core::presets().get("soft"));
     auto sum = s1;
     sum += s2;
     EXPECT_EQ(sum.accesses, s1.accesses + s2.accesses);
@@ -377,8 +377,8 @@ TEST(RunStatsRegistry, RegistryTotalsMatchLegacyFields)
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(80));
     const core::Config configs[] = {
-        core::standardConfig(), core::softConfig(),
-        core::softPrefetchConfig()};
+        core::presets().get("standard"), core::presets().get("soft"),
+        core::presets().get("soft-prefetch")};
     for (const auto &cfg : configs) {
         SCOPED_TRACE(cfg.name);
         const auto s = core::simulateTrace(t, cfg);
@@ -439,8 +439,8 @@ TEST(RunStatsRegistry, PrefixAndMergeSupportSweepAggregation)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(40));
-    const auto s1 = core::simulateTrace(t, core::standardConfig());
-    const auto s2 = core::simulateTrace(t, core::softConfig());
+    const auto s1 = core::simulateTrace(t, core::presets().get("standard"));
+    const auto s2 = core::simulateTrace(t, core::presets().get("soft"));
     // Merging per-cell registries equals registering the summed stats
     // (completionCycle is a max, so exclude the time group).
     CounterRegistry merged;
@@ -478,7 +478,7 @@ TEST(EventTracer, SimulatorEventsMatchRunStats)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(60));
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     EventTracer tr(1 << 22);
     sim.attachTracer(&tr);
     sim.run(t);
@@ -510,7 +510,7 @@ TEST(EventTracer, DetachedTracerRecordsNothing)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(20));
-    core::SoftwareAssistedCache sim(core::softConfig());
+    core::SoftwareAssistedCache sim(core::presets().get("soft"));
     sim.run(t);
     sim.finish();
     EXPECT_GT(sim.stats().accesses, 0u);
@@ -584,7 +584,7 @@ TEST(Manifest, CellManifestRoundTripsCountersAndMetrics)
 {
     const auto t =
         workloads::makeTaggedTrace(workloads::buildMv(40));
-    const auto cfg = core::softConfig();
+    const auto cfg = core::presets().get("soft");
     const auto s = core::simulateTrace(t, cfg);
     const std::string dir =
         testing::TempDir() + "sac_cell_manifest_test";
@@ -623,11 +623,11 @@ TEST(Runner, PhasesAccountForTraceGenAndSim)
     r.warmup(ws);
     EXPECT_GT(r.phases().seconds("trace-gen"), 0.0);
     EXPECT_GT(r.phases().seconds("warmup"), 0.0);
-    const auto &cell = r.cell(ws[0], core::softConfig());
+    const auto &cell = r.cell(ws[0], core::presets().get("soft"));
     EXPECT_GT(cell.stats.accesses, 0u);
     EXPECT_GE(cell.simSeconds, 0.0);
     EXPECT_GT(r.phases().seconds("sim"), 0.0);
-    const auto table = r.runMatrix(ws, {core::softConfig()},
+    const auto table = r.runMatrix(ws, {core::presets().get("soft")},
                                    harness::amatMetric(), 2);
     EXPECT_EQ(table.rows(), 1u);
     EXPECT_GT(r.phases().seconds("report"), 0.0);
@@ -837,8 +837,8 @@ TEST(Runner, WorkerUtilizationAccountsBusyTimeAgainstTheWall)
          },
          nullptr}};
     r.warmup(ws);
-    const std::vector<core::Config> cfgs{core::softConfig(),
-                                         core::standardConfig()};
+    const std::vector<core::Config> cfgs{core::presets().get("soft"),
+                                         core::presets().get("standard")};
     r.runMatrix(ws, cfgs, harness::amatMetric(), 2);
     const auto sweep = r.lastSweep();
     EXPECT_EQ(sweep.jobs, 2u);

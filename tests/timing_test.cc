@@ -43,7 +43,7 @@ rec(Addr addr, std::uint16_t delta = 1, bool write = false,
 
 TEST(Timing, BackToBackHitsAreOneCycleEach)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0))); // miss: completes at 24
     for (int i = 0; i < 10; ++i)
         sim.access(rec(lineAddr(0) + 8 * (i % 4)));
@@ -56,7 +56,7 @@ TEST(Timing, BackToBackHitsAreOneCycleEach)
 TEST(Timing, MissPenaltyScalesWithLineSize)
 {
     // A 128-byte physical line costs 1 + 20 + 128/16 = 29 cycles.
-    Config cfg = core::standardConfig(128);
+    Config cfg = core::standardWithLineSize(128);
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(0));
     sim.finish();
@@ -67,11 +67,11 @@ TEST(Timing, VirtualLinePenaltyMatchesPaperFormula)
 {
     // Loading a 256-byte virtual line requires 14 more cycles than a
     // 32-byte physical line (paper Section 2.1).
-    Config cfg = core::softConfig(256);
+    Config cfg = core::softWithVirtualLineSize(256);
     SoftwareAssistedCache a(cfg);
     a.access(rec(0, 1, false, false, true));
     a.finish();
-    SoftwareAssistedCache b(core::standardConfig());
+    SoftwareAssistedCache b(core::presets().get("standard"));
     b.access(rec(0));
     b.finish();
     EXPECT_DOUBLE_EQ(a.stats().totalAccessCycles -
@@ -81,7 +81,7 @@ TEST(Timing, VirtualLinePenaltyMatchesPaperFormula)
 
 TEST(Timing, BackToBackMissesQueueOnTheBus)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));       // request at 2, done at 24
     sim.access(rec(lineAddr(100), 1));  // issues at 24
     sim.finish();
@@ -93,7 +93,7 @@ TEST(Timing, BackToBackMissesQueueOnTheBus)
 
 TEST(Timing, WritebackDrainDelaysNextMiss)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0), 1, true));  // write miss, dirty
     sim.access(rec(lineAddr(256)));         // evicts dirty line 0
     sim.access(rec(lineAddr(512)));         // bus busy with the drain
@@ -108,12 +108,12 @@ TEST(Timing, VictimTransfersHideUnderMissLatency)
 {
     // A dirty victim's 2-cycle transfer fits in the 22-cycle miss
     // shadow: same latency as a clean-victim miss.
-    SoftwareAssistedCache dirty_case(core::standardConfig());
+    SoftwareAssistedCache dirty_case(core::presets().get("standard"));
     dirty_case.access(rec(lineAddr(0), 1, true));
     dirty_case.access(rec(lineAddr(256)));
     dirty_case.finish();
 
-    SoftwareAssistedCache clean_case(core::standardConfig());
+    SoftwareAssistedCache clean_case(core::presets().get("standard"));
     clean_case.access(rec(lineAddr(0), 1, false));
     clean_case.access(rec(lineAddr(256)));
     clean_case.finish();
@@ -124,7 +124,7 @@ TEST(Timing, VictimTransfersHideUnderMissLatency)
 
 TEST(Timing, DeltaLargerThanStallAbsorbsIt)
 {
-    SoftwareAssistedCache sim(core::standardConfig());
+    SoftwareAssistedCache sim(core::presets().get("standard"));
     sim.access(rec(lineAddr(0)));        // completes at 24
     sim.access(rec(lineAddr(100), 40));  // issues at 63, well clear
     sim.finish();
@@ -136,7 +136,7 @@ TEST(Timing, SwapLockStallsOnlyCloseSuccessors)
 {
     SoftwareAssistedCache sim(
         [] {
-            Config c = core::victimConfig();
+            Config c = core::presets().get("victim");
             c.cacheSizeBytes = 256;
             c.auxLines = 4;
             return c;
@@ -151,7 +151,7 @@ TEST(Timing, SwapLockStallsOnlyCloseSuccessors)
 
 TEST(Timing, PrefetchOccupiesTheBus)
 {
-    Config cfg = core::standardPrefetchConfig();
+    Config cfg = core::presets().get("standard-prefetch");
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0)));      // miss + prefetch of line 1
     sim.access(rec(lineAddr(100), 1)); // demand behind the prefetch
@@ -164,7 +164,7 @@ TEST(Timing, PrefetchOccupiesTheBus)
 
 TEST(Timing, PrefetchHitAvoidsTheFullMissPenalty)
 {
-    Config cfg = core::standardPrefetchConfig();
+    Config cfg = core::presets().get("standard-prefetch");
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0)));
     sim.access(rec(lineAddr(1), 100)); // prefetched line, landed
@@ -175,7 +175,7 @@ TEST(Timing, PrefetchHitAvoidsTheFullMissPenalty)
 
 TEST(Timing, InFlightPrefetchStallsDemandUntilReady)
 {
-    Config cfg = core::standardPrefetchConfig();
+    Config cfg = core::presets().get("standard-prefetch");
     SoftwareAssistedCache sim(cfg);
     sim.access(rec(lineAddr(0)));     // miss done 24; prefetch ready 46
     sim.access(rec(lineAddr(1), 1));  // issues at 24, wants line 1
@@ -187,7 +187,7 @@ TEST(Timing, InFlightPrefetchStallsDemandUntilReady)
 
 TEST(Timing, WriteBufferFullStallExtendsMiss)
 {
-    Config cfg = core::standardConfig();
+    Config cfg = core::presets().get("standard");
     cfg.writeBufferEntries = 1;
     SoftwareAssistedCache sim(cfg);
     // Two dirty victims in one virtual-line-free sequence: the
@@ -212,8 +212,8 @@ TEST(Timing, AmatIndependentOfAbsoluteStartTime)
     a.push(rec(lineAddr(0), 2));
     b.push(rec(lineAddr(0), 1000));
     b.push(rec(lineAddr(0), 2));
-    const auto ra = core::simulateTrace(a, core::standardConfig());
-    const auto rb = core::simulateTrace(b, core::standardConfig());
+    const auto ra = core::simulateTrace(a, core::presets().get("standard"));
+    const auto rb = core::simulateTrace(b, core::presets().get("standard"));
     EXPECT_DOUBLE_EQ(ra.amat(), rb.amat());
     EXPECT_GT(rb.completionCycle, ra.completionCycle + 900);
 }
@@ -223,7 +223,7 @@ TEST(Timing, CompletionCycleCoversIssueSpan)
     trace::Trace t("t");
     for (int i = 0; i < 100; ++i)
         t.push(rec(lineAddr(static_cast<Addr>(i)), 20));
-    const auto s = core::simulateTrace(t, core::standardConfig());
+    const auto s = core::simulateTrace(t, core::presets().get("standard"));
     EXPECT_GE(s.completionCycle, t.totalIssueCycles());
 }
 

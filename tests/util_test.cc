@@ -9,6 +9,7 @@
 #include <set>
 
 #include "src/util/distribution.hh"
+#include "src/util/json.hh"
 #include "src/util/rng.hh"
 #include "src/util/stats.hh"
 #include "src/util/table.hh"
@@ -17,6 +18,7 @@ namespace {
 
 using sac::util::BucketHistogram;
 using sac::util::DiscreteDistribution;
+using sac::util::Json;
 using sac::util::Rng;
 using sac::util::RunningStat;
 using sac::util::Table;
@@ -222,6 +224,100 @@ TEST(TableTest, RowAndColCounts)
     t.addRow();
     t.addRow();
     EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    Json doc = Json::object();
+    doc.set("name", "soft");
+    doc.set("count", std::uint64_t{42});
+    doc.set("ratio", 0.125);
+    doc.set("neg", std::int64_t{-7});
+    doc.set("on", true);
+    doc.set("off", false);
+    doc.set("nothing", Json());
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    Json inner = Json::object();
+    inner.set("k", "v");
+    arr.push(std::move(inner));
+    doc.set("list", std::move(arr));
+
+    for (const int indent : {0, 2}) {
+        std::string err;
+        const auto parsed = Json::parse(doc.dump(indent), &err);
+        ASSERT_TRUE(parsed.has_value()) << err;
+        // Ordered members + identical scalars => identical bytes.
+        EXPECT_EQ(parsed->dump(2), doc.dump(2));
+    }
+}
+
+TEST(JsonParse, ScalarsAndAccessors)
+{
+    const auto v = Json::parse(
+        "{\"i\": -3, \"u\": 18446744073709551615, \"d\": 2.5,"
+        " \"s\": \"x\", \"b\": true}");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("i")->asInt(), -3);
+    EXPECT_EQ(v->find("u")->asUint(), 18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(v->find("d")->asDouble(), 2.5);
+    EXPECT_EQ(v->find("s")->asString(), "x");
+    EXPECT_TRUE(v->find("b")->asBool());
+    // Cross-type accessors fall back instead of crashing.
+    EXPECT_EQ(v->find("s")->asInt(99), 99);
+    EXPECT_EQ(v->find("i")->asUint(), 0u);
+    EXPECT_DOUBLE_EQ(v->find("i")->asDouble(), -3.0);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto v = Json::parse(
+        "\"a\\n\\t\\\"b\\\\c\\u0041\\u00e9\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asString(), "a\n\t\"b\\cA\xc3\xa9");
+}
+
+TEST(JsonParse, ArraysAndNesting)
+{
+    const auto v = Json::parse("[1, [2, 3], {\"k\": [4]}]");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isArray());
+    ASSERT_EQ(v->size(), 3u);
+    EXPECT_EQ(v->at(0).asInt(), 1);
+    EXPECT_EQ(v->at(1).at(1).asInt(), 3);
+    EXPECT_EQ(v->at(2).find("k")->at(0).asInt(), 4);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",            // empty
+        "{",           // unterminated object
+        "[1,]",        // trailing comma
+        "{\"a\" 1}",   // missing colon
+        "{a: 1}",      // unquoted key
+        "\"abc",       // unterminated string
+        "01x",         // trailing garbage
+        "{} {}",       // two documents
+        "nul",         // bad literal
+        "-",           // bare minus
+        "\"\\q\"",     // unknown escape
+    };
+    for (const char *text : bad) {
+        std::string err;
+        EXPECT_FALSE(Json::parse(text, &err).has_value())
+            << "accepted: " << text;
+        EXPECT_NE(err.find("offset"), std::string::npos) << text;
+    }
+}
+
+TEST(JsonParse, DepthLimitStopsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    EXPECT_FALSE(Json::parse(deep).has_value());
 }
 
 } // namespace

@@ -32,6 +32,15 @@
 #                               # byte-identical tables, and a
 #                               # corrupt-library probe that must
 #                               # silently warm and rewrite
+#   tools/check.sh service      # sweep service end to end: the
+#                               # Service* tests, then a live sacd
+#                               # driven by sacctl — submit/status/
+#                               # metrics verbs, streamed manifests
+#                               # byte-identical to the CLI bench
+#                               # path (modulo wall-clock timing),
+#                               # and a SIGTERM mid-request that
+#                               # must drain gracefully (client
+#                               # still gets its full response)
 #
 # Each mode builds into build-check-<mode>/ with -DSAC_SANITIZE=<mode>
 # (empty for plain) and runs ctest. The script stops at the first
@@ -314,11 +323,115 @@ EOF
         echo "=== [checkpoint] OK ==="
         continue
     fi
+    if [[ "$mode" == "service" ]]; then
+        # Service leg: prove the sweep daemon end to end — the
+        # Service* unit/integration tests, then a live sacd driven
+        # over its Unix socket by sacctl. The streamed manifests must
+        # be byte-identical to what the CLI bench path writes with
+        # --emit-json (modulo the wall-clock "timing" object), the
+        # status/metrics verbs must report the admitted request, and
+        # a SIGTERM while a request is in flight must drain
+        # gracefully: the client still receives its full response and
+        # the daemon exits 0 after "sacd: stopped".
+        build_dir="build-check-service"
+        echo "=== [service] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="" \
+            -DSAC_AUDIT=OFF \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target sacd --target sacctl \
+            --target sac_test_service_test \
+            --target sac_test_sweep_request_test \
+            --target bench_fig07_traffic_missratio
+        echo "=== [service] ctest (protocol + server + request API) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" -R 'Service|SweepRequest'
+        svc_dir="${build_dir}/service-run"
+        rm -rf "${svc_dir}"
+        mkdir -p "${svc_dir}"
+        sock="${svc_dir}/sacd.sock"
+        ctl() { "${build_dir}/examples/sacctl" --socket="${sock}" "$@"; }
+        echo "=== [service] CLI reference sweep (--emit-json) ==="
+        "${build_dir}/bench/bench_fig07_traffic_missratio" \
+            --jobs 2 --emit-json "${svc_dir}/cli-manifests" \
+            > "${svc_dir}/cli-table.txt"
+        echo "=== [service] start sacd ==="
+        "${build_dir}/examples/sacd" --socket="${sock}" \
+            --workers=2 --queue-cap=4 > "${svc_dir}/sacd.log" 2>&1 &
+        sacd_pid=$!
+        trap 'kill "${sacd_pid}" 2>/dev/null || true' EXIT
+        for _ in $(seq 1 100); do
+            [[ -S "${sock}" ]] && break
+            kill -0 "${sacd_pid}" 2>/dev/null \
+                || { cat "${svc_dir}/sacd.log" >&2; exit 1; }
+            sleep 0.1
+        done
+        [[ -S "${sock}" ]] || { echo "sacd never bound ${sock}" >&2; exit 1; }
+        echo "=== [service] submit: streamed vs CLI manifests ==="
+        ctl submit --workloads=MV,SpMV \
+            --presets=standard,soft-temporal,soft-spatial,soft \
+            --metric=miss-ratio --jobs=2 \
+            --out="${svc_dir}/streamed" > "${svc_dir}/svc-table.txt"
+        python3 - "${svc_dir}/streamed" "${svc_dir}/cli-manifests" <<'EOF'
+import glob, json, os, sys
+streamed, reference = sys.argv[1], sys.argv[2]
+names = sorted(os.path.basename(p)
+               for p in glob.glob(streamed + "/*.json"))
+if not names:
+    sys.exit(f"{streamed}: no streamed manifests")
+def canon(path):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("timing", None)
+    return json.dumps(doc, sort_keys=True)
+for name in names:
+    ref = os.path.join(reference, name)
+    if not os.path.exists(ref):
+        sys.exit(f"{name}: streamed manifest has no CLI counterpart")
+    if canon(os.path.join(streamed, name)) != canon(ref):
+        sys.exit(f"{name}: streamed document differs from CLI path")
+print(f"  {len(names)} streamed manifests byte-identical to the "
+      f"CLI path (modulo timing)")
+EOF
+        echo "=== [service] status + metrics verbs ==="
+        ctl status > "${svc_dir}/status.json"
+        python3 - "${svc_dir}/status.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc.get("requests", doc)
+if counters.get("accepted", 0) < 1:
+    sys.exit(f"status did not count the accepted request: {doc}")
+if counters.get("completed", 0) < 1:
+    sys.exit(f"status did not count the completed request: {doc}")
+EOF
+        ctl metrics > "${svc_dir}/metrics.prom"
+        grep -q 'sacd_request_accepted' "${svc_dir}/metrics.prom"
+        grep -q 'sacd_request_completed' "${svc_dir}/metrics.prom"
+        echo "=== [service] SIGTERM mid-request drains gracefully ==="
+        ctl submit --workloads=MDG,BDN,DYF --presets=victim,2way \
+            --metric=amat --jobs=2 \
+            --out="${svc_dir}/drain" > "${svc_dir}/drain-table.txt" &
+        client_pid=$!
+        sleep 0.5
+        kill -TERM "${sacd_pid}"
+        wait "${client_pid}" \
+            || { echo "client lost its in-flight sweep" >&2; exit 1; }
+        [[ -s "${svc_dir}/drain-table.txt" ]] \
+            || { echo "drained client received no table" >&2; exit 1; }
+        wait "${sacd_pid}" \
+            || { echo "sacd exited non-zero" >&2; exit 1; }
+        trap - EXIT
+        grep -q 'sacd: stopped' "${svc_dir}/sacd.log"
+        [[ ! -S "${sock}" ]] \
+            || { echo "socket not unlinked on drain" >&2; exit 1; }
+        echo "=== [service] OK ==="
+        continue
+    fi
     case "$mode" in
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|checkpoint|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|checkpoint|service|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="
