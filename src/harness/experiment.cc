@@ -185,7 +185,8 @@ stackStatsFor(const sim::StackDistanceEngine &eng,
 
 void
 Runner::runStackFamily(const Workload &w,
-                       const std::vector<const core::Config *> &family)
+                       const std::vector<const core::Config *> &family,
+                       unsigned intra_jobs)
 {
     // Serialize passes per workload: a concurrent sweep requesting
     // the same family waits here, then finds the store filled and
@@ -221,20 +222,65 @@ Runner::runStackFamily(const Workload &w,
     points.reserve(family.size());
     for (const core::Config *cfg : family)
         points.push_back(stackPointOf(*cfg));
-    sim::StackDistanceEngine eng(points);
 
     const trace::Trace &t = traceOf(w);
     std::uint64_t records = 0;
-    {
+    std::optional<sim::StackDistanceEngine> eng;
+    if (intra_jobs > 1) {
+        // Set-sharded pass: per-set LRU stacks never interact, so
+        // each shard profiles a disjoint slice of every profiler's
+        // set space over the full stream and the histograms sum to
+        // exactly the unsharded counts (proven by the
+        // ShardedStackDifferential tests).
+        const telemetry::ScopedPhase phase(phases_, "stack-pass");
+        const unsigned shards = intra_jobs;
+        std::vector<sim::StackDistanceEngine> slices;
+        slices.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s)
+            slices.emplace_back(points, s, shards);
+        {
+            util::ThreadPool pool(shards);
+            std::vector<std::future<void>> tasks;
+            tasks.reserve(shards);
+            for (unsigned s = 0; s < shards; ++s) {
+                tasks.push_back(pool.submit([&slices, s, &t] {
+                    trace::MemoryTraceSource src(t);
+                    slices[s].run(src);
+                }));
+            }
+            for (auto &task : tasks)
+                task.get();
+        }
+        const auto merge0 = std::chrono::steady_clock::now();
+        for (unsigned s = 1; s < shards; ++s)
+            slices[0].absorb(slices[s]);
+        const auto merge_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - merge0)
+                .count());
+        records = slices[0].accesses();
+        eng.emplace(std::move(slices[0]));
+        {
+            std::lock_guard<std::mutex> lock(parallelMutex_);
+            parallelCounters_.counter(
+                "parallel.shards",
+                "set-shard stack-pass slices executed") += shards;
+            parallelCounters_.counter(
+                "parallel.merge_ns",
+                "nanoseconds merging parallel partial results") +=
+                merge_ns;
+        }
+    } else {
+        eng.emplace(points);
         const telemetry::ScopedPhase phase(phases_, "stack-pass");
         trace::MemoryTraceSource src(t);
-        records = eng.run(src);
+        records = eng->run(src);
     }
 
     std::lock_guard<std::mutex> lock(stackMutex_);
     for (const core::Config *cfg : family) {
         stackResults_.try_emplace({w.name, cfg->cacheKey()},
-                                  stackStatsFor(eng, *cfg));
+                                  stackStatsFor(*eng, *cfg));
     }
     ++stackCounters_.counter("stack.pass.traversals",
                              "single-pass stack traversals executed");
@@ -268,6 +314,13 @@ Runner::checkpointCounter(const std::string &name) const
     return checkpointCounters_.value(name);
 }
 
+std::uint64_t
+Runner::parallelCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(parallelMutex_);
+    return parallelCounters_.value(name);
+}
+
 util::Table
 Runner::runMatrix(const std::vector<Workload> &workloads,
                   const std::vector<core::Config> &configs,
@@ -280,7 +333,7 @@ util::Table
 Runner::runMatrixWith(const std::vector<Workload> &workloads,
                       const std::vector<core::Config> &configs,
                       const Metric &metric, unsigned jobs,
-                      bool allow_stack)
+                      bool allow_stack, unsigned intra_jobs)
 {
     const auto sweep_start = std::chrono::steady_clock::now();
     // Per-worker busy time: summed wall time of the cell tasks
@@ -319,7 +372,7 @@ Runner::runMatrixWith(const std::vector<Workload> &workloads,
         // single-threaded by design.
         for (const auto &w : workloads) {
             const auto t0 = std::chrono::steady_clock::now();
-            runStackFamily(w, family);
+            runStackFamily(w, family, intra_jobs);
             busy_ns.fetch_add(static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - t0)
@@ -505,7 +558,9 @@ Runner::SampledCell
 Runner::computeSampledCell(const Workload &w, const core::Config &cfg,
                            const sim::SamplingOptions &opt,
                            const std::string &checkpoint_dir,
-                           bool rebuild, std::uint64_t trace_hash)
+                           bool rebuild, std::uint64_t trace_hash,
+                           util::ThreadPool *intra_pool,
+                           unsigned intra_jobs)
 {
     const sim::SampledEngine engine(opt);
     SampledCell out;
@@ -561,7 +616,26 @@ Runner::computeSampledCell(const Workload &w, const core::Config &cfg,
                 "bytes moved through .saclp files") += bytes;
         }
         trace::MemoryTraceSource src(t);
-        out.report = engine.runCheckpointed(src, sim, lib);
+        if (intra_pool && intra_jobs > 1) {
+            sim::ParallelReplayStats ps;
+            out.report = engine.runCheckpointedParallel(
+                src,
+                [&cfg] { return core::SoftwareAssistedCache(cfg); },
+                lib, *intra_pool, intra_jobs, &ps);
+            if (ps.parallel) {
+                std::lock_guard<std::mutex> lock(parallelMutex_);
+                parallelCounters_.counter(
+                    "parallel.windows",
+                    "detailed windows replayed concurrently") +=
+                    ps.windows;
+                parallelCounters_.counter(
+                    "parallel.merge_ns",
+                    "nanoseconds merging parallel partial "
+                    "results") += ps.mergeNanos;
+            }
+        } else {
+            out.report = engine.runCheckpointed(src, sim, lib);
+        }
         out.fromCheckpoints = true;
     } else {
         trace::MemoryTraceSource src(t);
@@ -598,7 +672,9 @@ const Runner::SampledCell &
 Runner::sampledCellShared(const Workload &w, const core::Config &cfg,
                           const sim::SamplingOptions &opt,
                           const std::string &checkpoint_dir,
-                          std::uint64_t trace_hash)
+                          std::uint64_t trace_hash,
+                          util::ThreadPool *intra_pool,
+                          unsigned intra_jobs)
 {
     const std::string key =
         sampledCellKey(w.name, cfg.cacheKey(), opt, checkpoint_dir);
@@ -611,8 +687,9 @@ Runner::sampledCellShared(const Workload &w, const core::Config &cfg,
         slot = entry.get();
     }
     std::call_once(slot->once, [&] {
-        slot->value = computeSampledCell(w, cfg, opt, checkpoint_dir,
-                                         false, trace_hash);
+        slot->value =
+            computeSampledCell(w, cfg, opt, checkpoint_dir, false,
+                               trace_hash, intra_pool, intra_jobs);
     });
     return slot->value;
 }
@@ -621,7 +698,8 @@ std::vector<std::vector<Runner::SampledCell>>
 Runner::runSampled(const std::vector<Workload> &workloads,
                    const std::vector<core::Config> &configs,
                    const sim::SamplingOptions &opt, unsigned jobs,
-                   const std::string &checkpoint_dir, bool rebuild)
+                   const std::string &checkpoint_dir, bool rebuild,
+                   unsigned intra_jobs)
 {
     const telemetry::ScopedPhase phase(phases_, "sweep-sampled");
     const sim::SampledEngine engine(opt); // validates opt up front
@@ -629,6 +707,10 @@ Runner::runSampled(const std::vector<Workload> &workloads,
         !checkpoint_dir.empty() && engine.checkpointable();
     const std::string library_dir =
         use_library ? checkpoint_dir : std::string();
+    // Intra-cell window replay needs a live-point library to slice;
+    // plain sampled runs are a single sequential stream.
+    const unsigned intra =
+        use_library ? std::max(1u, intra_jobs) : 1u;
 
     // Latch every trace first so the parallel phase below measures
     // sampled replay alone (and workers never race a generation).
@@ -649,29 +731,41 @@ Runner::runSampled(const std::vector<Workload> &workloads,
     // --checkpoint-rebuild must warm-and-rewrite, so it bypasses the
     // shared cell store (and never poisons it with its fresh result —
     // a later plain run should still latch its own).
+    // One pool serves both levels of parallelism: cell tasks fan out
+    // across it, and each checkpointed cell may additionally shard
+    // its window replay onto the same workers (the replay waits with
+    // helpWait(), so nested submission cannot deadlock).
+    const std::size_t n_cells = workloads.size() * configs.size();
+    const unsigned pool_threads = std::max(jobs, intra);
+    std::optional<util::ThreadPool> pool;
+    if (pool_threads > 1 && (n_cells > 1 || intra > 1))
+        pool.emplace(pool_threads);
+    util::ThreadPool *intra_pool =
+        (intra > 1 && pool) ? &*pool : nullptr;
+
     const auto run_cell = [&](std::size_t wi, std::size_t ci) {
         cells[wi][ci] =
             rebuild ? computeSampledCell(workloads[wi], configs[ci],
                                          opt, library_dir, true,
-                                         trace_hashes[wi])
+                                         trace_hashes[wi],
+                                         intra_pool, intra)
                     : sampledCellShared(workloads[wi], configs[ci],
                                         opt, library_dir,
-                                        trace_hashes[wi]);
+                                        trace_hashes[wi],
+                                        intra_pool, intra);
     };
 
-    const std::size_t n_cells = workloads.size() * configs.size();
-    if (jobs > 1 && n_cells > 1) {
-        util::ThreadPool pool(jobs);
+    if (pool && jobs > 1 && n_cells > 1) {
         std::vector<std::future<void>> tasks;
         tasks.reserve(n_cells);
         for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
             for (std::size_t ci = 0; ci < configs.size(); ++ci) {
-                tasks.push_back(pool.submit(
+                tasks.push_back(pool->submit(
                     [&run_cell, wi, ci] { run_cell(wi, ci); }));
             }
         }
         for (auto &t : tasks)
-            t.get();
+            pool->helpWait(t);
     } else {
         for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
             for (std::size_t ci = 0; ci < configs.size(); ++ci)

@@ -29,6 +29,11 @@
 #include "src/util/table.hh"
 
 namespace sac {
+
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace harness {
 
 struct SweepRequest;
@@ -245,7 +250,8 @@ class Runner
     runSampled(const std::vector<Workload> &workloads,
                const std::vector<core::Config> &configs,
                const sim::SamplingOptions &opt, unsigned jobs,
-               const std::string &checkpoint_dir, bool rebuild);
+               const std::string &checkpoint_dir, bool rebuild,
+               unsigned intra_jobs = 1);
 
     /** Number of simulations actually executed (not served cached). */
     std::size_t runsExecuted() const { return runsExecuted_.load(); }
@@ -270,6 +276,18 @@ class Runner
      *   checkpoint.bytes   bytes moved through .saclp files
      */
     std::uint64_t checkpointCounter(const std::string &name) const;
+
+    /**
+     * Value of one of this runner's "parallel.*" telemetry counters
+     * (0 when never incremented) — the intra-trace parallelism
+     * account:
+     *   parallel.windows   detailed windows replayed concurrently
+     *                      (checkpointed window-replay shards)
+     *   parallel.shards    set-shard stack-pass slices executed
+     *   parallel.merge_ns  nanoseconds spent merging parallel
+     *                      partial results in deterministic order
+     */
+    std::uint64_t parallelCounter(const std::string &name) const;
 
     /**
      * Stack-store stats of (w, cfg), or nullptr when no stack pass
@@ -308,31 +326,44 @@ class Runner
     /**
      * Run one stack pass over @p w covering the whole @p family,
      * storing per-config stats for any member not already in the
-     * stack store. Serial (called from the sweep's issuing thread).
+     * stack store. Called from the sweep's issuing thread;
+     * @p intra_jobs > 1 splits the pass into that many set-shard
+     * slices (sim::StackDistanceEngine shard mode) run concurrently
+     * and absorbed in shard order — bit-identical counts, one
+     * traversal's wall time divided across cores.
      */
     void runStackFamily(const Workload &w,
-                        const std::vector<const core::Config *> &family);
+                        const std::vector<const core::Config *> &family,
+                        unsigned intra_jobs = 1);
 
     /**
      * runMatrix() with the stack dispatch gated: @p allow_stack false
      * forces every cell onto exact replay (EngineSelect::Exact).
+     * @p intra_jobs > 1 shards each stack pass across that many
+     * workers (runStackFamily).
      */
     util::Table runMatrixWith(const std::vector<Workload> &workloads,
                               const std::vector<core::Config> &configs,
                               const Metric &metric, unsigned jobs,
-                              bool allow_stack);
+                              bool allow_stack,
+                              unsigned intra_jobs = 1);
 
     /**
      * Simulate one sampled cell (optionally over the live-point
      * library at @p checkpoint_dir). Always executes; the cache is
-     * sampledCellShared()'s.
+     * sampledCellShared()'s. When @p intra_pool is given with
+     * @p intra_jobs > 1, the live-point replay fans its detailed
+     * windows out over the pool (runCheckpointedParallel) — the
+     * report stays bit-identical to the serial path.
      */
     SampledCell computeSampledCell(const Workload &w,
                                    const core::Config &cfg,
                                    const sim::SamplingOptions &opt,
                                    const std::string &checkpoint_dir,
                                    bool rebuild,
-                                   std::uint64_t trace_hash);
+                                   std::uint64_t trace_hash,
+                                   util::ThreadPool *intra_pool = nullptr,
+                                   unsigned intra_jobs = 1);
 
     /**
      * The once-latched sampled cell of (w, cfg, geometry, library):
@@ -340,12 +371,16 @@ class Runner
      * — and, on the live-point path, one library build. Keyed on the
      * full sampling geometry plus the checkpoint directory, so a
      * plain and a checkpointed run of the same cell never alias.
+     * (Not on intra_jobs: parallel and serial replays are
+     * bit-identical, so they may share one slot.)
      */
     const SampledCell &
     sampledCellShared(const Workload &w, const core::Config &cfg,
                       const sim::SamplingOptions &opt,
                       const std::string &checkpoint_dir,
-                      std::uint64_t trace_hash);
+                      std::uint64_t trace_hash,
+                      util::ThreadPool *intra_pool = nullptr,
+                      unsigned intra_jobs = 1);
 
     std::mutex mutex_; //!< guards the two slot maps (not the slots)
     std::map<std::string, std::unique_ptr<Slot<trace::Trace>>>
@@ -382,6 +417,8 @@ class Runner
     telemetry::CounterRegistry stackCounters_;
     mutable std::mutex checkpointMutex_; //!< guards checkpointCounters_
     telemetry::CounterRegistry checkpointCounters_;
+    mutable std::mutex parallelMutex_; //!< guards parallelCounters_
+    telemetry::CounterRegistry parallelCounters_;
     std::atomic<std::size_t> runsExecuted_{0};
     std::atomic<std::size_t> tracesGenerated_{0};
     telemetry::PhaseTimer phases_;

@@ -139,6 +139,8 @@ renderCell(const ManifestCell &cell, EngineTag tag,
         m.timing = util::Json::object();
         if (cell.simSeconds > 0.0)
             m.timing.set("sim_seconds", cell.simSeconds);
+        if (cell.parallel)
+            m.timing.set("parallel", *cell.parallel);
         return m;
     }
 
@@ -165,6 +167,8 @@ renderCell(const ManifestCell &cell, EngineTag tag,
         m.timing = util::Json::object();
         if (cell.simSeconds > 0.0)
             m.timing.set("pass_seconds", cell.simSeconds);
+        if (cell.parallel)
+            m.timing.set("parallel", *cell.parallel);
         return m;
     }
 
@@ -310,6 +314,7 @@ SweepRequest::fromBenchOptions(const BenchOptions &options,
     req.configs = std::move(configs);
     req.metric = std::move(metric);
     req.jobs = options.jobs;
+    req.intraJobs = options.intraJobs;
     if (options.sample) {
         req.engine = options.checkpointDir.empty()
                          ? EngineSelect::Sampled
@@ -431,6 +436,17 @@ Runner::run(const SweepRequest &request)
         return r;
     };
 
+    // Intra-trace workers per cell: an explicit request wins; auto
+    // shards only when the cell count cannot keep every sweep worker
+    // busy, splitting the leftover concurrency across cells.
+    const std::size_t n_cells = n_w * n_c;
+    const unsigned intra =
+        request.intraJobs > 0
+            ? request.intraJobs
+            : ((request.jobs > 1 && n_cells < request.jobs)
+                   ? request.jobs / static_cast<unsigned>(n_cells)
+                   : 1);
+
     if (sampled) {
         const auto cells = runSampled(
             request.workloads, request.configs, request.sampling,
@@ -438,7 +454,7 @@ Runner::run(const SweepRequest &request)
             request.engine == EngineSelect::SampledLivepoint
                 ? request.checkpointDir
                 : std::string(),
-            request.checkpointRebuild);
+            request.checkpointRebuild, intra);
         out.table = sampledMatrix(request.workloads, request.configs,
                                   cells, request.metric);
 
@@ -452,6 +468,22 @@ Runner::run(const SweepRequest &request)
                 // Strip the "checkpoint." prefix inside the block.
                 ck.set(std::string(key).substr(11),
                        checkpointCounter(key));
+            }
+        }
+
+        // Cells whose window replay ran sharded additionally carry a
+        // "parallel" block inside "timing" (so result comparisons
+        // stay unaffected), mirroring the checkpoint block above.
+        util::Json par = util::Json::object();
+        const bool ran_parallel =
+            parallelCounter("parallel.windows") > 0;
+        if (ran_parallel) {
+            par.set("intra_jobs", static_cast<std::uint64_t>(intra));
+            for (const char *key :
+                 {"parallel.windows", "parallel.merge_ns"}) {
+                // Strip the "parallel." prefix inside the block.
+                par.set(std::string(key).substr(9),
+                        parallelCounter(key));
             }
         }
         for (std::size_t wi = 0; wi < n_w; ++wi) {
@@ -471,6 +503,9 @@ Runner::run(const SweepRequest &request)
                 mc.report = &cell.report;
                 mc.sampling = &request.sampling;
                 mc.checkpoint = cell.fromCheckpoints ? &ck : nullptr;
+                mc.parallel = cell.fromCheckpoints && ran_parallel
+                                  ? &par
+                                  : nullptr;
                 mc.simSeconds = cell.simSeconds;
                 emitter.emit(mc, tag, &r);
             }
@@ -482,8 +517,20 @@ Runner::run(const SweepRequest &request)
     const bool allow_stack = request.engine != EngineSelect::Exact;
     out.table = runMatrixWith(request.workloads, request.configs,
                               request.metric, request.jobs,
-                              allow_stack);
+                              allow_stack, intra);
     out.timing = lastSweep();
+
+    // Stack passes that ran set-sharded carry their own "parallel"
+    // block (under "timing", like the sampled path's).
+    util::Json par = util::Json::object();
+    const bool ran_sharded = parallelCounter("parallel.shards") > 0;
+    if (ran_sharded) {
+        par.set("intra_jobs", static_cast<std::uint64_t>(intra));
+        for (const char *key :
+             {"parallel.shards", "parallel.merge_ns"}) {
+            par.set(std::string(key).substr(9), parallelCounter(key));
+        }
+    }
 
     // Mirror runMatrixWith's partition rule so stack-served cells are
     // recorded (and emitted) as such instead of being exact-replayed
@@ -531,6 +578,7 @@ Runner::run(const SweepRequest &request)
                     mc.config = &cfg;
                     mc.stats = stack;
                     mc.stackFamilySize = family_size;
+                    mc.parallel = ran_sharded ? &par : nullptr;
                     emitter.emit(mc, EngineTag::StackSinglePass, &r);
                 }
                 continue;

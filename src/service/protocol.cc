@@ -199,6 +199,11 @@ parseRequest(const std::string &payload, std::string *error)
         const std::uint64_t jobs = j->asUint(1);
         req.spec.jobs = jobs == 0 ? 1u : static_cast<unsigned>(jobs);
     }
+    if (const util::Json *j = doc->find("intra_jobs")) {
+        if (!j->isNumber())
+            return fail(error, "\"intra_jobs\" must be a number");
+        req.spec.intraJobs = static_cast<unsigned>(j->asUint(0));
+    }
     if (const util::Json *s = doc->find("sampling")) {
         if (!s->isObject())
             return fail(error, "\"sampling\" must be an object");
@@ -258,6 +263,7 @@ toSweepRequest(const SweepSpec &spec, std::string *error)
     req.metric = *metric;
     req.engine = spec.engine;
     req.jobs = spec.jobs;
+    req.intraJobs = spec.intraJobs;
     req.sampling = spec.sampling;
     req.checkpointDir = spec.checkpointDir;
     req.telemetry.manifestDir = spec.manifestDir;

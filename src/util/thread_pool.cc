@@ -58,6 +58,26 @@ ThreadPool::wait()
     drained_.wait(lock, [this] { return completed_ == submitted_; });
 }
 
+bool
+ThreadPool::helpOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++completed_;
+    }
+    drained_.notify_all();
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -88,7 +108,19 @@ unsigned
 ThreadPool::defaultThreads()
 {
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1u : hw;
+    if (hw == 0) {
+        // Warn once per process: every --jobs/--workers default funnels
+        // through here, and silently running single-threaded on a
+        // many-core box is the kind of slowdown nobody notices.
+        static const bool warned = [] {
+            warn("hardware_concurrency() is unknown; defaulting to "
+                 "1 worker thread (pass --jobs/--workers explicitly)");
+            return true;
+        }();
+        (void)warned;
+        return 1u;
+    }
+    return hw;
 }
 
 } // namespace util

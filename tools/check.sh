@@ -32,6 +32,17 @@
 #                               # byte-identical tables, and a
 #                               # corrupt-library probe that must
 #                               # silently warm and rewrite
+#   tools/check.sh parallel     # intra-trace parallelism under TSan:
+#                               # the Parallel/Sharded/IntraJobs
+#                               # differential tests and the nested-
+#                               # submission ThreadPool regressions,
+#                               # then a CLI livepoint sweep whose
+#                               # --intra-jobs 4 manifests must be
+#                               # byte-identical to --intra-jobs 1
+#                               # (modulo "timing") and a live sacd
+#                               # sweep that must count
+#                               # sacd_parallel_windows > 0 in the
+#                               # metrics verb
 #   tools/check.sh service      # sweep service end to end: the
 #                               # Service* tests, then a live sacd
 #                               # driven by sacctl — submit/status/
@@ -323,6 +334,124 @@ EOF
         echo "=== [checkpoint] OK ==="
         continue
     fi
+    if [[ "$mode" == "parallel" ]]; then
+        # Parallel leg: prove the intra-trace parallel engines — the
+        # concurrent live-point window replay and the set-sharded
+        # stack pass — race-clean under TSan and bit-identical to
+        # their serial counterparts end to end. The CLI differential
+        # runs the same warm livepoint sweep with --intra-jobs 1 and
+        # 4; every manifest must match modulo the wall-clock "timing"
+        # object and the parallel run must attach timing.parallel.
+        # The live daemon run must serve identical tables and count
+        # parallel windows through the metrics verb.
+        build_dir="build-check-parallel"
+        echo "=== [parallel] configure + build (${build_dir}) ==="
+        cmake -B "${build_dir}" -S . -DSAC_SANITIZE="thread" \
+            -DSAC_AUDIT=ON \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+        cmake --build "${build_dir}" -j "$(nproc)" \
+            --target sac_test_parallel_test \
+            --target sac_test_thread_pool_test \
+            --target sacd --target sacctl \
+            --target bench_fig07_traffic_missratio
+        echo "=== [parallel] ctest (differentials, TSan) ==="
+        ctest --test-dir "${build_dir}" --output-on-failure \
+            -j "$(nproc)" \
+            -R 'Parallel|Sharded|IntraJobs|ThreadPool|MergeAlgebra'
+        par_dir="${build_dir}/parallel-run"
+        rm -rf "${par_dir}"
+        mkdir -p "${par_dir}"
+        echo "=== [parallel] CLI differential: --intra-jobs 4 vs 1 ==="
+        par_sweep() {
+            "${build_dir}/bench/bench_fig07_traffic_missratio" \
+                --jobs 2 --sample --sample-window 256 \
+                --sample-stride 1024 --sample-warmup 512 \
+                --checkpoint-dir "${par_dir}/lib" \
+                --intra-jobs "$1" \
+                --emit-json "${par_dir}/run-$2" \
+                > "${par_dir}/table-$2.txt"
+        }
+        par_sweep 1 cold # builds the live-point libraries
+        par_sweep 1 serial
+        par_sweep 4 parallel
+        diff "${par_dir}/table-serial.txt" \
+            "${par_dir}/table-parallel.txt"
+        python3 - "${par_dir}/run-serial" "${par_dir}/run-parallel" <<'EOF'
+import glob, json, os, sys
+serial, parallel = sys.argv[1], sys.argv[2]
+names = sorted(os.path.basename(p)
+               for p in glob.glob(serial + "/*.json"))
+if not names:
+    sys.exit(f"{serial}: no manifests")
+def canon(path):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("timing", None)
+    return json.dumps(doc, sort_keys=True)
+counted = 0
+for name in names:
+    other = os.path.join(parallel, name)
+    if not os.path.exists(other):
+        sys.exit(f"{name}: missing from the parallel run")
+    if canon(os.path.join(serial, name)) != canon(other):
+        sys.exit(f"{name}: parallel manifest differs from serial")
+    with open(other) as f:
+        doc = json.load(f)
+    par = doc.get("timing", {}).get("parallel")
+    if par is not None:
+        if par.get("windows", 0) <= 0:
+            sys.exit(f"{name}: timing.parallel without windows")
+        counted += 1
+if counted == 0:
+    sys.exit("no parallel-run manifest carries timing.parallel")
+print(f"  {len(names)} manifests identical modulo timing; "
+      f"{counted} carry timing.parallel")
+EOF
+        echo "=== [parallel] live sacd sweep (metrics must count) ==="
+        sock="${par_dir}/sacd.sock"
+        ctl() { "${build_dir}/examples/sacctl" --socket="${sock}" "$@"; }
+        "${build_dir}/examples/sacd" --socket="${sock}" \
+            --workers=2 --queue-cap=4 > "${par_dir}/sacd.log" 2>&1 &
+        sacd_pid=$!
+        trap 'kill "${sacd_pid}" 2>/dev/null || true' EXIT
+        for _ in $(seq 1 100); do
+            [[ -S "${sock}" ]] && break
+            kill -0 "${sacd_pid}" 2>/dev/null \
+                || { cat "${par_dir}/sacd.log" >&2; exit 1; }
+            sleep 0.1
+        done
+        [[ -S "${sock}" ]] || { echo "sacd never bound ${sock}" >&2; exit 1; }
+        svc_submit() {
+            ctl submit --workloads=MV,SpMV --presets=standard,soft \
+                --metric=miss-ratio --engine=sampled-livepoint \
+                --jobs=2 --intra-jobs="$1" \
+                --sample-window=256 --sample-stride=1024 \
+                --sample-warmup=512 \
+                --checkpoint-dir="${par_dir}/svc-lib" \
+                > "${par_dir}/svc-table-$1.txt"
+        }
+        # The parallel submit must come first: the daemon's shared
+        # runner latches finished cells in its in-memory store, so
+        # whichever request runs second is served from the store
+        # without replaying any windows. Cold library builds route
+        # through the parallel replay too, so request #1 is the one
+        # that counts sacd_parallel_windows.
+        svc_submit 4
+        svc_submit 1
+        diff "${par_dir}/svc-table-1.txt" "${par_dir}/svc-table-4.txt"
+        ctl metrics > "${par_dir}/metrics.prom"
+        windows="$(awk '$1 == "sacd_parallel_windows" { print $2 }' \
+            "${par_dir}/metrics.prom")"
+        [[ -n "${windows}" && "${windows}" -gt 0 ]] || {
+            echo "sacd_parallel_windows not counted: '${windows:-absent}'" >&2
+            exit 1
+        }
+        ctl shutdown > /dev/null
+        wait "${sacd_pid}" || { echo "sacd exited non-zero" >&2; exit 1; }
+        trap - EXIT
+        echo "=== [parallel] OK ==="
+        continue
+    fi
     if [[ "$mode" == "service" ]]; then
         # Service leg: prove the sweep daemon end to end — the
         # Service* unit/integration tests, then a live sacd driven
@@ -431,7 +560,7 @@ EOF
       plain)   sanitize="" ;;
       address) sanitize="address" ;;
       thread)  sanitize="thread" ;;
-      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|checkpoint|service|--quick)" >&2; exit 2 ;;
+      *) echo "unknown mode '$mode' (plain|address|thread|perf|sampling|stack|telemetry|checkpoint|parallel|service|--quick)" >&2; exit 2 ;;
     esac
     build_dir="build-check-${mode}"
     echo "=== [${mode}] configure + build (${build_dir}) ==="

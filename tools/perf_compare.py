@@ -86,6 +86,16 @@ RATIO_FLOORS = [
     ("BM_SweepStackSinglePass", "BM_SweepPerConfigReplay", 4.0, False),
     ("BM_StreamedSweep/2/real_time", "BM_StreamedSweep/1/real_time",
      1.0, True),
+    # Intra-trace parallelism floors (both bit-identical to their
+    # serial counterparts by the Parallel/Sharded differential tests):
+    # checkpointed window replay fanned out over 8 workers must beat
+    # one worker >=3x, and the set-sharded Mattson pass at 8 shards
+    # must beat the single-stack pass >=2x (each shard re-reads the
+    # whole stream, so its scaling is bounded by the filter's cost).
+    ("BM_SweepSampledCheckpointedParallel/8/real_time",
+     "BM_SweepSampledCheckpointedParallel/1/real_time", 3.0, True),
+    ("BM_SweepStackSharded/8/real_time",
+     "BM_SweepStackSharded/1/real_time", 2.0, True),
 ]
 
 
